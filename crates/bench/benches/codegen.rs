@@ -1,0 +1,83 @@
+//! Back-end costs: VHDL emission, testbench generation and the bit-true
+//! RTL interpreter, all on the refined LMS equalizer.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fixref_bench::paper_input_type;
+use fixref_codegen::{
+    estimate_cost, generate_testbench, generate_vhdl, RtlInterpreter, VhdlOptions,
+};
+use fixref_core::{RefinePolicy, RefinementFlow};
+use fixref_dsp::lms::equalizer_stimulus;
+use fixref_dsp::{LmsConfig, LmsEqualizer};
+use fixref_sim::{Design, SignalRef};
+
+fn refined() -> (Design, LmsEqualizer) {
+    let design = Design::with_seed(0xBE7C);
+    let config = LmsConfig {
+        input_dtype: Some(paper_input_type()),
+        ..LmsConfig::default()
+    };
+    let eq = LmsEqualizer::new(&design, &config);
+    let mut flow = RefinementFlow::new(design.clone(), RefinePolicy::default());
+    let eq_for_flow = eq.clone();
+    flow.run(move |_, _| {
+        eq_for_flow.init();
+        for &x in &equalizer_stimulus(5, 28.0, 1000) {
+            eq_for_flow.step(x);
+        }
+    })
+    .expect("converges");
+    // Re-record the refined dataflow.
+    design.reset_stats();
+    design.reset_state();
+    design.clear_graph();
+    design.record_graph(true);
+    eq.init();
+    for &x in &equalizer_stimulus(5, 28.0, 16) {
+        eq.step(x);
+    }
+    design.record_graph(false);
+    (design, eq)
+}
+
+fn bench_codegen(c: &mut Criterion) {
+    let (design, eq) = refined();
+    let opts = VhdlOptions::named("lms").with_input(eq.x().id());
+    let outs = vec![eq.y().id(), eq.w().id()];
+
+    c.bench_function("codegen/generate_vhdl_lms", |b| {
+        b.iter(|| generate_vhdl(&design, &outs, &opts).expect("generates"))
+    });
+
+    let trace = vec![(eq.x().id(), equalizer_stimulus(5, 28.0, 32))];
+    c.bench_function("codegen/generate_testbench_32_cycles", |b| {
+        b.iter(|| generate_testbench(&design, &outs, &opts, &trace).expect("generates"))
+    });
+
+    c.bench_function("codegen/estimate_cost_lms", |b| {
+        let graph = design.graph();
+        b.iter(|| estimate_cost(&design, &graph))
+    });
+
+    let mut group = c.benchmark_group("codegen");
+    group.throughput(Throughput::Elements(512));
+    group.bench_function("rtl_interpreter_512_cycles", |b| {
+        let graph = design.graph();
+        let stimulus = equalizer_stimulus(5, 28.0, 512);
+        b.iter(|| {
+            let mut rtl = RtlInterpreter::new(&design, &graph).expect("builds");
+            let mut acc = 0.0;
+            for &x in &stimulus {
+                rtl.set_input(eq.x().id(), x);
+                rtl.step();
+                rtl.tick();
+                acc += rtl.value(eq.w().id());
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codegen);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Throughput of the complex example: the 61-signal instrumented
+//! timing-recovery loop versus its golden `f64` model.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fixref_dsp::source::ShapedPamSource;
+use fixref_dsp::{TimingConfig, TimingGolden, TimingRecovery};
+use fixref_sim::Design;
+
+const SAMPLES: usize = 2000;
+
+fn bench_timing(c: &mut Criterion) {
+    let samples: Vec<f64> = {
+        let mut src = ShapedPamSource::new(31, 0.35, 2, 0.3, 100.0);
+        (0..SAMPLES).map(|_| src.next_sample()).collect()
+    };
+
+    let mut group = c.benchmark_group("timing_loop");
+    group.throughput(Throughput::Elements(SAMPLES as u64));
+    group.sample_size(20);
+
+    group.bench_function("golden_f64", |b| {
+        b.iter(|| {
+            let mut rx = TimingGolden::new(&TimingConfig::default());
+            let mut strobes = 0usize;
+            for &x in &samples {
+                if rx.step(x).strobe {
+                    strobes += 1;
+                }
+            }
+            strobes
+        })
+    });
+
+    group.bench_function("instrumented_61_signals", |b| {
+        let d = Design::new();
+        let rx = TimingRecovery::new(&d, &TimingConfig::default());
+        b.iter(|| {
+            d.reset_state();
+            rx.init();
+            let mut strobes = 0usize;
+            for &x in &samples {
+                if rx.step(x).strobe {
+                    strobes += 1;
+                }
+            }
+            strobes
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_timing);
+criterion_main!(benches);

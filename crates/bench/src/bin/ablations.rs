@@ -1,0 +1,142 @@
+//! Ablations over the design choices DESIGN.md calls out, on the LMS
+//! equalizer workload:
+//!
+//! 1. the LSB rule constant `k` (paper: "optimal range \[1,4\]; the smaller
+//!    k, the more conservative") — quality vs. bits vs. estimated gates;
+//! 2. round-off vs. floor rounding (paper §5.2: floor is cheaper hardware
+//!    but shifts the error mean);
+//! 3. the rule-*c* trade-off side (propagated MSB, non-saturated vs.
+//!    statistic MSB with saturation).
+
+use fixref_bench::{paper_input_type, LMS_SNR_DB};
+use fixref_codegen::estimate_cost;
+use fixref_core::{RefinePolicy, RefinementFlow};
+use fixref_dsp::lms::equalizer_stimulus;
+use fixref_dsp::{LmsConfig, LmsEqualizer};
+use fixref_fixed::{RoundingMode, SqnrMeter};
+use fixref_sim::Design;
+
+const SAMPLES: usize = 3000;
+
+struct Row {
+    label: String,
+    mean_f: f64,
+    mean_n: f64,
+    sqnr_db: f64,
+    mean_err: f64,
+    gates: f64,
+}
+
+fn run(policy: RefinePolicy, label: &str) -> Row {
+    let d = Design::with_seed(0xAB1A);
+    let config = LmsConfig {
+        input_dtype: Some(paper_input_type()),
+        ..LmsConfig::default()
+    };
+    let eq = LmsEqualizer::new(&d, &config);
+    let mut flow = RefinementFlow::new(d.clone(), policy);
+    let eq_for_flow = eq.clone();
+    let outcome = flow
+        .run(move |_, _| {
+            eq_for_flow.init();
+            for &x in &equalizer_stimulus(7, LMS_SNR_DB, SAMPLES) {
+                eq_for_flow.step(x);
+            }
+        })
+        .expect("flow converges");
+
+    // Measure with the decided types (recording the graph for costing).
+    d.reset_stats();
+    d.reset_state();
+    d.clear_graph();
+    d.record_graph(true);
+    eq.init();
+    let mut meter = SqnrMeter::new();
+    let mut err_sum = 0.0;
+    let mut err_n = 0u64;
+    for &x in &equalizer_stimulus(7, LMS_SNR_DB, SAMPLES) {
+        eq.step(x);
+        let w = eq.w().get();
+        meter.record(w.flt(), w.fix());
+        err_sum += w.flt() - w.fix();
+        err_n += 1;
+    }
+    d.record_graph(false);
+    let cost = estimate_cost(&d, &d.graph());
+
+    let n = outcome.types.len().max(1) as f64;
+    Row {
+        label: label.to_string(),
+        mean_f: outcome.types.iter().map(|(_, t)| t.f() as f64).sum::<f64>() / n,
+        mean_n: outcome.types.iter().map(|(_, t)| t.n() as f64).sum::<f64>() / n,
+        sqnr_db: meter.sqnr_db(),
+        mean_err: err_sum / err_n as f64,
+        gates: cost.gate_score(),
+    }
+}
+
+fn print_rows(title: &str, rows: &[Row]) {
+    println!();
+    println!("{title}");
+    println!("{}", "-".repeat(78));
+    println!(
+        "{:<26} {:>8} {:>8} {:>10} {:>11} {:>10}",
+        "variant", "mean f", "mean n", "SQNR(dB)", "mean err", "gates"
+    );
+    for r in rows {
+        println!(
+            "{:<26} {:>8.2} {:>8.2} {:>10.1} {:>11.2e} {:>10.0}",
+            r.label, r.mean_f, r.mean_n, r.sqnr_db, r.mean_err, r.gates
+        );
+    }
+}
+
+fn main() {
+    println!("Ablations on the LMS equalizer (input <7,5,tc>, {SAMPLES} samples)");
+    println!("==================================================================");
+
+    // 1. The k constant of the LSB rule.
+    let k_rows: Vec<Row> = [0.5, 1.0, 2.0, 4.0]
+        .into_iter()
+        .map(|k| {
+            run(
+                RefinePolicy::default().with_k_lsb(k),
+                &format!("k_lsb = {k}"),
+            )
+        })
+        .collect();
+    print_rows("1. LSB rule constant k (2^LSB <= k*sigma)", &k_rows);
+    println!("   smaller k = more fractional bits = higher SQNR = more gates.");
+
+    // 2. Round vs floor vs adaptive floor.
+    let r_rows = vec![
+        run(RefinePolicy::default(), "round everywhere"),
+        run(
+            RefinePolicy::default().with_rounding(RoundingMode::Floor),
+            "floor everywhere",
+        ),
+        run(
+            RefinePolicy::default().with_floor_below(0.35),
+            "floor where shift<0.35s",
+        ),
+    ];
+    print_rows(
+        "2. Rounding mode (paper 5.2: floor is cheaper, shifts the mean)",
+        &r_rows,
+    );
+    println!("   floor drops the rounder gates and biases the mean error negative.");
+
+    // 3. Rule-c trade-off side.
+    let t_rows = vec![
+        run(RefinePolicy::default(), "prefer propagated MSB"),
+        run(
+            RefinePolicy {
+                tradeoff_prefers_propagation: false,
+                ..RefinePolicy::default()
+            },
+            "prefer statistic+saturate",
+        ),
+    ];
+    print_rows("3. Rule-c trade-off (paper 5.1c)", &t_rows);
+    println!("   the statistic side saves MSBs but pays saturation logic.");
+}

@@ -1,0 +1,111 @@
+//! Bit-format bookkeeping for expression emission.
+//!
+//! Every emitted VHDL expression carries a [`Fmt`]: its MSB and LSB
+//! positions relative to the binary point. Operators grow formats exactly
+//! like [`fixref_fixed::Fixed`] does (add: one guard bit, common LSB;
+//! mul: positions add), so the emitted arithmetic is overflow-free until
+//! the final assignment quantizes into the signal's decided type.
+
+use fixref_fixed::DType;
+
+/// The fixed-point format of an emitted expression: all values are
+/// `signed` with weight positions `[lsb, msb]` (two's complement sign at
+/// `msb`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fmt {
+    /// MSB (sign) position relative to the binary point.
+    pub msb: i32,
+    /// LSB position relative to the binary point.
+    pub lsb: i32,
+}
+
+impl Fmt {
+    /// Creates a format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msb < lsb`.
+    pub fn new(msb: i32, lsb: i32) -> Self {
+        assert!(msb >= lsb, "format msb {msb} below lsb {lsb}");
+        Fmt { msb, lsb }
+    }
+
+    /// The format of a signal's decided type.
+    pub fn from_dtype(t: &DType) -> Self {
+        Fmt::new(t.msb(), t.lsb())
+    }
+
+    /// Total width in bits.
+    pub fn width(&self) -> i32 {
+        self.msb - self.lsb + 1
+    }
+
+    /// The format that exactly holds the sum/difference of two operands:
+    /// common LSB, one guard bit above the larger MSB.
+    pub fn add(&self, rhs: &Fmt) -> Fmt {
+        Fmt::new(self.msb.max(rhs.msb) + 1, self.lsb.min(rhs.lsb))
+    }
+
+    /// The format of a full-precision product.
+    pub fn mul(&self, rhs: &Fmt) -> Fmt {
+        Fmt::new(self.msb + rhs.msb + 1, self.lsb + rhs.lsb)
+    }
+
+    /// The format of a negation (one guard bit for `-min`).
+    pub fn neg(&self) -> Fmt {
+        Fmt::new(self.msb + 1, self.lsb)
+    }
+
+    /// The joint format covering both operands (min/max/select results).
+    pub fn union(&self, rhs: &Fmt) -> Fmt {
+        Fmt::new(self.msb.max(rhs.msb), self.lsb.min(rhs.lsb))
+    }
+
+    /// The smallest format holding the constant `c` at resolution
+    /// `lsb` (value is rounded to that grid).
+    pub fn for_const(c: f64, lsb: i32) -> Fmt {
+        let mant = (c * (-(lsb as f64)).exp2()).round().abs().max(1.0);
+        // Need msb with mant < 2^(msb - lsb), plus the sign.
+        let bits = (mant.log2().floor() as i32) + 1;
+        Fmt::new(lsb + bits, lsb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_and_dtype() {
+        let t = DType::tc("t", 8, 5).unwrap();
+        let f = Fmt::from_dtype(&t);
+        assert_eq!(f, Fmt::new(2, -5));
+        assert_eq!(f.width(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "below lsb")]
+    fn inverted_positions_rejected() {
+        let _ = Fmt::new(-1, 0);
+    }
+
+    #[test]
+    fn growth_rules_match_bit_true_fixed() {
+        let a = Fmt::new(2, -5);
+        let b = Fmt::new(0, -3);
+        assert_eq!(a.add(&b), Fmt::new(3, -5));
+        assert_eq!(a.mul(&b), Fmt::new(3, -8));
+        assert_eq!(a.neg(), Fmt::new(3, -5));
+        assert_eq!(a.union(&b), Fmt::new(2, -5));
+    }
+
+    #[test]
+    fn const_formats() {
+        // 1.0 at lsb -5: mantissa 32 needs 6 magnitude bits -> msb 1.
+        assert_eq!(Fmt::for_const(1.0, -5), Fmt::new(1, -5));
+        // -0.11 at lsb -5: mantissa round(3.52) = 4 -> 3 bits -> msb -2.
+        assert_eq!(Fmt::for_const(-0.11, -5), Fmt::new(-2, -5));
+        // Zero still gets a 1-magnitude-bit format.
+        assert_eq!(Fmt::for_const(0.0, -3), Fmt::new(-2, -3));
+    }
+}

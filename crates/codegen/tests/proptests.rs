@@ -1,0 +1,184 @@
+//! Property-based cross-checks: for randomly generated, fully typed
+//! dataflow programs, the bit-true RTL interpreter over the recorded
+//! graph must reproduce the simulation's fixed path exactly, and the
+//! VHDL generator must accept the same programs.
+
+use fixref_codegen::{generate_testbench, generate_vhdl, RtlInterpreter, VhdlOptions};
+use fixref_fixed::{DType, OverflowMode, RoundingMode, Signedness};
+use fixref_sim::{Design, SignalRef, Value};
+use proptest::prelude::*;
+
+/// One wire's definition in a random straight-line program; operands
+/// reference the input or earlier wires only (declaration order =
+/// dataflow order, which both back-ends require).
+#[derive(Debug, Clone)]
+enum Def {
+    Scale { src: usize, k: f64 },
+    AddPrev { a: usize, b: usize },
+    SubConst { src: usize, c: f64 },
+    MulPair { a: usize, b: usize },
+    NegAbs { src: usize },
+    Clamp { src: usize, lo: f64, hi: f64 },
+    Slice { src: usize },
+}
+
+fn arb_def(max_src: usize) -> impl Strategy<Value = Def> {
+    let src = 0..=max_src;
+    prop_oneof![
+        (src.clone(), -1.5f64..1.5).prop_map(|(src, k)| Def::Scale { src, k }),
+        (src.clone(), src.clone()).prop_map(|(a, b)| Def::AddPrev { a, b }),
+        (src.clone(), -1.0f64..1.0).prop_map(|(src, c)| Def::SubConst { src, c }),
+        (src.clone(), src.clone()).prop_map(|(a, b)| Def::MulPair { a, b }),
+        src.clone().prop_map(|src| Def::NegAbs { src }),
+        (src.clone(), -1.0f64..0.0, 0.0f64..1.0).prop_map(|(src, lo, hi)| Def::Clamp {
+            src,
+            lo,
+            hi
+        }),
+        src.prop_map(|src| Def::Slice { src }),
+    ]
+}
+
+fn arb_dtype() -> impl Strategy<Value = DType> {
+    (
+        4i32..=16,
+        2i32..=12,
+        prop_oneof![Just(OverflowMode::Wrap), Just(OverflowMode::Saturate)],
+    )
+        .prop_map(|(n, f, o)| {
+            DType::new(
+                "p",
+                n,
+                f,
+                Signedness::TwosComplement,
+                o,
+                RoundingMode::Round,
+            )
+            .expect("valid dtype")
+        })
+}
+
+struct Program {
+    design: Design,
+    input: fixref_sim::Sig,
+    wires: Vec<fixref_sim::Sig>,
+    defs: Vec<Def>,
+}
+
+impl Program {
+    fn build(defs: &[Def], types: &[DType]) -> Program {
+        let d = Design::new();
+        let input = d.sig_typed("x", DType::tc("in", 10, 8).expect("valid"));
+        let wires: Vec<_> = defs
+            .iter()
+            .enumerate()
+            .map(|(i, _)| d.sig_typed(&format!("w{i}"), types[i % types.len()].clone()))
+            .collect();
+        Program {
+            design: d,
+            input,
+            wires,
+            defs: defs.to_vec(),
+        }
+    }
+
+    /// `operand(0)` is the input, `operand(i+1)` is wire `i` (clamped to
+    /// already-defined wires).
+    fn operand(&self, raw: usize, upto: usize) -> Value {
+        if raw == 0 || upto == 0 {
+            self.input.get()
+        } else {
+            self.wires[(raw - 1).min(upto - 1)].get()
+        }
+    }
+
+    fn run_cycle(&self, x: f64) {
+        self.input.set(x);
+        for (i, def) in self.defs.iter().enumerate() {
+            let v = match *def {
+                Def::Scale { src, k } => self.operand(src, i) * k,
+                Def::AddPrev { a, b } => self.operand(a, i) + self.operand(b, i),
+                Def::SubConst { src, c } => self.operand(src, i) - c,
+                Def::MulPair { a, b } => self.operand(a, i) * self.operand(b, i),
+                Def::NegAbs { src } => (-self.operand(src, i)).abs(),
+                Def::Clamp { src, lo, hi } => self
+                    .operand(src, i)
+                    .max(Value::from(lo))
+                    .min(Value::from(hi)),
+                Def::Slice { src } => self
+                    .operand(src, i)
+                    .select_positive(1.0.into(), (-1.0).into()),
+            };
+            self.wires[i].set(v);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The RTL interpreter reproduces the simulation's fixed path exactly
+    /// on every wire of every random program.
+    #[test]
+    fn interpreter_matches_simulation(
+        defs in prop::collection::vec(arb_def(4), 1..10),
+        types in prop::collection::vec(arb_dtype(), 1..4),
+        stimulus in prop::collection::vec(-2.0f64..2.0, 2..20),
+    ) {
+        let p = Program::build(&defs, &types);
+        // Record the structure with a two-value warmup (distinct values so
+        // the input classifies as an input).
+        p.design.record_graph(true);
+        p.run_cycle(0.25);
+        p.run_cycle(-0.75);
+        p.design.record_graph(false);
+
+        let mut rtl = RtlInterpreter::new(&p.design, &p.design.graph())
+            .expect("typed straight-line program");
+        p.design.reset_state();
+        for (cycle, &x) in stimulus.iter().enumerate() {
+            p.run_cycle(x);
+            rtl.set_input(p.input.id(), x);
+            rtl.step();
+            rtl.tick();
+            for (i, w) in p.wires.iter().enumerate() {
+                let (_, sim_fix) = p.design.peek(w.id());
+                prop_assert_eq!(
+                    rtl.value(w.id()),
+                    sim_fix,
+                    "cycle {} wire {}", cycle, i
+                );
+            }
+        }
+    }
+
+    /// Every random program generates structurally well-formed VHDL and a
+    /// testbench with one assertion per cycle per output.
+    #[test]
+    fn vhdl_and_testbench_generate(
+        defs in prop::collection::vec(arb_def(4), 1..8),
+        types in prop::collection::vec(arb_dtype(), 1..4),
+        cycles in 1usize..6,
+    ) {
+        let p = Program::build(&defs, &types);
+        p.design.record_graph(true);
+        p.run_cycle(0.25);
+        p.run_cycle(-0.75);
+        p.design.record_graph(false);
+
+        let last = p.wires.last().expect("non-empty").id();
+        let opts = VhdlOptions::named("rand").with_input(p.input.id());
+        let vhdl = generate_vhdl(&p.design, &[last], &opts).expect("generates");
+        prop_assert!(vhdl.contains("entity rand is"));
+        prop_assert_eq!(
+            vhdl.chars().filter(|&c| c == '(').count(),
+            vhdl.chars().filter(|&c| c == ')').count()
+        );
+
+        let trace: Vec<f64> = (0..cycles).map(|i| (i as f64 * 0.37).sin()).collect();
+        let tb = generate_testbench(&p.design, &[last], &opts, &[(p.input.id(), trace)])
+            .expect("generates");
+        prop_assert_eq!(tb.matches("assert ").count(), cycles);
+        prop_assert!(tb.contains("report \"testbench passed\""));
+    }
+}

@@ -1,0 +1,19 @@
+//! Baseline quantization strategies the paper positions itself against.
+//!
+//! * [`sim_search`] — the pure *simulation-based* approach of Sung & Kum
+//!   \[1\]: heuristic per-signal wordlength search against a system-level
+//!   quality criterion, re-simulating for every probe. Precise, but "can
+//!   lead to long simulations in the case of slow convergence".
+//! * [`analytic`] — the pure *analytical* approach of Willems et al. \[3\]:
+//!   worst-case range and error propagation over the signal-flow graph.
+//!   Fast, but "a conservative approach which leads to overestimation of
+//!   signal wordlengths".
+//!
+//! Both operate on the same [`fixref_sim::Design`] abstractions as the
+//! hybrid flow so the comparison in [`crate::compare`] is apples-to-apples.
+
+pub mod analytic;
+pub mod sim_search;
+
+pub use analytic::{analytic_refine, AnalyticOptions, AnalyticOutcome};
+pub use sim_search::{sim_search_refine, SimSearchOptions, SimSearchOutcome};

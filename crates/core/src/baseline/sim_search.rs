@@ -1,0 +1,248 @@
+//! Pure simulation-based wordlength optimization (Sung & Kum \[1\]).
+//!
+//! The reference approach the paper improves on: wordlengths are chosen
+//! heuristically while observing a system-level error criterion, and the
+//! whole system is re-simulated for every probe. MSBs come from observed
+//! ranges plus a safety margin (no guarantee for untested stimuli); LSBs
+//! come from a per-signal sequential search that coarsens each signal until
+//! the quality constraint breaks, then backs off one bit.
+//!
+//! The telling cost metric is `probes`: the number of full simulations
+//! needed, which grows with the signal count — the "long simulations in
+//! the case of slow convergence" of the paper's introduction.
+
+use fixref_fixed::{msb_for_range, DType, OverflowMode, RoundingMode, Signedness};
+use fixref_sim::{Design, SignalId};
+
+/// Options for [`sim_search_refine`].
+#[derive(Debug, Clone)]
+pub struct SimSearchOptions {
+    /// Safety bits added to every observed MSB (the heuristic guard
+    /// against untested stimuli).
+    pub msb_margin: i32,
+    /// The finest LSB the search starts from.
+    pub start_lsb: i32,
+    /// The coarsest LSB the search will try.
+    pub max_lsb: i32,
+    /// Overflow mode of the probe types.
+    pub overflow: OverflowMode,
+}
+
+impl Default for SimSearchOptions {
+    fn default() -> Self {
+        SimSearchOptions {
+            start_lsb: -16,
+            max_lsb: 0,
+            msb_margin: 1,
+            overflow: OverflowMode::Saturate,
+        }
+    }
+}
+
+/// The result of a simulation-based search.
+#[derive(Debug, Clone)]
+pub struct SimSearchOutcome {
+    /// The decided types.
+    pub types: Vec<(SignalId, DType)>,
+    /// Number of full simulations performed — the cost of this strategy.
+    pub probes: usize,
+    /// Quality of the final configuration (same units as `target`).
+    pub final_quality: f64,
+    /// Signals the search could not type (no observed range).
+    pub skipped: Vec<SignalId>,
+}
+
+/// Runs the Sung-&-Kum-style search.
+///
+/// `eval` must run the stimulus on the design and return the quality
+/// metric (higher = better, e.g. output SQNR in dB); `target` is the
+/// constraint the final configuration must satisfy. `signals` lists the
+/// signals to refine, in search order.
+///
+/// The search holds every signal at `start_lsb` precision, then coarsens
+/// one signal at a time until quality would drop below `target`. Types are
+/// applied to the design as they are decided and left in place.
+pub fn sim_search_refine(
+    design: &Design,
+    signals: &[SignalId],
+    eval: &mut dyn FnMut(&Design) -> f64,
+    target: f64,
+    options: &SimSearchOptions,
+) -> SimSearchOutcome {
+    let mut probes = 0;
+    let mut run = |design: &Design| -> f64 {
+        design.reset_stats();
+        design.reset_state();
+        probes += 1;
+        eval(design)
+    };
+
+    // Probe 1: monitored float run for observed ranges -> MSBs.
+    let _ = run(design);
+    let mut skipped = Vec::new();
+    let mut plan: Vec<(SignalId, i32)> = Vec::new();
+    for &id in signals {
+        let r = design.report_by_id(id);
+        let msb = r
+            .stat
+            .interval()
+            .and_then(|i| msb_for_range(i.lo, i.hi, Signedness::TwosComplement))
+            .map(|m| m + options.msb_margin);
+        match msb {
+            Some(m) => plan.push((id, m)),
+            None => skipped.push(id),
+        }
+    }
+
+    let mk = |name: &str, msb: i32, lsb: i32, overflow: OverflowMode| {
+        DType::from_positions(
+            format!("{name}_ss"),
+            msb,
+            lsb.min(msb),
+            Signedness::TwosComplement,
+            overflow,
+            RoundingMode::Round,
+        )
+        .expect("positions derived from valid ranges")
+    };
+
+    // Everything at the finest precision first.
+    let mut lsbs: Vec<i32> = vec![options.start_lsb; plan.len()];
+    for (i, &(id, msb)) in plan.iter().enumerate() {
+        design.set_dtype(
+            id,
+            Some(mk(&design.name_of(id), msb, lsbs[i], options.overflow)),
+        );
+    }
+    let baseline_quality = run(design);
+
+    // Sequential coarsening, one signal at a time.
+    for (i, &(id, msb)) in plan.iter().enumerate() {
+        let mut best = lsbs[i];
+        for lsb in (options.start_lsb + 1)..=options.max_lsb.min(msb) {
+            design.set_dtype(
+                id,
+                Some(mk(&design.name_of(id), msb, lsb, options.overflow)),
+            );
+            let q = run(design);
+            if q < target {
+                break;
+            }
+            best = lsb;
+        }
+        lsbs[i] = best;
+        design.set_dtype(
+            id,
+            Some(mk(&design.name_of(id), msb, best, options.overflow)),
+        );
+    }
+
+    let final_quality = run(design);
+    let types = plan
+        .iter()
+        .enumerate()
+        .map(|(i, &(id, msb))| (id, mk(&design.name_of(id), msb, lsbs[i], options.overflow)))
+        .collect();
+
+    SimSearchOutcome {
+        types,
+        probes,
+        final_quality: final_quality.max(baseline_quality.min(final_quality)),
+        skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixref_fixed::SqnrMeter;
+    use fixref_sim::SignalRef;
+
+    /// A toy chain y = 0.75*x with a quality metric on y.
+    fn toy() -> (Design, SignalId, SignalId) {
+        let d = Design::new();
+        let x = d.sig("x");
+        let y = d.sig("y");
+        x.range(-1.0, 1.0);
+        (d.clone(), x.id(), y.id())
+    }
+
+    fn eval_factory(xid: SignalId, yid: SignalId) -> impl FnMut(&Design) -> f64 {
+        move |d: &Design| {
+            let xh = d.sig_handle(xid);
+            let yh = d.sig_handle(yid);
+            let mut m = SqnrMeter::new();
+            for i in 0..400 {
+                xh.set(((i as f64) * 0.1).sin() * 0.9);
+                yh.set(xh.get() * 0.75);
+                let v = yh.get();
+                m.record(v.flt(), v.fix());
+            }
+            m.sqnr_db()
+        }
+    }
+
+    #[test]
+    fn search_meets_target_with_min_bits() {
+        let (d, xid, yid) = toy();
+        let mut eval = eval_factory(xid, yid);
+        let out = sim_search_refine(
+            &d,
+            &[xid, yid],
+            &mut eval,
+            40.0,
+            &SimSearchOptions::default(),
+        );
+        assert!(out.final_quality >= 40.0, "quality {}", out.final_quality);
+        assert_eq!(out.types.len(), 2);
+        assert!(out.skipped.is_empty());
+        // The cost signature: many more probes than the hybrid's 2-3 runs.
+        assert!(out.probes > 5, "probes {}", out.probes);
+        // ~40 dB needs ~7 fractional bits; the search should not leave 16.
+        for (_, t) in &out.types {
+            assert!(t.f() < 16, "search failed to coarsen: {t}");
+        }
+    }
+
+    #[test]
+    fn unobserved_signals_are_skipped() {
+        let d = Design::new();
+        let x = d.sig("x");
+        let dead = d.sig("dead");
+        let mut eval = |d: &Design| {
+            let xh = d.sig_handle(d.find("x").expect("declared"));
+            for i in 0..10 {
+                xh.set(i as f64 * 0.1);
+            }
+            100.0
+        };
+        let out = sim_search_refine(
+            &d,
+            &[x.id(), dead.id()],
+            &mut eval,
+            10.0,
+            &SimSearchOptions::default(),
+        );
+        assert_eq!(out.skipped, vec![dead.id()]);
+        assert_eq!(out.types.len(), 1);
+    }
+
+    #[test]
+    fn msb_margin_adds_bits() {
+        let d = Design::new();
+        let x = d.sig("x");
+        let mut eval = |d: &Design| {
+            let xh = d.sig_handle(d.find("x").expect("declared"));
+            for i in 0..100 {
+                xh.set(((i as f64) * 0.37).sin()); // |x| <= 1 -> msb 0
+            }
+            1000.0 // always passes: search coarsens to max_lsb
+        };
+        let opts = SimSearchOptions {
+            msb_margin: 2,
+            ..SimSearchOptions::default()
+        };
+        let out = sim_search_refine(&d, &[x.id()], &mut eval, 10.0, &opts);
+        assert_eq!(out.types[0].1.msb(), 2); // 0 + margin 2
+    }
+}

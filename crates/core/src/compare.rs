@@ -1,0 +1,162 @@
+//! Strategy comparison scaffolding.
+//!
+//! The paper's core claim (§1, §7) is qualitative: the hybrid method
+//! "marries the advantages of a pure simulation based approach and a pure
+//! analysis based approach" — converging in a few iterations *and* avoiding
+//! wordlength overestimation. [`StrategyResult`] captures the two axes
+//! (cost in simulations, quality in decided bits) for each strategy so the
+//! benchmark harness can print them side by side.
+
+use std::fmt::Write as _;
+
+use fixref_fixed::DType;
+use fixref_sim::SignalId;
+
+/// One strategy's cost/quality summary on a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyResult {
+    /// Strategy name (`hybrid`, `simulation`, `analytical`).
+    pub strategy: String,
+    /// Full simulations consumed (iterations for the hybrid, probes for
+    /// the search, 0–1 for the analytical method).
+    pub simulations: usize,
+    /// Number of signals the strategy managed to type.
+    pub typed_signals: usize,
+    /// Mean decided total wordlength over the typed signals.
+    pub mean_wordlength: Option<f64>,
+    /// Mean decided MSB position over the typed signals.
+    pub mean_msb: Option<f64>,
+    /// Achieved quality (e.g. output SQNR in dB) with the decided types,
+    /// when measured.
+    pub quality: Option<f64>,
+    /// Free-form notes (unresolved signals, divergence, annotations).
+    pub notes: String,
+}
+
+impl StrategyResult {
+    /// Summarizes a set of decided types under a strategy name.
+    pub fn from_types(
+        strategy: impl Into<String>,
+        simulations: usize,
+        types: &[(SignalId, DType)],
+    ) -> Self {
+        let n = types.len();
+        let (mean_wordlength, mean_msb) = if n == 0 {
+            (None, None)
+        } else {
+            (
+                Some(types.iter().map(|(_, t)| t.n() as f64).sum::<f64>() / n as f64),
+                Some(types.iter().map(|(_, t)| t.msb() as f64).sum::<f64>() / n as f64),
+            )
+        };
+        StrategyResult {
+            strategy: strategy.into(),
+            simulations,
+            typed_signals: n,
+            mean_wordlength,
+            mean_msb,
+            quality: None,
+            notes: String::new(),
+        }
+    }
+
+    /// Attaches a measured quality figure.
+    pub fn with_quality(mut self, q: f64) -> Self {
+        self.quality = Some(q);
+        self
+    }
+
+    /// Attaches free-form notes.
+    pub fn with_notes(mut self, notes: impl Into<String>) -> Self {
+        self.notes = notes.into();
+        self
+    }
+}
+
+/// Renders strategy results as an aligned text table.
+pub fn render_comparison(results: &[StrategyResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>6} {:>7} {:>10} {:>9} {:>10}  notes",
+        "strategy", "sims", "typed", "mean n", "mean msb", "quality"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(78));
+    for r in results {
+        let fmt_o = |v: Option<f64>| match v {
+            Some(x) => format!("{x:>10.2}"),
+            None => format!("{:>10}", "-"),
+        };
+        let fmt_m = |v: Option<f64>| match v {
+            Some(x) => format!("{x:>9.2}"),
+            None => format!("{:>9}", "-"),
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:>6} {:>7} {} {} {}  {}",
+            r.strategy,
+            r.simulations,
+            r.typed_signals,
+            fmt_o(r.mean_wordlength),
+            fmt_m(r.mean_msb),
+            fmt_o(r.quality),
+            r.notes
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixref_fixed::DType;
+
+    fn types(specs: &[(i32, i32)]) -> Vec<(SignalId, DType)> {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(n, f))| {
+                (
+                    SignalId::from_raw(i as u32),
+                    DType::tc(format!("t{i}"), n, f).expect("valid"),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn from_types_computes_means() {
+        let r = StrategyResult::from_types("hybrid", 3, &types(&[(8, 6), (10, 6), (12, 6)]));
+        assert_eq!(r.typed_signals, 3);
+        assert_eq!(r.mean_wordlength, Some(10.0));
+        // msbs: 1, 3, 5 -> mean 3
+        assert_eq!(r.mean_msb, Some(3.0));
+        assert_eq!(r.simulations, 3);
+        assert_eq!(r.quality, None);
+    }
+
+    #[test]
+    fn empty_types_give_none() {
+        let r = StrategyResult::from_types("analytical", 0, &[]);
+        assert_eq!(r.mean_wordlength, None);
+        assert_eq!(r.mean_msb, None);
+        assert_eq!(r.typed_signals, 0);
+    }
+
+    #[test]
+    fn render_includes_all_strategies() {
+        let rows = vec![
+            StrategyResult::from_types("hybrid", 3, &types(&[(8, 6)])).with_quality(39.1),
+            StrategyResult::from_types("simulation", 40, &types(&[(7, 6)])),
+            StrategyResult::from_types("analytical", 1, &types(&[(14, 12)]))
+                .with_notes("needs input ranges"),
+        ];
+        let t = render_comparison(&rows);
+        assert!(t.contains("hybrid"));
+        assert!(t.contains("simulation"));
+        assert!(t.contains("analytical"));
+        assert!(t.contains("39.10"));
+        assert!(t.contains("needs input ranges"));
+        assert_eq!(t.lines().count(), 5);
+    }
+}

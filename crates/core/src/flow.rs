@@ -1,0 +1,788 @@
+//! The refinement flow driver (paper §5, Fig. 4).
+//!
+//! The flow owns a [`Design`] plus a stimulus closure and iterates:
+//!
+//! 1. **MSB phase** — simulate with monitoring, apply the §5.1 rules;
+//!    exploded feedback signals receive an automatic `range()` annotation
+//!    derived from their observed range (the paper's manual
+//!    `b.range(-0.2, 0.2)` step) and the phase repeats. Two iterations
+//!    suffice for both of the paper's designs.
+//! 2. **LSB phase** — simulate, apply the §5.2 rule; divergent feedback
+//!    signals receive an automatic `error()` annotation and the phase
+//!    repeats (one extra iteration for the complex example's NCO).
+//! 3. **Type application** — each resolved signal gets the
+//!    `DType` combining its decided MSB, LSB, overflow and rounding modes.
+//! 4. **Verification** — one more monitored run with every type in place;
+//!    overflow events or precision regressions are reported.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use fixref_fixed::{DType, Interval};
+use fixref_sim::{Design, SignalId};
+
+use crate::lsb::{analyze_lsb, LsbAnalysis, LsbStatus};
+use crate::msb::{analyze_msb, MsbAnalysis, MsbDecision};
+use crate::policy::RefinePolicy;
+
+/// The flow's error type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// A phase did not converge within the policy's iteration budget.
+    NotConverged {
+        /// `"msb"` or `"lsb"`.
+        phase: &'static str,
+        /// Iterations spent.
+        iterations: usize,
+        /// Names of the signals still unresolved.
+        unresolved: Vec<String>,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::NotConverged {
+                phase,
+                iterations,
+                unresolved,
+            } => write!(
+                f,
+                "{phase} refinement did not converge after {iterations} iterations \
+                 (unresolved: {})",
+                unresolved.join(", ")
+            ),
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+/// An automatic annotation the flow inserted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Intervention {
+    /// `range(lo, hi)` pinned on an exploded (or knowledge-saturated)
+    /// feedback signal.
+    AutoRange {
+        /// The annotated signal.
+        signal: SignalId,
+        /// Its name.
+        name: String,
+        /// Lower pinned bound.
+        lo: f64,
+        /// Upper pinned bound.
+        hi: f64,
+        /// Which MSB iteration inserted it (1-based).
+        iteration: usize,
+    },
+    /// `error(σ)` injected on an LSB-divergent feedback signal.
+    AutoError {
+        /// The annotated signal.
+        signal: SignalId,
+        /// Its name.
+        name: String,
+        /// Injected error standard deviation.
+        sigma: f64,
+        /// Which LSB iteration inserted it (1-based).
+        iteration: usize,
+    },
+}
+
+impl fmt::Display for Intervention {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Intervention::AutoRange {
+                name,
+                lo,
+                hi,
+                iteration,
+                ..
+            } => write!(f, "iter {iteration}: {name}.range({lo}, {hi})"),
+            Intervention::AutoError {
+                name,
+                sigma,
+                iteration,
+                ..
+            } => write!(f, "iter {iteration}: {name}.error(sigma={sigma:.3e})"),
+        }
+    }
+}
+
+/// The result of the final verification run.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyOutcome {
+    /// Per-signal overflow counts observed with all types applied.
+    pub overflows: Vec<(String, u64)>,
+    /// Sum of all overflow counts.
+    pub total_overflows: u64,
+    /// Excursions absorbed by saturating types (informational: this is
+    /// the saturation hardware doing its job, not a failure).
+    pub saturation_events: u64,
+    /// Signals whose produced error exceeded their consumed error
+    /// (precision loss the designer should confirm).
+    pub precision_loss: Vec<String>,
+}
+
+impl VerifyOutcome {
+    /// Whether verification saw no overflow at all.
+    pub fn is_overflow_free(&self) -> bool {
+        self.total_overflows == 0
+    }
+}
+
+/// The complete outcome of a refinement run.
+#[derive(Debug, Clone)]
+pub struct FlowOutcome {
+    /// Number of MSB iterations used.
+    pub msb_iterations: usize,
+    /// Number of LSB iterations used.
+    pub lsb_iterations: usize,
+    /// Per-iteration MSB analyses (last entry = final decisions).
+    pub msb_history: Vec<Vec<MsbAnalysis>>,
+    /// Per-iteration LSB analyses (last entry = final decisions).
+    pub lsb_history: Vec<Vec<LsbAnalysis>>,
+    /// Automatic annotations inserted along the way.
+    pub interventions: Vec<Intervention>,
+    /// The decided types, per signal.
+    pub types: Vec<(SignalId, DType)>,
+    /// Signals left floating (unresolved or explicitly excluded).
+    pub unrefined: Vec<String>,
+    /// The verification run's findings.
+    pub verify: VerifyOutcome,
+}
+
+impl FlowOutcome {
+    /// The final MSB analyses.
+    pub fn msb(&self) -> &[MsbAnalysis] {
+        self.msb_history.last().map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The final LSB analyses.
+    pub fn lsb(&self) -> &[LsbAnalysis] {
+        self.lsb_history.last().map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The decided type of a signal, if any.
+    pub fn type_of(&self, id: SignalId) -> Option<&DType> {
+        self.types.iter().find(|(s, _)| *s == id).map(|(_, t)| t)
+    }
+
+    /// Mean MSB overhead (decided minus statistic) over the non-saturated
+    /// refined signals — the paper's "0.22 bits per signal" metric.
+    pub fn mean_msb_overhead(&self) -> Option<f64> {
+        let final_msb = self.msb();
+        let overheads: Vec<f64> = final_msb
+            .iter()
+            .filter(|a| a.decision.is_resolved() && !a.decision.is_saturated())
+            .filter_map(|a| a.overhead_bits().map(|o| o as f64))
+            .collect();
+        if overheads.is_empty() {
+            None
+        } else {
+            Some(overheads.iter().sum::<f64>() / overheads.len() as f64)
+        }
+    }
+
+    /// Count of saturated signals, split into (forced-by-explosion,
+    /// other-saturations) — the complex example's "2 + 5" breakdown.
+    pub fn saturation_counts(&self) -> (usize, usize) {
+        let mut forced = 0;
+        let mut other = 0;
+        for a in self.msb() {
+            if a.decision.is_forced_saturation() {
+                forced += 1;
+            } else if a.decision.is_saturated() {
+                other += 1;
+            }
+        }
+        (forced, other)
+    }
+}
+
+/// The refinement flow driver.
+///
+/// See the crate-level example; the typical call is [`RefinementFlow::run`]
+/// with a stimulus closure that exercises the design for a representative
+/// number of samples.
+pub struct RefinementFlow {
+    design: Design,
+    policy: RefinePolicy,
+    /// Signals typed before the flow started (the partial type definition
+    /// of Fig. 4, typically the inputs): checked, never re-decided.
+    locked: HashSet<SignalId>,
+    /// Knowledge-based saturation choices (the complex example's "5
+    /// signals ... knowledge-based choice").
+    force_saturate: HashSet<SignalId>,
+    /// Signals excluded from refinement entirely.
+    excluded: HashSet<SignalId>,
+    /// Signals auto-pinned with `range()` because their propagation
+    /// exploded (decided as forced saturation).
+    pinned_explosion: HashSet<SignalId>,
+}
+
+impl RefinementFlow {
+    /// Creates a flow over a design. Signals that already carry a type
+    /// (the "partial type definition") are locked: they are monitored and
+    /// checked but their types are not re-decided.
+    pub fn new(design: Design, policy: RefinePolicy) -> Self {
+        let locked = design
+            .reports()
+            .into_iter()
+            .filter(|r| r.dtype.is_some())
+            .map(|r| r.id)
+            .collect();
+        RefinementFlow {
+            design,
+            policy,
+            locked,
+            force_saturate: HashSet::new(),
+            excluded: HashSet::new(),
+            pinned_explosion: HashSet::new(),
+        }
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> &RefinePolicy {
+        &self.policy
+    }
+
+    /// Marks a signal for saturation regardless of the rule outcome
+    /// (designer knowledge, e.g. a loop-filter integrator known to clip).
+    pub fn force_saturate(&mut self, id: SignalId) {
+        self.force_saturate.insert(id);
+    }
+
+    /// Excludes a signal from refinement (left floating point).
+    pub fn exclude(&mut self, id: SignalId) {
+        self.excluded.insert(id);
+    }
+
+    fn refinable(&self, id: SignalId) -> bool {
+        !self.locked.contains(&id) && !self.excluded.contains(&id)
+    }
+
+    /// Applies the post-rule decision overrides: explosion-pinned signals
+    /// and knowledge-based choices are decided as saturated regardless of
+    /// what the rules would now say (the paper marks `b` "(st)" after
+    /// `b.range(-0.2, 0.2)`).
+    fn override_decision(&self, a: &mut MsbAnalysis) {
+        let forced = self.pinned_explosion.contains(&a.id);
+        let knowledge = self.force_saturate.contains(&a.id);
+        if !forced && !knowledge {
+            return;
+        }
+        // The decided MSB comes from the pinned range when present (the
+        // annotation is what the saturation hardware implements), else the
+        // statistic.
+        let msb = a
+            .prop_msb
+            .filter(|_| self.design.range_of(a.id).is_some())
+            .or(a.stat_msb);
+        if let Some(m) = msb {
+            let guard = a
+                .prop
+                .filter(|p| p.is_bounded())
+                .or_else(|| a.stat.map(|i| i.shift(1)))
+                .unwrap_or(Interval::EMPTY);
+            a.decision = MsbDecision::Saturate {
+                msb: m + self.policy.saturation_margin,
+                guard,
+                forced,
+            };
+            a.mode = fixref_fixed::OverflowMode::Saturate;
+        }
+    }
+
+    /// Runs the MSB phase: iterate simulation + rules until no refinable
+    /// signal's range propagation explodes.
+    ///
+    /// Feedback signals are identified from the signal-flow graph recorded
+    /// during the first iteration; only those receive automatic `range()`
+    /// pins — downstream signals whose explosion was inherited resolve by
+    /// themselves once the loop roots are pinned (as `w` does in the
+    /// paper's Table 1 once `b` is annotated).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::NotConverged`] when explosions persist after the
+    /// iteration budget (only possible with `auto_range` disabled or an
+    /// adversarial stimulus).
+    pub fn run_msb(
+        &mut self,
+        mut sim: impl FnMut(&Design, usize),
+    ) -> Result<(Vec<Vec<MsbAnalysis>>, Vec<Intervention>), FlowError> {
+        let mut history = Vec::new();
+        let mut interventions = Vec::new();
+        let mut feedback: HashSet<SignalId> = HashSet::new();
+
+        for iteration in 1..=self.policy.max_iterations.max(1) {
+            self.design.reset_stats();
+            self.design.reset_state();
+            if iteration == 1 {
+                self.design.clear_graph();
+                self.design.record_graph(true);
+            }
+            sim(&self.design, iteration);
+            if iteration == 1 {
+                self.design.record_graph(false);
+                let graph = self.design.graph();
+                for sig in graph.defined_signals() {
+                    if graph.fan_in(sig).contains(&sig) {
+                        feedback.insert(sig);
+                    }
+                }
+            }
+
+            let mut analyses: Vec<MsbAnalysis> = self
+                .design
+                .reports()
+                .into_iter()
+                .map(|r| {
+                    let mut a = analyze_msb(&r, &self.policy);
+                    self.override_decision(&mut a);
+                    a
+                })
+                .collect();
+
+            // Which refinable signals still need a range() pin? Exploded
+            // feedback roots plus knowledge-based saturation choices. A
+            // non-feedback exploded signal is pinned only if no feedback
+            // root explains it (defensive fallback).
+            let any_feedback_exploded = analyses
+                .iter()
+                .any(|a| a.exploded && feedback.contains(&a.id) && self.refinable(a.id));
+            let pins: Vec<(SignalId, String, Interval)> = analyses
+                .iter()
+                .filter(|a| self.refinable(a.id))
+                .filter(|a| self.design.range_of(a.id).is_none())
+                .filter(|a| {
+                    let explosion_pin =
+                        a.exploded && (feedback.contains(&a.id) || !any_feedback_exploded);
+                    explosion_pin || self.force_saturate.contains(&a.id)
+                })
+                .filter_map(|a| {
+                    let s = a.stat?;
+                    let m = self.policy.auto_range_margin;
+                    let widened = Interval::new(s.lo - s.max_abs() * m, s.hi + s.max_abs() * m);
+                    Some((a.id, a.name.clone(), widened))
+                })
+                .collect();
+
+            // Re-apply overrides for signals pinned THIS iteration so the
+            // recorded history shows them as needing saturation.
+            for (id, ..) in &pins {
+                if !self.force_saturate.contains(id) {
+                    self.pinned_explosion.insert(*id);
+                }
+            }
+            for a in &mut analyses {
+                self.override_decision(a);
+            }
+
+            let still_exploded: Vec<String> = analyses
+                .iter()
+                .filter(|a| a.exploded && self.refinable(a.id))
+                .filter(|a| self.design.range_of(a.id).is_none())
+                .map(|a| a.name.clone())
+                .collect();
+            history.push(analyses);
+
+            if pins.is_empty() {
+                if still_exploded.is_empty() {
+                    return Ok((history, interventions));
+                }
+                return Err(FlowError::NotConverged {
+                    phase: "msb",
+                    iterations: iteration,
+                    unresolved: still_exploded,
+                });
+            }
+            if !self.policy.auto_range {
+                return Err(FlowError::NotConverged {
+                    phase: "msb",
+                    iterations: iteration,
+                    unresolved: pins.into_iter().map(|(_, n, _)| n).collect(),
+                });
+            }
+            for (id, name, itv) in pins {
+                self.design.set_range(id, itv.lo, itv.hi);
+                interventions.push(Intervention::AutoRange {
+                    signal: id,
+                    name,
+                    lo: itv.lo,
+                    hi: itv.hi,
+                    iteration,
+                });
+            }
+        }
+
+        let unresolved = history
+            .last()
+            .map(|a| {
+                a.iter()
+                    .filter(|x| x.exploded && self.refinable(x.id))
+                    .map(|x| x.name.clone())
+                    .collect()
+            })
+            .unwrap_or_default();
+        Err(FlowError::NotConverged {
+            phase: "msb",
+            iterations: self.policy.max_iterations,
+            unresolved,
+        })
+    }
+
+    /// Runs the LSB phase: iterate simulation + the §5.2 rule until no
+    /// refinable signal's error statistics diverge.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::NotConverged`] when divergence persists after the
+    /// iteration budget.
+    pub fn run_lsb(
+        &mut self,
+        mut sim: impl FnMut(&Design, usize),
+    ) -> Result<(Vec<Vec<LsbAnalysis>>, Vec<Intervention>), FlowError> {
+        let mut history = Vec::new();
+        let mut interventions = Vec::new();
+
+        for iteration in 1..=self.policy.max_iterations.max(1) {
+            self.design.reset_stats();
+            self.design.reset_state();
+            sim(&self.design, iteration);
+
+            let analyses: Vec<LsbAnalysis> = self
+                .design
+                .reports()
+                .iter()
+                .map(|r| analyze_lsb(r, &self.policy))
+                .collect();
+
+            // Divergence cascades downstream of its root; annotate ONE
+            // signal per iteration — registers (state elements, like the
+            // paper's NCO accumulator) before wires, ranked by their
+            // persistent σ-to-amplitude ratio — and let the next run show
+            // whether the rest resolves by itself.
+            let mut diverged: Vec<(SignalId, String, bool, f64)> = analyses
+                .iter()
+                .filter(|a| a.status == LsbStatus::Diverged && self.refinable(a.id))
+                .filter(|a| self.design.error_of(a.id).is_none())
+                .map(|a| {
+                    let r = self.design.report_by_id(a.id);
+                    let amplitude = r
+                        .stat
+                        .interval()
+                        .map(|i| i.max_abs())
+                        .unwrap_or(0.0)
+                        .max(1e-30);
+                    let is_reg = r.kind == fixref_sim::SignalKind::Register;
+                    (a.id, a.name.clone(), is_reg, a.std / amplitude)
+                })
+                .collect();
+            diverged.sort_by(|a, b| {
+                b.2.cmp(&a.2)
+                    .then(b.3.partial_cmp(&a.3).expect("finite ratios"))
+            });
+            let diverged: Vec<(SignalId, String)> = diverged
+                .into_iter()
+                .take(1)
+                .map(|(id, name, _, _)| (id, name))
+                .collect();
+
+            // σ consensus of the healthy signals guides the injected error
+            // magnitude; the policy fallback covers the cold start.
+            let sigma_guess = {
+                let mut sigmas: Vec<f64> = analyses
+                    .iter()
+                    .filter(|a| a.status == LsbStatus::Resolved)
+                    .map(|a| a.std)
+                    .filter(|s| s.is_finite() && *s > 0.0)
+                    .collect();
+                sigmas.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                if sigmas.is_empty() {
+                    (self.policy.fallback_error_lsb as f64).exp2() / 12f64.sqrt()
+                } else {
+                    sigmas[sigmas.len() / 2]
+                }
+            };
+
+            history.push(analyses);
+
+            if diverged.is_empty() {
+                return Ok((history, interventions));
+            }
+            if !self.policy.auto_error {
+                return Err(FlowError::NotConverged {
+                    phase: "lsb",
+                    iterations: iteration,
+                    unresolved: diverged.into_iter().map(|(_, n)| n).collect(),
+                });
+            }
+            for (id, name) in diverged {
+                self.design.set_error_sigma(id, sigma_guess);
+                interventions.push(Intervention::AutoError {
+                    signal: id,
+                    name,
+                    sigma: sigma_guess,
+                    iteration,
+                });
+            }
+        }
+
+        let unresolved = history
+            .last()
+            .map(|a| {
+                a.iter()
+                    .filter(|x| x.status == LsbStatus::Diverged && self.refinable(x.id))
+                    .map(|x| x.name.clone())
+                    .collect()
+            })
+            .unwrap_or_default();
+        Err(FlowError::NotConverged {
+            phase: "lsb",
+            iterations: self.policy.max_iterations,
+            unresolved,
+        })
+    }
+
+    /// Combines final MSB and LSB analyses into concrete types and applies
+    /// them to the design. Returns the applied `(signal, type)` pairs and
+    /// the names of signals left floating.
+    pub fn apply_types(
+        &mut self,
+        msb: &[MsbAnalysis],
+        lsb: &[LsbAnalysis],
+    ) -> (Vec<(SignalId, DType)>, Vec<String>) {
+        let mut types = Vec::new();
+        let mut unrefined = Vec::new();
+        // Exact signals (constant coefficients) carry no error statistics;
+        // giving them the finest LSB any *resolved* signal needs keeps
+        // their contribution below the datapath's own noise floor without
+        // blowing their wordlength to the literal's f64 granularity.
+        let finest_resolved = lsb
+            .iter()
+            .filter(|l| l.status == LsbStatus::Resolved)
+            .filter_map(|l| l.lsb)
+            .min();
+        for m in msb {
+            if !self.refinable(m.id) {
+                continue;
+            }
+            let l = lsb.iter().find(|l| l.id == m.id);
+            let decided_lsb = l.and_then(|l| {
+                let raw = l.lsb?;
+                Some(match (l.status == LsbStatus::Exact, finest_resolved) {
+                    (true, Some(fin)) => raw.max(fin),
+                    _ => raw,
+                })
+            });
+            let decided = m
+                .decided_msb()
+                .zip(decided_lsb)
+                .and_then(|(msb_pos, lsb_pos)| {
+                    // The LSB may be coarser than the MSB demands for
+                    // near-constant signals; never invert the positions.
+                    let lsb_pos = lsb_pos.min(msb_pos);
+                    DType::from_positions(
+                        format!("{}_q", m.name),
+                        msb_pos,
+                        lsb_pos,
+                        m.signedness,
+                        m.mode,
+                        l.map(|l| l.rounding).unwrap_or(self.policy.rounding),
+                    )
+                    .ok()
+                });
+            // A constant-zero signal (like the paper listing's `v[0] = 0`)
+            // carries no range or error information — any format holds it,
+            // so it gets a minimal one-bit type.
+            let decided = decided.or_else(|| {
+                let all_zero = m.stat.map(|i| i.lo == 0.0 && i.hi == 0.0).unwrap_or(false);
+                if all_zero {
+                    DType::from_positions(
+                        format!("{}_q", m.name),
+                        0,
+                        0,
+                        fixref_fixed::Signedness::TwosComplement,
+                        self.policy.nonsaturated_mode,
+                        self.policy.rounding,
+                    )
+                    .ok()
+                } else {
+                    None
+                }
+            });
+            match decided {
+                Some(t) => {
+                    self.design.set_dtype(m.id, Some(t.clone()));
+                    types.push((m.id, t));
+                }
+                None => unrefined.push(m.name.clone()),
+            }
+        }
+        (types, unrefined)
+    }
+
+    /// Runs one monitored simulation with all decided types applied and
+    /// collects overflow and precision findings.
+    pub fn verify(&mut self, mut sim: impl FnMut(&Design, usize)) -> VerifyOutcome {
+        self.design.reset_stats();
+        self.design.reset_state();
+        let _ = self.design.take_overflow_events();
+        sim(&self.design, 0);
+        let mut overflows = Vec::new();
+        let mut total = 0;
+        let mut saturation_events = 0;
+        let mut precision_loss = Vec::new();
+        for r in self.design.reports() {
+            if r.overflows > 0 {
+                // A saturating type absorbing excursions is doing its job;
+                // only wrap/error types overflowing is a failure.
+                let saturating = r
+                    .dtype
+                    .as_ref()
+                    .map(|d| d.overflow() == fixref_fixed::OverflowMode::Saturate)
+                    .unwrap_or(false);
+                if saturating {
+                    saturation_events += r.overflows;
+                } else {
+                    total += r.overflows;
+                    overflows.push((r.name.clone(), r.overflows));
+                }
+            }
+            if r.dtype.is_some() && r.precision_loss() && !self.locked.contains(&r.id) {
+                precision_loss.push(r.name.clone());
+            }
+        }
+        VerifyOutcome {
+            overflows,
+            total_overflows: total,
+            saturation_events,
+            precision_loss,
+        }
+    }
+
+    /// The full flow: MSB phase, LSB phase, type application,
+    /// verification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FlowError::NotConverged`] from either phase.
+    pub fn run(&mut self, mut sim: impl FnMut(&Design, usize)) -> Result<FlowOutcome, FlowError> {
+        let (msb_history, mut interventions) = self.run_msb(&mut sim)?;
+        let (lsb_history, lsb_iv) = self.run_lsb(&mut sim)?;
+        interventions.extend(lsb_iv);
+
+        let empty_msb = Vec::new();
+        let empty_lsb = Vec::new();
+        let final_msb = msb_history.last().unwrap_or(&empty_msb);
+        let final_lsb = lsb_history.last().unwrap_or(&empty_lsb);
+        let (types, unrefined) = self.apply_types(final_msb, final_lsb);
+        let verify = self.verify(&mut sim);
+
+        Ok(FlowOutcome {
+            msb_iterations: msb_history.len(),
+            lsb_iterations: lsb_history.len(),
+            msb_history,
+            lsb_history,
+            interventions,
+            types,
+            unrefined,
+            verify,
+        })
+    }
+}
+
+impl fmt::Debug for RefinementFlow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RefinementFlow")
+            .field("locked", &self.locked.len())
+            .field("force_saturate", &self.force_saturate.len())
+            .field("excluded", &self.excluded.len())
+            .finish()
+    }
+}
+
+impl FlowOutcome {
+    /// Renders a compact human-readable summary of the whole refinement:
+    /// iteration counts, interventions, decided types and verification
+    /// findings — the one-call report the examples print.
+    pub fn render_summary(&self, design: &Design) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "refined in {} MSB + {} LSB iterations",
+            self.msb_iterations, self.lsb_iterations
+        );
+        if !self.interventions.is_empty() {
+            let _ = writeln!(out, "automatic annotations:");
+            for iv in &self.interventions {
+                let _ = writeln!(out, "  {iv}");
+            }
+        }
+        let (forced, other) = self.saturation_counts();
+        let _ = writeln!(
+            out,
+            "saturations: {forced} forced by range explosion, {other} other"
+        );
+        let _ = writeln!(out, "decided types:");
+        for (id, t) in &self.types {
+            let _ = writeln!(out, "  {:<12} -> {t}", design.name_of(*id));
+        }
+        if !self.unrefined.is_empty() {
+            let _ = writeln!(out, "left floating: {}", self.unrefined.join(", "));
+        }
+        let _ = writeln!(
+            out,
+            "verification: {} overflows, {} saturation events{}",
+            self.verify.total_overflows,
+            self.verify.saturation_events,
+            if self.verify.precision_loss.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    ", precision loss on {}",
+                    self.verify.precision_loss.join(", ")
+                )
+            }
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod summary_tests {
+    use super::*;
+    use fixref_sim::SignalRef;
+
+    #[test]
+    fn summary_covers_all_sections() {
+        let d = Design::with_seed(4);
+        let t: DType = "<8,6,tc,st,rd>".parse().expect("valid");
+        let x = d.sig_typed("x", t);
+        let acc = d.reg("acc");
+        let (xi, ai) = (x.id(), acc.id());
+        let mut flow = RefinementFlow::new(d.clone(), crate::RefinePolicy::default());
+        let outcome = flow
+            .run(move |dd: &Design, _| {
+                let x = dd.sig_handle(xi);
+                let acc = dd.reg_handle(ai);
+                for i in 0..600 {
+                    x.set((i as f64 * 0.17).sin());
+                    // Adaptive-style multiplicative feedback: explodes.
+                    let xv = x.get();
+                    acc.set(acc.get() + 0.1 * xv.clone() * (xv - acc.get()));
+                    dd.tick();
+                }
+            })
+            .expect("converges");
+        let s = outcome.render_summary(&d);
+        assert!(s.contains("MSB + "));
+        assert!(s.contains("decided types:"));
+        assert!(s.contains("acc"));
+        assert!(s.contains("verification:"));
+        assert!(s.contains("automatic annotations:"));
+    }
+}

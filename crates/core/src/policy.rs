@@ -1,0 +1,216 @@
+//! Refinement policy knobs.
+
+use fixref_fixed::{OverflowMode, RoundingMode};
+
+/// Tunable parameters of the refinement rules.
+///
+/// The defaults reproduce the paper's evaluation: `k_lsb = 1` (the
+/// conservative end of the reported optimal range `[1, 4]`; smaller is
+/// more conservative — `k = 1` is the value consistent with the paper's
+/// own SQNR measurement, which shows well under 1 dB of refinement cost),
+/// automatic interventions enabled, two's-complement types.
+///
+/// # Example
+///
+/// ```
+/// use fixref_core::RefinePolicy;
+///
+/// let p = RefinePolicy::default().with_k_lsb(2.0).with_max_iterations(5);
+/// assert_eq!(p.k_lsb, 2.0);
+/// assert_eq!(p.max_iterations, 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefinePolicy {
+    /// The LSB rule constant `k` in `2^LSB ≤ k·σ` (paper §5.2,
+    /// empirically optimal in `[1, 4]`).
+    pub k_lsb: f64,
+    /// Propagated-minus-statistic MSB gap at or above which range
+    /// propagation is considered "very pessimistic" (rule *b*: switch to
+    /// saturation / explicit range) rather than a trade-off (rule *c*).
+    pub pessimism_gap: i32,
+    /// A propagated MSB above this value counts as range explosion even if
+    /// finite.
+    pub explosion_msb: i32,
+    /// A propagated-minus-statistic MSB gap at or above this value counts
+    /// as range explosion even when finite: the signature of an
+    /// accumulator whose propagated range grows with simulation length
+    /// (the paper's "2 feedback signals required saturation due to the
+    /// MSB explosion").
+    pub explosion_gap: i32,
+    /// Extra MSBs added on top of the statistic MSB when a signal is put
+    /// in saturation mode (safety margin for untested stimuli).
+    pub saturation_margin: i32,
+    /// In a rule-*c* trade-off, pick the (safe) propagated MSB when true,
+    /// else the (tight) statistic MSB with saturation.
+    pub tradeoff_prefers_propagation: bool,
+    /// Produced-error σ above this fraction of the signal's observed
+    /// amplitude marks the LSB statistics as divergent (paper §4.2).
+    pub divergence_ratio: f64,
+    /// Produced `|e|max` above this fraction of the signal's amplitude
+    /// also marks divergence — catching transient decorrelation glitches
+    /// (strobe slips) whose σ stays deceptively small.
+    pub divergence_max_ratio: f64,
+    /// Clamp for decided LSB positions (floor).
+    pub min_lsb: i32,
+    /// Clamp for decided LSB positions (ceiling).
+    pub max_lsb: i32,
+    /// Maximum refinement iterations per phase before giving up.
+    pub max_iterations: usize,
+    /// Overflow mode given to signals the rules leave non-saturated.
+    /// The paper uses error-typed during verification and wrap-around in
+    /// hardware; [`OverflowMode::Error`] keeps verification observable.
+    pub nonsaturated_mode: OverflowMode,
+    /// Rounding mode for decided types. [`RoundingMode::Floor`] is cheaper
+    /// hardware but shifts the error mean by half an LSB (paper §5.2).
+    pub rounding: RoundingMode,
+    /// Automatically insert `range()` annotations on exploded feedback
+    /// signals (iteration 2 of the paper's Table 1, done by hand there).
+    pub auto_range: bool,
+    /// Fractional widening applied to the statistic range when deriving an
+    /// automatic `range()` annotation (0.25 = 25 % margin on both sides).
+    pub auto_range_margin: f64,
+    /// Automatically insert `error()` annotations on LSB-divergent
+    /// feedback signals.
+    pub auto_error: bool,
+    /// LSB position used for an automatic `error()` annotation when no
+    /// non-divergent σ consensus exists yet.
+    pub fallback_error_lsb: i32,
+    /// Decide unsigned (`ns`) types for signals whose observed and
+    /// propagated ranges never go negative, saving the sign bit (the
+    /// paper's `vtype`). Off by default: the paper's tables use two's
+    /// complement throughout.
+    pub allow_unsigned: bool,
+    /// When set, recommend floor rounding (cheaper hardware) for signals
+    /// whose floor-induced mean shift `2^(LSB-1)` stays below this
+    /// fraction of their error σ; otherwise keep round-off (paper §5.2:
+    /// "if such a shift is unacceptable the signal must stay
+    /// round-typed").
+    pub floor_if_shift_below: Option<f64>,
+    /// Floor for the LSB of *exact* signals (zero error statistics, e.g.
+    /// constant coefficients): a literal like `-0.11` is dyadic only at
+    /// ~2^-56, which is not a sensible coefficient wordlength. Exact
+    /// signals never get an LSB below this floor.
+    pub exact_lsb_floor: i32,
+}
+
+impl Default for RefinePolicy {
+    fn default() -> Self {
+        RefinePolicy {
+            k_lsb: 1.0,
+            pessimism_gap: 5,
+            explosion_msb: 24,
+            explosion_gap: 8,
+            saturation_margin: 0,
+            tradeoff_prefers_propagation: true,
+            divergence_ratio: 0.25,
+            divergence_max_ratio: 0.5,
+            min_lsb: -48,
+            max_lsb: 16,
+            max_iterations: 8,
+            nonsaturated_mode: OverflowMode::Error,
+            rounding: RoundingMode::Round,
+            auto_range: true,
+            auto_range_margin: 0.25,
+            auto_error: true,
+            fallback_error_lsb: -10,
+            allow_unsigned: false,
+            floor_if_shift_below: None,
+            exact_lsb_floor: -16,
+        }
+    }
+}
+
+impl RefinePolicy {
+    /// Sets the LSB rule constant `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not strictly positive and finite.
+    pub fn with_k_lsb(mut self, k: f64) -> Self {
+        assert!(k > 0.0 && k.is_finite(), "k_lsb must be positive, got {k}");
+        self.k_lsb = k;
+        self
+    }
+
+    /// Sets the per-phase iteration budget.
+    pub fn with_max_iterations(mut self, n: usize) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Sets the rounding mode for decided types.
+    pub fn with_rounding(mut self, r: RoundingMode) -> Self {
+        self.rounding = r;
+        self
+    }
+
+    /// Sets the overflow mode used for non-saturated decided types.
+    pub fn with_nonsaturated_mode(mut self, m: OverflowMode) -> Self {
+        self.nonsaturated_mode = m;
+        self
+    }
+
+    /// Enables unsigned (`ns`) type decisions for non-negative signals.
+    pub fn with_unsigned(mut self) -> Self {
+        self.allow_unsigned = true;
+        self
+    }
+
+    /// Recommends floor rounding where the mean shift stays below
+    /// `fraction`·σ.
+    pub fn with_floor_below(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction >= 0.0 && fraction.is_finite(),
+            "invalid fraction {fraction}"
+        );
+        self.floor_if_shift_below = Some(fraction);
+        self
+    }
+
+    /// Disables the automatic `range()` / `error()` interventions (the
+    /// flow then only reports the problems, as a designer-in-the-loop
+    /// tool).
+    pub fn manual_interventions(mut self) -> Self {
+        self.auto_range = false;
+        self.auto_error = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let p = RefinePolicy::default();
+        assert_eq!(p.k_lsb, 1.0);
+        assert!(p.auto_range);
+        assert!(p.auto_error);
+        assert_eq!(p.rounding, RoundingMode::Round);
+        assert_eq!(p.nonsaturated_mode, OverflowMode::Error);
+        assert!(p.min_lsb < p.max_lsb);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let p = RefinePolicy::default()
+            .with_k_lsb(1.0)
+            .with_max_iterations(3)
+            .with_rounding(RoundingMode::Floor)
+            .with_nonsaturated_mode(OverflowMode::Wrap)
+            .manual_interventions();
+        assert_eq!(p.k_lsb, 1.0);
+        assert_eq!(p.max_iterations, 3);
+        assert_eq!(p.rounding, RoundingMode::Floor);
+        assert_eq!(p.nonsaturated_mode, OverflowMode::Wrap);
+        assert!(!p.auto_range);
+        assert!(!p.auto_error);
+    }
+
+    #[test]
+    #[should_panic(expected = "k_lsb must be positive")]
+    fn k_lsb_validated() {
+        let _ = RefinePolicy::default().with_k_lsb(0.0);
+    }
+}

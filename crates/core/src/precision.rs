@@ -1,0 +1,232 @@
+//! Consumed-vs-produced precision checks (paper §5.2).
+//!
+//! "Already quantized signals are checked for correctness of
+//! quantization. They bring different values of `e_c` and `e_p` … which
+//! yields information on consumed precision and produced precision." The
+//! classification:
+//!
+//! * `e_p ≈ e_c` — the signal's own quantization is transparent (it
+//!   quantizes below the incoming noise floor);
+//! * `e_p > e_c` — a **precision loss** due to this signal's quantization:
+//!   "the designer must resolve whether it is intentional or not";
+//! * `e_p < e_c` on a signal simulated with the `error()` method — the
+//!   injected model hides incoming error: "precision loss which might
+//!   cause instability … is detected in the feedback path".
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use fixref_sim::{SignalId, SignalReport};
+
+/// The §5.2 classification of one signal's error budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrecisionStatus {
+    /// Produced ≈ consumed: quantization transparent (or floating).
+    Preserving,
+    /// Produced σ clearly above consumed σ: this signal's quantizer
+    /// dominates — intentional?
+    QuantizationLoss,
+    /// Produced below consumed under an `error()` annotation: the model
+    /// masks incoming error; verify the feedback path's stability.
+    FeedbackSuspect,
+}
+
+impl fmt::Display for PrecisionStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PrecisionStatus::Preserving => "preserving",
+            PrecisionStatus::QuantizationLoss => "quantization-loss",
+            PrecisionStatus::FeedbackSuspect => "feedback-suspect",
+        })
+    }
+}
+
+/// One signal's consumed/produced error comparison.
+#[derive(Debug, Clone)]
+pub struct PrecisionCheck {
+    /// The checked signal.
+    pub id: SignalId,
+    /// Its name.
+    pub name: String,
+    /// Consumed error σ (`e_c`): the float-vs-fixed difference of the
+    /// values arriving at this signal.
+    pub consumed_std: f64,
+    /// Produced error σ (`e_p`): the difference after this signal's own
+    /// quantization (or `error()` injection).
+    pub produced_std: f64,
+    /// `e_p / e_c` (∞ when nothing was consumed but something produced).
+    pub ratio: f64,
+    /// The classification.
+    pub status: PrecisionStatus,
+}
+
+/// Tolerance band treated as "equal" in the comparison.
+const TOLERANCE: f64 = 1.25;
+
+/// Classifies one monitored signal per §5.2.
+pub fn analyze_precision(report: &SignalReport) -> PrecisionCheck {
+    let c = report.consumed.std();
+    let p = report.produced.std();
+    let ratio = if c > 0.0 {
+        p / c
+    } else if p > 0.0 {
+        f64::INFINITY
+    } else {
+        1.0
+    };
+    let status = if ratio > TOLERANCE {
+        PrecisionStatus::QuantizationLoss
+    } else if ratio < 1.0 / TOLERANCE && report.error_override.is_some() {
+        PrecisionStatus::FeedbackSuspect
+    } else {
+        PrecisionStatus::Preserving
+    };
+    PrecisionCheck {
+        id: report.id,
+        name: report.name.clone(),
+        consumed_std: c,
+        produced_std: p,
+        ratio,
+        status,
+    }
+}
+
+/// Classifies every signal of a design (call after a monitored run with
+/// the decided types applied).
+pub fn analyze_precision_all(reports: &[SignalReport]) -> Vec<PrecisionCheck> {
+    reports.iter().map(analyze_precision).collect()
+}
+
+/// Renders precision checks as an aligned table, flagged rows first.
+pub fn render_precision_table(checks: &[PrecisionCheck]) -> String {
+    let mut rows: Vec<&PrecisionCheck> = checks.iter().collect();
+    rows.sort_by_key(|c| match c.status {
+        PrecisionStatus::FeedbackSuspect => 0,
+        PrecisionStatus::QuantizationLoss => 1,
+        PrecisionStatus::Preserving => 2,
+    });
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>12} {:>8}  status",
+        "name", "consumed", "produced", "ratio"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(60));
+    for c in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12.3e} {:>12.3e} {:>8.2}  {}",
+            c.name, c.consumed_std, c.produced_std, c.ratio, c.status
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixref_fixed::{ErrorStats, Interval, RangeStats};
+    use fixref_sim::SignalKind;
+
+    fn report(consumed: &[f64], produced: &[f64], error_override: Option<f64>) -> SignalReport {
+        let mut c = ErrorStats::new();
+        for &e in consumed {
+            c.record(e);
+        }
+        let mut p = ErrorStats::new();
+        for &e in produced {
+            p.record(e);
+        }
+        SignalReport {
+            id: SignalId::from_raw(0),
+            name: "s".into(),
+            kind: SignalKind::Wire,
+            dtype: None,
+            range_override: None,
+            error_override,
+            stat: RangeStats::new(),
+            prop: Interval::EMPTY,
+            consumed: c,
+            produced: p,
+            overflows: 0,
+            reads: 0,
+            writes: consumed.len() as u64,
+            finest_lsb: None,
+        }
+    }
+
+    fn alternating(a: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| if i % 2 == 0 { a } else { -a }).collect()
+    }
+
+    #[test]
+    fn transparent_signal_preserves() {
+        let e = alternating(0.01, 100);
+        let c = analyze_precision(&report(&e, &e, None));
+        assert_eq!(c.status, PrecisionStatus::Preserving);
+        assert!((c.ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominating_quantizer_flags_loss() {
+        let c = analyze_precision(&report(
+            &alternating(0.001, 100),
+            &alternating(0.02, 100),
+            None,
+        ));
+        assert_eq!(c.status, PrecisionStatus::QuantizationLoss);
+        assert!(c.ratio > 10.0);
+    }
+
+    #[test]
+    fn error_override_masking_flags_feedback() {
+        // Produced far below consumed, under error(): the injected model
+        // hides the incoming difference.
+        let c = analyze_precision(&report(
+            &alternating(0.1, 100),
+            &alternating(0.001, 100),
+            Some(0.001),
+        ));
+        assert_eq!(c.status, PrecisionStatus::FeedbackSuspect);
+        // Without the override it reads as benign smoothing.
+        let c = analyze_precision(&report(
+            &alternating(0.1, 100),
+            &alternating(0.001, 100),
+            None,
+        ));
+        assert_eq!(c.status, PrecisionStatus::Preserving);
+    }
+
+    #[test]
+    fn zero_consumed_nonzero_produced_is_loss() {
+        let c = analyze_precision(&report(&[0.0; 50], &alternating(0.01, 50), None));
+        assert_eq!(c.status, PrecisionStatus::QuantizationLoss);
+        assert!(c.ratio.is_infinite());
+    }
+
+    #[test]
+    fn table_orders_flags_first() {
+        let checks = vec![
+            analyze_precision(&report(
+                &alternating(0.01, 10),
+                &alternating(0.01, 10),
+                None,
+            )),
+            analyze_precision(&report(
+                &alternating(0.001, 10),
+                &alternating(0.05, 10),
+                None,
+            )),
+            analyze_precision(&report(
+                &alternating(0.1, 10),
+                &alternating(0.001, 10),
+                Some(0.001),
+            )),
+        ];
+        let t = render_precision_table(&checks);
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[2].contains("feedback-suspect"), "{t}");
+        assert!(lines[3].contains("quantization-loss"), "{t}");
+        assert!(lines[4].contains("preserving"), "{t}");
+    }
+}

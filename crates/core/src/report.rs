@@ -1,0 +1,313 @@
+//! Text renderers reproducing the layout of the paper's Tables 1 and 2.
+
+use std::fmt::Write as _;
+
+use crate::lsb::{LsbAnalysis, LsbStatus};
+use crate::msb::MsbAnalysis;
+
+fn fmt_opt_f(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:>9.4}"),
+        None => format!("{:>9}", "-"),
+    }
+}
+
+fn fmt_opt_i(v: Option<i32>) -> String {
+    match v {
+        Some(x) => format!("{x:>4}"),
+        None => format!("{:>4}", "?"),
+    }
+}
+
+/// Renders MSB analyses in the column layout of the paper's Table 1:
+///
+/// ```text
+/// name #n | stat: min max msb | prop: min max msb | MSB
+/// ```
+///
+/// Unresolved entries print `?` in the decided column, exactly as the
+/// paper marks `w` and `b` after the first iteration.
+pub fn render_msb_table(analyses: &[MsbAnalysis]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6} | {:>9} {:>9} {:>4} | {:>9} {:>9} {:>4} | {:>4} mode",
+        "name", "#n", "min", "max", "msb", "min", "max", "msb", "MSB"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(86));
+    for a in analyses {
+        let (stat_min, stat_max) = match a.stat {
+            Some(i) => (Some(i.lo), Some(i.hi)),
+            None => (None, None),
+        };
+        // An exploded propagation prints as unknown, like the paper's "?"
+        // rows for `w` and `b` after the first iteration.
+        let (prop_min, prop_max) = match a.prop {
+            Some(i) if i.is_bounded() && !a.exploded => (Some(i.lo), Some(i.hi)),
+            _ => (None, None),
+        };
+        let decided = if a.exploded { None } else { a.decided_msb() };
+        let mode = if a.exploded {
+            "? (explosion)"
+        } else if !a.decision.is_resolved() {
+            "?"
+        } else if a.decision.is_saturated() {
+            "(st)"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6} | {} {} {} | {} {} {} | {} {}",
+            a.name,
+            a.accesses,
+            fmt_opt_f(stat_min),
+            fmt_opt_f(stat_max),
+            fmt_opt_i(a.stat_msb),
+            fmt_opt_f(prop_min),
+            fmt_opt_f(prop_max),
+            fmt_opt_i(if a.exploded { None } else { a.prop_msb }),
+            fmt_opt_i(decided),
+            mode
+        );
+    }
+    out
+}
+
+/// Renders LSB analyses in the column layout of the paper's Table 2:
+///
+/// ```text
+/// name #n | max_abs mean std | LSB
+/// ```
+pub fn render_lsb_table(analyses: &[LsbAnalysis]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6} | {:>11} {:>11} {:>11} | {:>4} status",
+        "name", "#n", "|e|max", "mean", "std", "LSB"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(70));
+    for a in analyses {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6} | {:>11.3e} {:>11.3e} {:>11.3e} | {} {}",
+            a.name,
+            a.assigns,
+            a.max_abs,
+            a.mean,
+            a.std,
+            fmt_opt_i(a.lsb),
+            match a.status {
+                LsbStatus::Resolved => "",
+                LsbStatus::Exact => "(exact)",
+                LsbStatus::Diverged => "(diverged)",
+                LsbStatus::NoData => "(no data)",
+            }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msb::MsbDecision;
+    use fixref_fixed::{Interval, OverflowMode};
+    use fixref_sim::SignalId;
+
+    fn msb_row(name: &str, decided: Option<i32>, saturated: bool) -> MsbAnalysis {
+        MsbAnalysis {
+            id: SignalId::from_raw(0),
+            name: name.into(),
+            accesses: 100,
+            stat: Some(Interval::new(-1.0, 1.0)),
+            stat_msb: Some(1),
+            prop: Some(Interval::new(-1.5, 1.5)),
+            prop_msb: Some(1),
+            exploded: false,
+            decision: match decided {
+                Some(m) if saturated => MsbDecision::Saturate {
+                    msb: m,
+                    guard: Interval::new(-2.0, 2.0),
+                    forced: false,
+                },
+                Some(m) => MsbDecision::Agree { msb: m },
+                None => MsbDecision::Unresolved {
+                    reason: "test".into(),
+                },
+            },
+            mode: if saturated {
+                OverflowMode::Saturate
+            } else {
+                OverflowMode::Error
+            },
+            signedness: fixref_fixed::Signedness::TwosComplement,
+        }
+    }
+
+    #[test]
+    fn msb_table_contains_rows_and_markers() {
+        let rows = vec![
+            msb_row("x", Some(1), false),
+            msb_row("b", Some(-2), true),
+            msb_row("w", None, false),
+        ];
+        let t = render_msb_table(&rows);
+        assert!(t.contains("name"));
+        assert!(t.contains("x"));
+        assert!(t.contains("(st)")); // saturated marker, as in the paper
+        assert!(t.contains('?')); // unresolved marker
+        assert_eq!(t.lines().count(), 2 + 3);
+    }
+
+    #[test]
+    fn lsb_table_formats_statistics() {
+        let rows = vec![
+            LsbAnalysis {
+                id: SignalId::from_raw(0),
+                name: "v[3]".into(),
+                assigns: 2000,
+                max_abs: 1.9e-2,
+                mean: -3.0e-4,
+                std: 7.0e-3,
+                lsb: Some(-6),
+                status: LsbStatus::Resolved,
+                precision_loss: false,
+                floor_mean_shift: Some(0.0078125),
+                rounding: fixref_fixed::RoundingMode::Round,
+            },
+            LsbAnalysis {
+                id: SignalId::from_raw(1),
+                name: "y".into(),
+                assigns: 2000,
+                max_abs: 0.0,
+                mean: 0.0,
+                std: 0.0,
+                lsb: Some(0),
+                status: LsbStatus::Exact,
+                precision_loss: false,
+                floor_mean_shift: Some(0.5),
+                rounding: fixref_fixed::RoundingMode::Round,
+            },
+        ];
+        let t = render_lsb_table(&rows);
+        assert!(t.contains("v[3]"));
+        assert!(t.contains("-6"));
+        assert!(t.contains("(exact)"));
+        assert!(t.contains("e-3") || t.contains("e-03") || t.contains("7e"));
+    }
+}
+
+/// Renders MSB analyses as CSV (header + one row per signal), for
+/// spreadsheet/scripted post-processing of the refinement results.
+pub fn msb_table_csv(analyses: &[MsbAnalysis]) -> String {
+    let mut out = String::from(
+        "name,accesses,stat_min,stat_max,stat_msb,prop_min,prop_max,prop_msb,\
+         exploded,decided_msb,saturated\n",
+    );
+    let opt_f = |v: Option<f64>| v.map(|x| x.to_string()).unwrap_or_default();
+    let opt_i = |v: Option<i32>| v.map(|x| x.to_string()).unwrap_or_default();
+    for a in analyses {
+        let (smin, smax) = a
+            .stat
+            .map(|i| (Some(i.lo), Some(i.hi)))
+            .unwrap_or((None, None));
+        let (pmin, pmax) = match a.prop {
+            Some(i) if i.is_bounded() && !a.exploded => (Some(i.lo), Some(i.hi)),
+            _ => (None, None),
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{}",
+            a.name,
+            a.accesses,
+            opt_f(smin),
+            opt_f(smax),
+            opt_i(a.stat_msb),
+            opt_f(pmin),
+            opt_f(pmax),
+            opt_i(if a.exploded { None } else { a.prop_msb }),
+            a.exploded,
+            opt_i(if a.exploded { None } else { a.decided_msb() }),
+            a.decision.is_saturated()
+        );
+    }
+    out
+}
+
+/// Renders LSB analyses as CSV.
+pub fn lsb_table_csv(analyses: &[LsbAnalysis]) -> String {
+    let mut out = String::from("name,assigns,max_abs,mean,std,lsb,status,rounding\n");
+    for a in analyses {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            a.name,
+            a.assigns,
+            a.max_abs,
+            a.mean,
+            a.std,
+            a.lsb.map(|l| l.to_string()).unwrap_or_default(),
+            a.status,
+            a.rounding
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+    use crate::msb::MsbDecision;
+    use fixref_fixed::{Interval, OverflowMode};
+    use fixref_sim::SignalId;
+
+    #[test]
+    fn msb_csv_rows_and_header() {
+        let rows = vec![MsbAnalysis {
+            id: SignalId::from_raw(0),
+            name: "w".into(),
+            accesses: 42,
+            stat: Some(Interval::new(-1.0, 1.5)),
+            stat_msb: Some(1),
+            prop: Some(Interval::UNBOUNDED),
+            prop_msb: None,
+            exploded: true,
+            decision: MsbDecision::Saturate {
+                msb: 1,
+                guard: Interval::new(-2.0, 3.0),
+                forced: true,
+            },
+            mode: OverflowMode::Saturate,
+            signedness: fixref_fixed::Signedness::TwosComplement,
+        }];
+        let csv = msb_table_csv(&rows);
+        let mut lines = csv.lines();
+        assert!(lines.next().expect("header").starts_with("name,accesses"));
+        let row = lines.next().expect("one row");
+        assert!(row.starts_with("w,42,-1,1.5,1,"));
+        assert!(row.contains("true"));
+        // Exploded propagation leaves prop/decided cells empty.
+        assert!(row.contains(",,,true,,"), "{row}");
+    }
+
+    #[test]
+    fn lsb_csv_rows() {
+        let rows = vec![LsbAnalysis {
+            id: SignalId::from_raw(1),
+            name: "y".into(),
+            assigns: 10,
+            max_abs: 0.0,
+            mean: 0.0,
+            std: 0.0,
+            lsb: Some(0),
+            status: LsbStatus::Exact,
+            precision_loss: false,
+            floor_mean_shift: Some(0.5),
+            rounding: fixref_fixed::RoundingMode::Round,
+        }];
+        let csv = lsb_table_csv(&rows);
+        assert!(csv.starts_with("name,assigns"));
+        assert!(csv.contains("y,10,0,0,0,0,exact,rd"));
+    }
+}

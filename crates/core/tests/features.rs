@@ -1,0 +1,142 @@
+//! Tests of the optional refinement features: unsigned type decisions and
+//! the adaptive round-vs-floor rule.
+
+use fixref_core::{RefinePolicy, RefinementFlow};
+use fixref_fixed::{DType, RoundingMode, Signedness};
+use fixref_sim::{Design, SignalId, SignalRef};
+
+/// A magnitude-processing pipeline: `mag = |x|`, `env = 0.9*env + 0.1*mag`
+/// — both strictly non-negative.
+fn build_magnitude() -> (Design, SignalId, SignalId, SignalId) {
+    let d = Design::with_seed(77);
+    let t: DType = "<8,6,tc,st,rd>".parse().expect("valid");
+    let x = d.sig_typed("x", t);
+    let mag = d.sig("mag");
+    let env = d.reg("env");
+    (d.clone(), x.id(), mag.id(), env.id())
+}
+
+fn magnitude_stim(x: SignalId, mag: SignalId, env: SignalId) -> impl FnMut(&Design, usize) {
+    move |d: &Design, _| {
+        let x = d.sig_handle(x);
+        let mag = d.sig_handle(mag);
+        let env = d.reg_handle(env);
+        for i in 0..1500 {
+            x.set((i as f64 * 0.13).sin() * 1.2);
+            mag.set(x.get().abs());
+            env.set(env.get() * 0.9 + mag.get() * 0.1);
+            d.tick();
+        }
+    }
+}
+
+#[test]
+fn unsigned_disabled_by_default() {
+    let (d, x, mag, env) = build_magnitude();
+    let mut flow = RefinementFlow::new(d, RefinePolicy::default());
+    let outcome = flow.run(magnitude_stim(x, mag, env)).expect("converges");
+    for (_, t) in &outcome.types {
+        assert_eq!(t.signedness(), Signedness::TwosComplement);
+    }
+}
+
+#[test]
+fn unsigned_types_decided_for_nonnegative_signals() {
+    let (d, x, mag, env) = build_magnitude();
+    let mut flow = RefinementFlow::new(d.clone(), RefinePolicy::default().with_unsigned());
+    let outcome = flow.run(magnitude_stim(x, mag, env)).expect("converges");
+
+    let mag_t = outcome.type_of(mag).expect("mag typed");
+    let env_t = outcome.type_of(env).expect("env typed");
+    assert_eq!(mag_t.signedness(), Signedness::Unsigned, "{mag_t}");
+    assert_eq!(env_t.signedness(), Signedness::Unsigned, "{env_t}");
+    // Unsigned must not lose range: verification is still clean.
+    assert!(outcome.verify.is_overflow_free());
+    assert_eq!(mag_t.min_value(), 0.0);
+}
+
+#[test]
+fn unsigned_saves_a_bit_over_twos_complement() {
+    // Same workload refined both ways: the unsigned types spend one bit
+    // less for the same coverage.
+    let run = |policy: RefinePolicy| {
+        let (d, x, mag, env) = build_magnitude();
+        let mut flow = RefinementFlow::new(d, policy);
+        let outcome = flow.run(magnitude_stim(x, mag, env)).expect("converges");
+        let t = outcome.type_of(mag).expect("typed").clone();
+        (t.n(), t.max_value())
+    };
+    let (n_tc, max_tc) = run(RefinePolicy::default());
+    let (n_ns, max_ns) = run(RefinePolicy::default().with_unsigned());
+    assert_eq!(n_ns, n_tc - 1, "unsigned saves the sign bit");
+    // Coverage of the positive side is comparable.
+    assert!((max_ns - max_tc).abs() < max_tc * 0.51 + 1e-9);
+}
+
+#[test]
+fn signed_signals_never_become_unsigned() {
+    // x swings negative: even with the policy enabled it stays tc.
+    let d = Design::with_seed(78);
+    let x = d.sig("x");
+    let y = d.sig("y");
+    let (xi, yi) = (x.id(), y.id());
+    let mut flow = RefinementFlow::new(d, RefinePolicy::default().with_unsigned());
+    let outcome = flow
+        .run(move |d: &Design, _| {
+            let x = d.sig_handle(xi);
+            let y = d.sig_handle(yi);
+            for i in 0..500 {
+                x.set((i as f64 * 0.2).sin());
+                y.set(x.get() * 0.5);
+            }
+        })
+        .expect("converges");
+    for (_, t) in &outcome.types {
+        assert_eq!(t.signedness(), Signedness::TwosComplement, "{t}");
+    }
+}
+
+#[test]
+fn adaptive_floor_rule_tracks_shift_fraction() {
+    // With a generous fraction every resolved signal floors; with a tiny
+    // fraction nothing does. The default k = 1 puts the half-LSB shift at
+    // 0.25σ..0.5σ, so 1.0 accepts and 0.01 rejects.
+    let run = |policy: RefinePolicy| {
+        let (d, x, mag, env) = build_magnitude();
+        let mut flow = RefinementFlow::new(d, policy);
+        let outcome = flow.run(magnitude_stim(x, mag, env)).expect("converges");
+        outcome
+            .types
+            .iter()
+            .map(|(_, t)| t.rounding())
+            .collect::<Vec<_>>()
+    };
+    let generous = run(RefinePolicy::default().with_floor_below(1.0));
+    assert!(generous.contains(&RoundingMode::Floor), "{generous:?}");
+    let strict = run(RefinePolicy::default().with_floor_below(0.01));
+    assert!(
+        strict.iter().all(|r| *r == RoundingMode::Round),
+        "{strict:?}"
+    );
+}
+
+#[test]
+fn floor_everywhere_biases_the_mean_error() {
+    // Refine twice; with floor types the verification run's produced mean
+    // error must be biased relative to round types.
+    let run = |rounding: RoundingMode| {
+        let (d, x, mag, env) = build_magnitude();
+        let policy = RefinePolicy::default().with_rounding(rounding);
+        let mut flow = RefinementFlow::new(d.clone(), policy);
+        flow.run(magnitude_stim(x, mag, env)).expect("converges");
+        // The verification run already happened inside run(); read env's
+        // produced mean from the design.
+        d.report_by_id(env).produced.mean().abs()
+    };
+    let round_bias = run(RoundingMode::Round);
+    let floor_bias = run(RoundingMode::Floor);
+    assert!(
+        floor_bias > round_bias * 3.0,
+        "floor bias {floor_bias} vs round {round_bias}"
+    );
+}

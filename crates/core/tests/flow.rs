@@ -1,0 +1,281 @@
+//! End-to-end tests of the refinement flow on a miniature adaptive system
+//! exhibiting the paper's two failure modes: MSB range explosion on a
+//! feedback accumulator and LSB error divergence on a sensitive feedback
+//! signal.
+
+use fixref_core::{
+    render_lsb_table, render_msb_table, FlowError, Intervention, LsbStatus, RefinePolicy,
+    RefinementFlow,
+};
+use fixref_fixed::DType;
+use fixref_sim::{Design, SignalId, SignalRef};
+
+/// Builds the miniature system:
+///   x   : typed input (<8,6,tc>), amplitude ~1
+///   acc : LMS-style adaptive coefficient, acc += 0.1*x*(x - acc*x) —
+///         converges to 1 in simulation, but EXPLODES under interval
+///         propagation (multiplicative feedback, like the paper's `b`)
+///   y   : output, y = acc + x (explodes transitively until acc is pinned)
+fn build(seed: u64) -> (Design, SignalId, SignalId, SignalId) {
+    let d = Design::with_seed(seed);
+    let t_in: DType = "<8,6,tc,st,rd>".parse().expect("valid dtype");
+    let x = d.sig_typed("x", t_in);
+    let acc = d.reg("acc");
+    let y = d.sig("y");
+    (d.clone(), x.id(), acc.id(), y.id())
+}
+
+fn stimulus(xid: SignalId, accid: SignalId, yid: SignalId) -> impl FnMut(&Design, usize) {
+    move |d: &Design, _iter: usize| {
+        let x = d.sig_handle(xid);
+        let acc = d.reg_handle(accid);
+        let y = d.sig_handle(yid);
+        for i in 0..600 {
+            x.set((i as f64 * 0.17).sin() * 0.9);
+            let xv = x.get();
+            acc.set(acc.get() + 0.1 * xv.clone() * (xv.clone() - acc.get() * xv));
+            y.set(acc.get() + x.get());
+            d.tick();
+        }
+    }
+}
+
+#[test]
+fn msb_phase_converges_in_two_iterations_with_auto_range() {
+    let (d, x, acc, y) = build(1);
+    let mut flow = RefinementFlow::new(d, RefinePolicy::default());
+    let (history, interventions) = flow.run_msb(stimulus(x, acc, y)).expect("converges");
+
+    // Iteration 1 finds the explosion, iteration 2 resolves — exactly the
+    // paper's Table 1 narrative.
+    assert_eq!(history.len(), 2, "expected 2 MSB iterations");
+    let first = &history[0];
+    let acc_first = first.iter().find(|a| a.name == "acc").expect("acc present");
+    assert!(
+        acc_first.exploded,
+        "adaptive coefficient must explode interval propagation"
+    );
+
+    let last = history.last().expect("non-empty history");
+    for a in last {
+        assert!(
+            a.decision.is_resolved(),
+            "{} unresolved: {}",
+            a.name,
+            a.decision
+        );
+        assert!(!a.exploded, "{} still exploded", a.name);
+    }
+
+    // Exactly one auto-range intervention, on acc — y's inherited
+    // explosion resolves by itself, like `w` in the paper's Table 1.
+    assert_eq!(interventions.len(), 1, "interventions: {interventions:?}");
+    match &interventions[0] {
+        Intervention::AutoRange {
+            name,
+            lo,
+            hi,
+            iteration,
+            ..
+        } => {
+            assert_eq!(name, "acc");
+            assert_eq!(*iteration, 1);
+            assert!(*lo < 0.0 && *hi > 0.0);
+        }
+        other => panic!("expected AutoRange, got {other}"),
+    }
+}
+
+#[test]
+fn msb_phase_errors_without_auto_range() {
+    let (d, x, acc, y) = build(2);
+    let mut flow = RefinementFlow::new(d, RefinePolicy::default().manual_interventions());
+    let err = flow
+        .run_msb(stimulus(x, acc, y))
+        .expect_err("cannot converge");
+    match err {
+        FlowError::NotConverged {
+            phase, unresolved, ..
+        } => {
+            assert_eq!(phase, "msb");
+            assert_eq!(unresolved, vec!["acc".to_string()]);
+        }
+    }
+}
+
+#[test]
+fn lsb_phase_resolves_all_signals() {
+    let (d, x, acc, y) = build(3);
+    let mut flow = RefinementFlow::new(d, RefinePolicy::default());
+    let (_, _) = flow.run_msb(stimulus(x, acc, y)).expect("msb converges");
+    let (history, _) = flow.run_lsb(stimulus(x, acc, y)).expect("lsb converges");
+    let last = history.last().expect("non-empty");
+    for a in last {
+        assert_ne!(a.status, LsbStatus::NoData, "{} has no data", a.name);
+        assert_ne!(a.status, LsbStatus::Diverged, "{} diverged", a.name);
+    }
+    // x is quantized at f=6: its produced sigma is ~2^-6/sqrt(12) and its
+    // decided LSB (k=4) lands at -6..-7.
+    let xa = last.iter().find(|a| a.name == "x").expect("x present");
+    let l = xa.lsb.expect("resolved");
+    assert!((-8..=-5).contains(&l), "x lsb {l}");
+}
+
+#[test]
+fn full_run_types_everything_and_verifies_clean() {
+    let (d, x, acc, y) = build(4);
+    let mut flow = RefinementFlow::new(d.clone(), RefinePolicy::default());
+    let outcome = flow.run(stimulus(x, acc, y)).expect("flow converges");
+
+    assert_eq!(outcome.msb_iterations, 2);
+    assert_eq!(outcome.lsb_iterations, 1);
+    // x is locked (input type), acc and y get decided types.
+    assert_eq!(outcome.types.len(), 2);
+    assert!(
+        outcome.unrefined.is_empty(),
+        "unrefined: {:?}",
+        outcome.unrefined
+    );
+    assert!(outcome.type_of(acc).is_some());
+    assert!(outcome.type_of(y).is_some());
+    assert!(
+        outcome.type_of(x).is_none(),
+        "locked input must not be re-typed"
+    );
+
+    // Sanity of the decided formats: y ~ amplitude 2 -> msb 1; fractional
+    // bits in a plausible band around the input's 6.
+    let ty = outcome.type_of(y).expect("typed");
+    assert!((0..=2).contains(&ty.msb()), "y msb {}", ty.msb());
+    assert!((4..=10).contains(&ty.f()), "y f {}", ty.f());
+
+    // Verification with all types applied is overflow-free.
+    assert!(
+        outcome.verify.is_overflow_free(),
+        "overflows: {:?}",
+        outcome.verify.overflows
+    );
+
+    // The design now carries the types.
+    assert!(d.dtype_of(y).is_some());
+
+    // Tables render with every signal.
+    let msb_table = render_msb_table(outcome.msb());
+    assert!(msb_table.contains("acc") && msb_table.contains("(st)"));
+    let lsb_table = render_lsb_table(outcome.lsb());
+    assert!(lsb_table.contains('y'));
+}
+
+#[test]
+fn flow_is_deterministic() {
+    let run = |seed| {
+        let (d, x, acc, y) = build(seed);
+        let mut flow = RefinementFlow::new(d, RefinePolicy::default());
+        let outcome = flow.run(stimulus(x, acc, y)).expect("converges");
+        outcome
+            .types
+            .iter()
+            .map(|(id, t)| (id.raw(), t.n(), t.f()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(9), run(9));
+}
+
+#[test]
+fn force_saturate_marks_signal_saturated() {
+    let (d, x, acc, y) = build(5);
+    let mut flow = RefinementFlow::new(d, RefinePolicy::default());
+    flow.force_saturate(y);
+    let outcome = flow.run(stimulus(x, acc, y)).expect("converges");
+    let ya = outcome
+        .msb()
+        .iter()
+        .find(|a| a.name == "y")
+        .expect("y present");
+    assert!(ya.decision.is_saturated());
+    assert!(
+        !ya.decision.is_forced_saturation(),
+        "knowledge-based, not explosion-forced"
+    );
+    let ty = outcome.type_of(y).expect("typed");
+    assert_eq!(ty.overflow(), fixref_fixed::OverflowMode::Saturate);
+    // Counted in the (forced, other) split like the complex example.
+    let (forced, other) = outcome.saturation_counts();
+    assert_eq!(forced, 1, "acc was pinned after explosion");
+    assert_eq!(other, 1, "y is the knowledge-based saturation");
+}
+
+#[test]
+fn excluded_signals_stay_floating() {
+    let (d, x, acc, y) = build(6);
+    let mut flow = RefinementFlow::new(d.clone(), RefinePolicy::default());
+    flow.exclude(y);
+    let outcome = flow.run(stimulus(x, acc, y)).expect("converges");
+    assert!(outcome.type_of(y).is_none());
+    assert!(d.dtype_of(y).is_none());
+    assert!(outcome.type_of(acc).is_some());
+}
+
+#[test]
+fn lsb_divergence_triggers_auto_error() {
+    // A chaotic feedback signal: the logistic map amplifies the input's
+    // quantization error exponentially, so the float and fixed paths
+    // decorrelate completely — the statistics become irrelevant, the
+    // paper's divergence case.
+    let d = Design::with_seed(7);
+    let t_in: DType = "<8,6,tc,st,rd>".parse().expect("valid");
+    let x = d.sig_typed("x", t_in);
+    let drift = d.reg("drift");
+    let (xid, did) = (x.id(), drift.id());
+
+    let sim = move |d: &Design, _: usize| {
+        let x = d.sig_handle(xid);
+        let drift = d.reg_handle(did);
+        for i in 0..600 {
+            x.set((i as f64 * 0.3).sin() * 0.5);
+            let seeded = drift.get() + 0.01 * x.get();
+            let next = 3.9 * seeded.clone() * (1.0 - seeded);
+            drift.set(next.min(0.99.into()).max(0.01.into()));
+            d.tick();
+        }
+    };
+
+    let mut flow = RefinementFlow::new(d, RefinePolicy::default());
+    let (_, _) = flow.run_msb(sim).expect("msb converges");
+    let (history, interventions) = flow.run_lsb(sim).expect("lsb converges after error()");
+
+    assert!(
+        history.len() >= 2,
+        "divergence must cost at least one extra iteration"
+    );
+    let first = &history[0];
+    let drift_first = first
+        .iter()
+        .find(|a| a.name == "drift")
+        .expect("drift present");
+    assert_eq!(drift_first.status, LsbStatus::Diverged);
+
+    assert!(interventions
+        .iter()
+        .any(|iv| matches!(iv, Intervention::AutoError { name, .. } if name == "drift")));
+
+    let last = history.last().expect("non-empty");
+    let drift_last = last
+        .iter()
+        .find(|a| a.name == "drift")
+        .expect("drift present");
+    assert_eq!(drift_last.status, LsbStatus::Resolved);
+    assert!(drift_last.lsb.is_some());
+}
+
+#[test]
+fn mean_msb_overhead_reports_tradeoff_cost() {
+    let (d, x, acc, y) = build(8);
+    let mut flow = RefinementFlow::new(d, RefinePolicy::default());
+    let outcome = flow.run(stimulus(x, acc, y)).expect("converges");
+    // Overhead is defined over the non-saturated refined signals; it is a
+    // small non-negative number of bits (paper: 0.22 on the big design).
+    if let Some(overhead) = outcome.mean_msb_overhead() {
+        assert!((0.0..=3.0).contains(&overhead), "overhead {overhead}");
+    }
+}

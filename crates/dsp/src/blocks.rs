@@ -1,0 +1,359 @@
+//! Reusable instrumented building blocks.
+//!
+//! The example models (`lms`, `timing_loop`, `qam`) write their dataflow
+//! out by hand, exactly like the paper's C listings. For composing new
+//! designs, this module packages the recurring structures — delay line,
+//! FIR with named partial sums, biquad, accumulator — as ready-made
+//! instrumented blocks: each declares its signals under a name prefix and
+//! exposes a `step` that performs one clock cycle of dataflow.
+//!
+//! # Example
+//!
+//! ```
+//! use fixref_dsp::blocks::FirBlock;
+//! use fixref_sim::Design;
+//!
+//! let d = Design::new();
+//! let fir = FirBlock::new(&d, "mf", &[0.25, 0.5, 0.25]);
+//! fir.init();
+//! let mut last = 0.0;
+//! for x in [1.0, 0.0, 0.0, 0.0] {
+//!     last = fir.step(x.into()).flt();
+//!     d.tick();
+//! }
+//! // Impulse response emerges one cycle late (registered delay line).
+//! assert_eq!(last, 0.25);
+//! ```
+
+use fixref_sim::{Design, Reg, RegArray, Sig, SigArray, SignalId, SignalRef, Value};
+
+/// A registered delay line: `len` taps shifted every clock tick.
+#[derive(Debug, Clone)]
+pub struct DelayLine {
+    taps: RegArray,
+}
+
+impl DelayLine {
+    /// Declares `"<prefix>[0..len]"` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if names are taken or `len == 0`.
+    pub fn new(design: &Design, prefix: &str, len: usize) -> Self {
+        assert!(len > 0, "delay line needs at least one tap");
+        DelayLine {
+            taps: design.reg_array(prefix, len),
+        }
+    }
+
+    /// Shifts `input` in (takes effect at the next tick).
+    pub fn shift(&self, input: Value) {
+        self.taps.at(0).set(input);
+        for i in 1..self.taps.len() {
+            self.taps.at(i).set(self.taps.at(i - 1).get());
+        }
+    }
+
+    /// Reads tap `i` (pre-tick value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn tap(&self, i: usize) -> Value {
+        self.taps.at(i).get()
+    }
+
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Whether the line has no taps (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.taps.is_empty()
+    }
+
+    /// Ids of the tap registers.
+    pub fn signal_ids(&self) -> Vec<SignalId> {
+        self.taps.iter().map(|r| r.id()).collect()
+    }
+}
+
+/// An instrumented FIR: coefficient signals, a registered delay line and
+/// named partial sums — the structure of the paper's equalizer FIR.
+#[derive(Debug, Clone)]
+pub struct FirBlock {
+    coefficients: Vec<f64>,
+    c: SigArray,
+    d: DelayLine,
+    v: SigArray,
+}
+
+impl FirBlock {
+    /// Declares `"<prefix>_c[i]"`, `"<prefix>_d[i]"`, `"<prefix>_v[i]"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if names are taken or `taps` is empty.
+    pub fn new(design: &Design, prefix: &str, taps: &[f64]) -> Self {
+        assert!(!taps.is_empty(), "FIR needs at least one tap");
+        FirBlock {
+            coefficients: taps.to_vec(),
+            c: design.sig_array(&format!("{prefix}_c"), taps.len()),
+            d: DelayLine::new(design, &format!("{prefix}_d"), taps.len()),
+            v: design.sig_array(&format!("{prefix}_v"), taps.len() + 1),
+        }
+    }
+
+    /// Loads the coefficients (call after every `reset_state`).
+    pub fn init(&self) {
+        for (i, &coef) in self.coefficients.iter().enumerate() {
+            self.c.at(i).set(coef);
+        }
+    }
+
+    /// One cycle: shifts `input` in and returns the filter output
+    /// computed from the pre-tick delay line (one cycle of latency).
+    pub fn step(&self, input: Value) -> Value {
+        self.d.shift(input);
+        self.v.at(0).set(0.0);
+        let n = self.d.len();
+        for i in 0..n {
+            self.v
+                .at(i + 1)
+                .set(self.v.at(i).get() + self.d.tap(i) * self.c.at(i).get());
+        }
+        self.v.at(n).get()
+    }
+
+    /// Handle to the output partial sum.
+    pub fn output(&self) -> &Sig {
+        self.v.at(self.d.len())
+    }
+
+    /// Ids of every block signal.
+    pub fn signal_ids(&self) -> Vec<SignalId> {
+        let mut ids: Vec<SignalId> = self.c.iter().map(|s| s.id()).collect();
+        ids.extend(self.d.signal_ids());
+        ids.extend(self.v.iter().map(|s| s.id()));
+        ids
+    }
+}
+
+/// An instrumented direct-form-I biquad.
+#[derive(Debug, Clone)]
+pub struct BiquadBlock {
+    b: [f64; 3],
+    a: [f64; 2],
+    x1: Reg,
+    x2: Reg,
+    y1: Reg,
+    y2: Reg,
+    y: Sig,
+}
+
+impl BiquadBlock {
+    /// Declares `"<prefix>_{x1,x2,y1,y2,y}"` from explicit coefficients
+    /// (`a0 = 1` implied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if names are taken.
+    pub fn new(design: &Design, prefix: &str, b: [f64; 3], a: [f64; 2]) -> Self {
+        BiquadBlock {
+            b,
+            a,
+            x1: design.reg(&format!("{prefix}_x1")),
+            x2: design.reg(&format!("{prefix}_x2")),
+            y1: design.reg(&format!("{prefix}_y1")),
+            y2: design.reg(&format!("{prefix}_y2")),
+            y: design.sig(&format!("{prefix}_y")),
+        }
+    }
+
+    /// One cycle: consumes `input`, returns the section output.
+    pub fn step(&self, input: Value) -> Value {
+        self.y.set(
+            self.b[0] * input.clone() + self.b[1] * self.x1.get() + self.b[2] * self.x2.get()
+                - self.a[0] * self.y1.get()
+                - self.a[1] * self.y2.get(),
+        );
+        self.x2.set(self.x1.get());
+        self.x1.set(input);
+        self.y2.set(self.y1.get());
+        self.y1.set(self.y.get());
+        self.y.get()
+    }
+
+    /// Handle to the output signal.
+    pub fn output(&self) -> &Sig {
+        &self.y
+    }
+
+    /// Ids of every block signal.
+    pub fn signal_ids(&self) -> Vec<SignalId> {
+        vec![
+            self.x1.id(),
+            self.x2.id(),
+            self.y1.id(),
+            self.y2.id(),
+            self.y.id(),
+        ]
+    }
+}
+
+/// An instrumented leaky accumulator `acc ← leak·acc + input` — the
+/// canonical rule-b (saturation) candidate when `leak = 1`.
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    leak: f64,
+    acc: Reg,
+}
+
+impl Accumulator {
+    /// Declares `"<prefix>"` as the accumulator register. `leak = 1.0`
+    /// gives a pure integrator (range propagation will explode, as the
+    /// refinement flow expects).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is taken.
+    pub fn new(design: &Design, prefix: &str, leak: f64) -> Self {
+        Accumulator {
+            leak,
+            acc: design.reg(prefix),
+        }
+    }
+
+    /// One cycle: accumulates `input`, returning the pre-tick state.
+    pub fn step(&self, input: Value) -> Value {
+        self.acc.set(self.leak * self.acc.get() + input);
+        self.acc.get()
+    }
+
+    /// Handle to the state register.
+    pub fn state(&self) -> &Reg {
+        &self.acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fir::Fir;
+    use crate::iir::Biquad;
+
+    #[test]
+    fn delay_line_shifts_per_tick() {
+        let d = Design::new();
+        let line = DelayLine::new(&d, "dl", 3);
+        assert_eq!(line.len(), 3);
+        assert!(!line.is_empty());
+        for step in 1..=4 {
+            line.shift((step as f64).into());
+            d.tick();
+        }
+        assert_eq!(line.tap(0).flt(), 4.0);
+        assert_eq!(line.tap(1).flt(), 3.0);
+        assert_eq!(line.tap(2).flt(), 2.0);
+        assert_eq!(line.signal_ids().len(), 3);
+    }
+
+    #[test]
+    fn fir_block_matches_golden_with_one_cycle_latency() {
+        let taps = [0.3, -0.2, 0.5, 0.1];
+        let d = Design::new();
+        let blk = FirBlock::new(&d, "f", &taps);
+        blk.init();
+        let mut golden = Fir::new(&taps);
+        let mut prev_golden = 0.0;
+        for i in 0..40 {
+            let x = ((i as f64) * 0.7).sin();
+            let y = blk.step(x.into()).flt();
+            assert!((y - prev_golden).abs() < 1e-12, "step {i}");
+            prev_golden = golden.push(x);
+            d.tick();
+        }
+        assert_eq!(blk.signal_ids().len(), 4 + 4 + 5);
+    }
+
+    #[test]
+    fn biquad_block_matches_golden() {
+        let proto = Biquad::lowpass(0.1, 0.707);
+        let d = Design::new();
+        let blk = BiquadBlock::new(&d, "bq", proto.b, proto.a);
+        let mut golden = Biquad::lowpass(0.1, 0.707);
+        for i in 0..100 {
+            let x = ((i as f64) * 0.3).sin();
+            let y = blk.step(x.into()).flt();
+            let g = golden.push(x);
+            assert!((y - g).abs() < 1e-12, "step {i}: {y} vs {g}");
+            d.tick();
+        }
+        assert_eq!(blk.signal_ids().len(), 5);
+    }
+
+    #[test]
+    fn pure_accumulator_explodes_propagation() {
+        let d = Design::new();
+        let x = d.sig("x");
+        x.range(-1.0, 1.0);
+        let acc = Accumulator::new(&d, "acc", 1.0);
+        for i in 0..40 {
+            x.set(((i % 5) as f64 - 2.0) * 0.3);
+            acc.step(x.get());
+            d.tick();
+        }
+        let report = d.report_for(acc.state());
+        assert!(
+            report.prop.width() > 20.0,
+            "integrator propagation must grow: {}",
+            report.prop
+        );
+        // While the leaky version stays bounded.
+        let leaky = Accumulator::new(&d, "leaky", 0.5);
+        for i in 0..200 {
+            x.set(((i % 5) as f64 - 2.0) * 0.3);
+            leaky.step(x.get());
+            d.tick();
+        }
+        assert!(d.report_for(leaky.state()).prop.is_bounded());
+        assert!(d.report_for(leaky.state()).prop.max_abs() < 4.0);
+    }
+
+    #[test]
+    fn blocks_compose_into_a_refinable_design() {
+        // FIR -> biquad -> accumulator, then run the full flow on it.
+        use fixref_core::{RefinePolicy, RefinementFlow};
+
+        let d = Design::new();
+        let t: fixref_fixed::DType = "<8,6,tc,st,rd>".parse().expect("valid");
+        let x = d.sig_typed("x", t);
+        let fir = FirBlock::new(&d, "f", &[0.25, 0.5, 0.25]);
+        let proto = Biquad::lowpass(0.1, 0.707);
+        let bq = BiquadBlock::new(&d, "bq", proto.b, proto.a);
+        let acc = Accumulator::new(&d, "acc", 0.9);
+
+        let mut flow = RefinementFlow::new(d.clone(), RefinePolicy::default());
+        let (xc, firc, bqc, accc) = (x.clone(), fir.clone(), bq.clone(), acc.clone());
+        let outcome = flow
+            .run(move |dd, _| {
+                firc.init();
+                for i in 0..1200 {
+                    xc.set(((i as f64) * 0.17).sin() * 0.9);
+                    let a = firc.step(xc.get());
+                    let b = bqc.step(a);
+                    accc.step(b);
+                    dd.tick();
+                }
+            })
+            .expect("flow converges");
+        // Every block signal (except the constant-zero v[0]) gets a type.
+        assert_eq!(
+            outcome.types.len(),
+            16,
+            "x is locked; all 16 block signals typed"
+        );
+        assert!(outcome.verify.is_overflow_free());
+    }
+}

@@ -1,0 +1,378 @@
+//! CIC (cascaded integrator-comb) decimator — Hogenauer's classic
+//! multiplier-free filter, and the textbook showcase of two's-complement
+//! **wrap-around** arithmetic: the integrators overflow constantly, yet
+//! the output is exact as long as every stage carries
+//! `B_in + N·log2(R·M)` bits, because modular arithmetic cancels the
+//! wraps through the combs.
+//!
+//! That property is a closed-form ground truth for this workspace's wrap
+//! quantizer: the instrumented model with Hogenauer-width wrap types must
+//! match the unbounded golden model bit for bit (see the tests). It is
+//! also an honest *limitation* demo for the refinement methodology —
+//! statistic/propagated ranges cannot discover that wrap is safe here;
+//! the designer's knowledge (this module's [`hogenauer_width`]) beats
+//! both estimators.
+
+use fixref_fixed::{DType, OverflowMode, RoundingMode, Signedness};
+use fixref_sim::{Design, Reg, RegArray, Sig, SignalId, SignalRef};
+
+/// The register width every CIC stage needs for exact wrap arithmetic:
+/// `b_in + ceil(N · log2(R · M))`.
+///
+/// # Panics
+///
+/// Panics if any parameter is zero.
+pub fn hogenauer_width(b_in: u32, stages: u32, decimation: u32, delay: u32) -> u32 {
+    assert!(
+        b_in > 0 && stages > 0 && decimation > 0 && delay > 0,
+        "CIC parameters must be positive"
+    );
+    b_in + (stages as f64 * ((decimation * delay) as f64).log2()).ceil() as u32
+}
+
+/// Golden (unbounded `f64`) CIC decimator with `N` stages, decimation `R`
+/// and differential delay `M`.
+///
+/// # Example
+///
+/// ```
+/// use fixref_dsp::cic::CicGolden;
+///
+/// let mut cic = CicGolden::new(3, 8, 1);
+/// let mut last = 0.0;
+/// for _ in 0..200 {
+///     if let Some(y) = cic.push(1.0) {
+///         last = y;
+///     }
+/// }
+/// // DC gain is (R*M)^N = 512.
+/// assert_eq!(last, 512.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CicGolden {
+    integrators: Vec<f64>,
+    combs: Vec<Vec<f64>>,
+    decimation: u32,
+    phase: u32,
+}
+
+impl CicGolden {
+    /// Creates the golden model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn new(stages: u32, decimation: u32, delay: u32) -> Self {
+        assert!(
+            stages > 0 && decimation > 0 && delay > 0,
+            "CIC parameters must be positive"
+        );
+        CicGolden {
+            integrators: vec![0.0; stages as usize],
+            combs: vec![vec![0.0; delay as usize]; stages as usize],
+            decimation,
+            phase: 0,
+        }
+    }
+
+    /// Pushes one high-rate sample; returns the decimated output on every
+    /// `R`-th call.
+    pub fn push(&mut self, x: f64) -> Option<f64> {
+        let mut v = x;
+        for acc in &mut self.integrators {
+            *acc += v;
+            v = *acc;
+        }
+        self.phase += 1;
+        if self.phase < self.decimation {
+            return None;
+        }
+        self.phase = 0;
+        for line in &mut self.combs {
+            let delayed = line[line.len() - 1];
+            line.rotate_right(1);
+            line[0] = v;
+            v -= delayed;
+        }
+        Some(v)
+    }
+
+    /// The filter's DC gain `(R·M)^N`.
+    pub fn dc_gain(&self) -> f64 {
+        ((self.decimation as usize * self.combs[0].len()) as f64)
+            .powi(self.integrators.len() as i32)
+    }
+}
+
+/// The instrumented CIC with Hogenauer-width wrap types on every stage.
+///
+/// Inputs are taken on the grid `2^-frac` with `b_in` total bits; every
+/// internal register carries [`hogenauer_width`] bits at the same LSB, in
+/// [`OverflowMode::Wrap`] — overflowing by design.
+#[derive(Debug, Clone)]
+pub struct CicDecimator {
+    design: Design,
+    stages: u32,
+    decimation: u32,
+    phase_ctr: u32,
+    x: Sig,
+    integ: RegArray,
+    comb_delay: Vec<RegArray>,
+    comb_out: Vec<Sig>,
+    y: Reg,
+}
+
+impl CicDecimator {
+    /// Declares the CIC's signals with Hogenauer-width wrap types.
+    ///
+    /// # Panics
+    ///
+    /// Panics if names are taken, parameters are zero, or the Hogenauer
+    /// width exceeds 63 bits.
+    pub fn new(
+        design: &Design,
+        stages: u32,
+        decimation: u32,
+        delay: u32,
+        b_in: u32,
+        frac: i32,
+    ) -> Self {
+        let w = hogenauer_width(b_in, stages, decimation, delay);
+        let wide = DType::new(
+            "cic_wide",
+            w as i32,
+            frac,
+            Signedness::TwosComplement,
+            OverflowMode::Wrap,
+            RoundingMode::Floor,
+        )
+        .expect("Hogenauer width within 63 bits");
+        let t_in = DType::new(
+            "cic_in",
+            b_in as i32,
+            frac,
+            Signedness::TwosComplement,
+            OverflowMode::Saturate,
+            RoundingMode::Round,
+        )
+        .expect("valid input type");
+
+        let comb_delay = (0..stages)
+            .map(|s| design.reg_array_typed(&format!("cic_cd{s}"), delay as usize, wide.clone()))
+            .collect();
+        let comb_out = (0..stages)
+            .map(|s| design.sig_typed(&format!("cic_co{s}"), wide.clone()))
+            .collect();
+        CicDecimator {
+            design: design.clone(),
+            stages,
+            decimation,
+            phase_ctr: 0,
+            x: design.sig_typed("cic_x", t_in),
+            integ: design.reg_array_typed("cic_i", stages as usize, wide.clone()),
+            comb_delay,
+            comb_out,
+            y: design.reg_typed("cic_y", wide),
+        }
+    }
+
+    /// Pushes one high-rate sample (one clock tick); returns the
+    /// fixed-path output on every `R`-th call.
+    pub fn push(&mut self, x: f64) -> Option<f64> {
+        self.x.set(x);
+        // Integrator cascade: each reads its own pre-tick state.
+        let mut v = self.x.get();
+        for s in 0..self.stages as usize {
+            self.integ.at(s).set(self.integ.at(s).get() + v.clone());
+            v = self.integ.at(s).get() + v;
+        }
+        // NOTE: in hardware the cascade is pipelined; this behavioral
+        // model computes the post-update value combinationally so the
+        // output matches the golden model cycle-for-cycle.
+
+        self.phase_ctr += 1;
+        let strobe = self.phase_ctr == self.decimation;
+        if strobe {
+            self.phase_ctr = 0;
+            for s in 0..self.stages as usize {
+                let line = &self.comb_delay[s];
+                let m = line.len();
+                let delayed = line.at(m - 1).get();
+                for k in (1..m).rev() {
+                    line.at(k).set(line.at(k - 1).get());
+                }
+                line.at(0).set(v.clone());
+                self.comb_out[s].set(v - delayed);
+                v = self.comb_out[s].get();
+            }
+            self.y.set(v);
+        }
+        self.design.tick();
+        if strobe {
+            Some(self.design.peek(self.y.id()).1)
+        } else {
+            None
+        }
+    }
+
+    /// The output register handle.
+    pub fn output(&self) -> &Reg {
+        &self.y
+    }
+
+    /// Ids of every CIC signal.
+    pub fn signal_ids(&self) -> Vec<SignalId> {
+        let mut ids = vec![self.x.id()];
+        ids.extend(self.integ.iter().map(|r| r.id()));
+        for line in &self.comb_delay {
+            ids.extend(line.iter().map(|r| r.id()));
+        }
+        ids.extend(self.comb_out.iter().map(|s| s.id()));
+        ids.push(self.y.id());
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_formula() {
+        // Hogenauer's worked example: N=4, R=25, M=1, Bin=16 -> 35 bits.
+        assert_eq!(hogenauer_width(16, 4, 25, 1), 35);
+        assert_eq!(hogenauer_width(8, 3, 8, 1), 17);
+        assert_eq!(hogenauer_width(8, 1, 2, 2), 10);
+    }
+
+    #[test]
+    fn golden_dc_gain_and_decimation() {
+        let mut cic = CicGolden::new(2, 4, 1);
+        assert_eq!(cic.dc_gain(), 16.0);
+        let mut outputs = Vec::new();
+        for _ in 0..64 {
+            if let Some(y) = cic.push(0.5) {
+                outputs.push(y);
+            }
+        }
+        assert_eq!(outputs.len(), 16); // one output per 4 inputs
+        assert_eq!(*outputs.last().expect("non-empty"), 0.5 * 16.0);
+    }
+
+    #[test]
+    fn golden_impulse_responses_sum_to_gain_across_phases() {
+        // A decimator's single impulse response only collects every R-th
+        // filter coefficient; summing over all R input phases recovers
+        // the full DC gain (the polyphase identity).
+        let r = 4u32;
+        let mut total = 0.0;
+        for phase in 0..r {
+            let mut cic = CicGolden::new(3, r, 1);
+            for i in 0..200 {
+                let x = if i == phase { 1.0 } else { 0.0 };
+                if let Some(y) = cic.push(x) {
+                    total += y;
+                }
+            }
+        }
+        assert_eq!(total, CicGolden::new(3, r, 1).dc_gain());
+    }
+
+    /// The headline Hogenauer property: with wrap types at exactly the
+    /// formula width, the instrumented fixed path matches the unbounded
+    /// golden model exactly, even though the integrators overflow.
+    #[test]
+    fn wrap_arithmetic_is_exact_at_hogenauer_width() {
+        let (stages, r, m, b_in, frac) = (3u32, 8u32, 1u32, 8u32, 6i32);
+        let d = Design::new();
+        let mut fixed = CicDecimator::new(&d, stages, r, m, b_in, frac);
+        let mut golden = CicGolden::new(stages, r, m);
+
+        let mut wrapped = 0u64;
+        let q = 0.015625; // 2^-6: inputs on the type grid
+        for i in 0..4000u32 {
+            // Worst-case-ish stimulus: near-full-scale alternating bursts.
+            let x = q * (((i.wrapping_mul(2654435761).wrapping_add(i) >> 7) % 128) as f64 - 64.0);
+            let gf = golden.push(x);
+            let ff = fixed.push(x);
+            assert_eq!(gf.is_some(), ff.is_some(), "strobe alignment at {i}");
+            if let (Some(g), Some(f)) = (gf, ff) {
+                assert_eq!(f, g, "output diverged at sample {i}");
+            }
+            wrapped = d
+                .reports()
+                .iter()
+                .filter(|rep| rep.name.starts_with("cic_i"))
+                .map(|rep| rep.overflows)
+                .sum();
+        }
+        assert!(
+            wrapped > 100,
+            "integrators must actually wrap to prove the point (got {wrapped})"
+        );
+    }
+
+    /// One bit below the Hogenauer width, the same stimulus corrupts the
+    /// output — the formula is tight.
+    #[test]
+    fn one_bit_short_corrupts_output() {
+        let (stages, r, m, b_in, frac) = (3u32, 8u32, 1u32, 8u32, 6i32);
+        let w = hogenauer_width(b_in, stages, r, m);
+        let d = Design::new();
+        // Rebuild the decimator but narrow every wide register by hand.
+        let mut fixed = CicDecimator::new(&d, stages, r, m, b_in, frac);
+        let narrow = DType::new(
+            "narrow",
+            w as i32 - 1,
+            frac,
+            Signedness::TwosComplement,
+            OverflowMode::Wrap,
+            RoundingMode::Floor,
+        )
+        .expect("valid");
+        for id in fixed.signal_ids() {
+            if d.name_of(id) != "cic_x" {
+                d.set_dtype(id, Some(narrow.clone()));
+            }
+        }
+        let mut golden = CicGolden::new(stages, r, m);
+        // Worst case for range: sustained full-scale DC, which drives the
+        // output to gain * max|x| — exactly what the formula's last bit
+        // covers.
+        let x = (127.0) * 0.015625;
+        let mut mismatches = 0;
+        for _ in 0..4000u32 {
+            let gf = golden.push(x);
+            let ff = fixed.push(x);
+            if let (Some(g), Some(f)) = (gf, ff) {
+                if f != g {
+                    mismatches += 1;
+                }
+            }
+        }
+        assert!(mismatches > 0, "narrowed CIC should corrupt some outputs");
+    }
+
+    /// The same worst-case DC that breaks W−1 is exact at W: the formula
+    /// is tight from both sides.
+    #[test]
+    fn full_scale_dc_exact_at_formula_width() {
+        let d = Design::new();
+        let mut fixed = CicDecimator::new(&d, 3, 8, 1, 8, 6);
+        let mut golden = CicGolden::new(3, 8, 1);
+        let x = 127.0 * 0.015625;
+        for i in 0..2000u32 {
+            let gf = golden.push(x);
+            let ff = fixed.push(x);
+            if let (Some(g), Some(f)) = (gf, ff) {
+                assert_eq!(f, g, "sample {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_parameters_rejected() {
+        let _ = hogenauer_width(8, 0, 4, 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! CORDIC rotator — the classic shift-and-add trigonometry engine of
+//! fixed-point ASICs (carrier mixers, phase rotators, magnitude/angle
+//! converters). Every internal stage is pure add/shift, which is exactly
+//! what the refinement flow types well; the `case_study` experiment runs
+//! an instrumented rotator through the flow.
+
+/// Number of iterations the golden model uses by default.
+pub const DEFAULT_STAGES: usize = 14;
+
+/// The CORDIC gain `K = Π √(1 + 2^-2i)` for `n` stages.
+pub fn cordic_gain(n: usize) -> f64 {
+    (0..n)
+        .map(|i| (1.0 + 0.25f64.powi(i as i32)).sqrt())
+        .product()
+}
+
+/// The per-stage rotation angles `atan(2^-i)` in radians.
+pub fn cordic_angles(n: usize) -> Vec<f64> {
+    (0..n).map(|i| (0.5f64.powi(i as i32)).atan()).collect()
+}
+
+/// Golden CORDIC in rotation mode: rotates `(x, y)` by `angle` radians
+/// using `stages` shift-add iterations, compensating the CORDIC gain.
+///
+/// `angle` must lie within the CORDIC convergence range
+/// (|angle| ≤ ~1.74 rad); larger angles should be pre-rotated by
+/// quadrant.
+///
+/// # Example
+///
+/// ```
+/// use fixref_dsp::cordic::rotate;
+///
+/// let (c, s) = rotate(1.0, 0.0, std::f64::consts::FRAC_PI_3, 16);
+/// assert!((c - 0.5).abs() < 1e-4);
+/// assert!((s - 3f64.sqrt() / 2.0).abs() < 1e-4);
+/// ```
+pub fn rotate(x: f64, y: f64, angle: f64, stages: usize) -> (f64, f64) {
+    let angles = cordic_angles(stages);
+    let mut x = x;
+    let mut y = y;
+    let mut z = angle;
+    for (i, &a) in angles.iter().enumerate() {
+        let p = 0.5f64.powi(i as i32);
+        if z >= 0.0 {
+            let xn = x - y * p;
+            let yn = y + x * p;
+            x = xn;
+            y = yn;
+            z -= a;
+        } else {
+            let xn = x + y * p;
+            let yn = y - x * p;
+            x = xn;
+            y = yn;
+            z += a;
+        }
+    }
+    let g = cordic_gain(stages);
+    (x / g, y / g)
+}
+
+/// Golden CORDIC in vectoring mode: returns `(magnitude, angle)` of
+/// `(x, y)` with `x > 0` (right half-plane).
+///
+/// # Example
+///
+/// ```
+/// use fixref_dsp::cordic::vector;
+///
+/// let (m, a) = vector(1.0, 1.0, 16);
+/// assert!((m - 2f64.sqrt()).abs() < 1e-4);
+/// assert!((a - std::f64::consts::FRAC_PI_4).abs() < 1e-4);
+/// ```
+pub fn vector(x: f64, y: f64, stages: usize) -> (f64, f64) {
+    let angles = cordic_angles(stages);
+    let mut x = x;
+    let mut y = y;
+    let mut z = 0.0;
+    for (i, &a) in angles.iter().enumerate() {
+        let p = 0.5f64.powi(i as i32);
+        if y > 0.0 {
+            let xn = x + y * p;
+            let yn = y - x * p;
+            x = xn;
+            y = yn;
+            z += a;
+        } else {
+            let xn = x - y * p;
+            let yn = y + x * p;
+            x = xn;
+            y = yn;
+            z -= a;
+        }
+    }
+    (x / cordic_gain(stages), z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_3, FRAC_PI_4, FRAC_PI_6, PI};
+
+    #[test]
+    fn gain_converges_to_the_classic_constant() {
+        // K -> 1.6467602...
+        let g = cordic_gain(30);
+        assert!((g - 1.646760258121).abs() < 1e-9, "gain {g}");
+        assert!(cordic_gain(1) < g);
+    }
+
+    #[test]
+    fn angles_are_atan_powers_of_two() {
+        let a = cordic_angles(4);
+        assert!((a[0] - FRAC_PI_4).abs() < 1e-15);
+        assert!((a[1] - 0.5f64.atan()).abs() < 1e-15);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn rotation_matches_sin_cos_over_the_range() {
+        for k in -20..=20 {
+            let angle = k as f64 * PI / 48.0; // within convergence
+            let (c, s) = rotate(1.0, 0.0, angle, 20);
+            assert!((c - angle.cos()).abs() < 1e-5, "cos({angle})");
+            assert!((s - angle.sin()).abs() < 1e-5, "sin({angle})");
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_magnitude() {
+        let (x0, y0) = (0.6f64, -0.35f64);
+        let m0 = (x0 * x0 + y0 * y0).sqrt();
+        for angle in [-1.2, -FRAC_PI_6, 0.0, FRAC_PI_3, 1.5] {
+            let (x, y) = rotate(x0, y0, angle, 18);
+            let m = (x * x + y * y).sqrt();
+            assert!((m - m0).abs() < 1e-4, "magnitude at {angle}");
+        }
+    }
+
+    #[test]
+    fn accuracy_improves_with_stages() {
+        let angle = 0.7;
+        let err = |n: usize| {
+            let (c, _) = rotate(1.0, 0.0, angle, n);
+            (c - angle.cos()).abs()
+        };
+        assert!(err(6) > err(10));
+        assert!(err(10) > err(16));
+        assert!(err(16) < 1e-4);
+    }
+
+    #[test]
+    fn vectoring_recovers_polar_form() {
+        for (x, y) in [(1.0, 0.5), (0.3, -0.8), (2.0, 0.0), (0.5, 0.5)] {
+            let (m, a) = vector(x, y, 20);
+            assert!(
+                (m - (x * x + y * y).sqrt()).abs() < 1e-5,
+                "mag of ({x},{y})"
+            );
+            assert!((a - (y / x).atan()).abs() < 1e-5, "angle of ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn rotate_then_vector_roundtrip() {
+        let (x, y) = rotate(0.9, 0.0, 0.6, 20);
+        let (m, a) = vector(x, y, 20);
+        assert!((m - 0.9).abs() < 1e-4);
+        assert!((a - 0.6).abs() < 1e-4);
+    }
+}

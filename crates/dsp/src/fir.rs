@@ -1,0 +1,169 @@
+//! Golden floating-point FIR filter and tap designers.
+
+/// A direct-form FIR filter over `f64`.
+///
+/// # Example
+///
+/// ```
+/// use fixref_dsp::Fir;
+///
+/// let mut f = Fir::new(&[0.25, 0.5, 0.25]);
+/// let y: Vec<f64> = [1.0, 0.0, 0.0, 0.0].iter().map(|&x| f.push(x)).collect();
+/// assert_eq!(y, vec![0.25, 0.5, 0.25, 0.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fir {
+    taps: Vec<f64>,
+    state: Vec<f64>,
+}
+
+impl Fir {
+    /// Creates a filter with the given taps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty.
+    pub fn new(taps: &[f64]) -> Self {
+        assert!(!taps.is_empty(), "FIR needs at least one tap");
+        Fir {
+            taps: taps.to_vec(),
+            state: vec![0.0; taps.len()],
+        }
+    }
+
+    /// Pushes one sample and returns the filter output.
+    pub fn push(&mut self, x: f64) -> f64 {
+        self.state.rotate_right(1);
+        self.state[0] = x;
+        self.taps.iter().zip(&self.state).map(|(t, s)| t * s).sum()
+    }
+
+    /// The filter taps.
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Whether the filter has no taps (never true for a constructed
+    /// filter).
+    pub fn is_empty(&self) -> bool {
+        self.taps.is_empty()
+    }
+
+    /// Clears the delay line.
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|s| *s = 0.0);
+    }
+
+    /// Worst-case output magnitude for inputs bounded by `amp`
+    /// (the L1 norm bound used by worst-case range analysis).
+    pub fn peak_output(&self, amp: f64) -> f64 {
+        amp * self.taps.iter().map(|t| t.abs()).sum::<f64>()
+    }
+
+    /// DC gain (sum of taps).
+    pub fn dc_gain(&self) -> f64 {
+        self.taps.iter().sum()
+    }
+}
+
+/// Designs a Hamming-windowed-sinc lowpass with cutoff `fc` (normalized to
+/// the sample rate, `0 < fc < 0.5`) and `n` taps.
+///
+/// # Panics
+///
+/// Panics if `fc` is outside `(0, 0.5)` or `n == 0`.
+pub fn lowpass(fc: f64, n: usize) -> Vec<f64> {
+    assert!(fc > 0.0 && fc < 0.5, "cutoff {fc} outside (0, 0.5)");
+    assert!(n > 0, "need at least one tap");
+    let mid = (n as f64 - 1.0) / 2.0;
+    let mut taps: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = i as f64 - mid;
+            let sinc = if t.abs() < 1e-12 {
+                2.0 * fc
+            } else {
+                (2.0 * std::f64::consts::PI * fc * t).sin() / (std::f64::consts::PI * t)
+            };
+            let w = 0.54
+                - 0.46 * (2.0 * std::f64::consts::PI * i as f64 / (n as f64 - 1.0).max(1.0)).cos();
+            sinc * w
+        })
+        .collect();
+    // Normalize DC gain to 1.
+    let g: f64 = taps.iter().sum();
+    taps.iter_mut().for_each(|t| *t /= g);
+    taps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impulse_and_reset() {
+        let mut f = Fir::new(&[1.0, -2.0, 3.0]);
+        assert_eq!(f.push(1.0), 1.0);
+        assert_eq!(f.push(0.0), -2.0);
+        f.reset();
+        assert_eq!(f.push(0.0), 0.0);
+        assert_eq!(f.len(), 3);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn gain_and_peak() {
+        let f = Fir::new(&[0.5, -0.25, 0.75]);
+        assert!((f.dc_gain() - 1.0).abs() < 1e-12);
+        assert!((f.peak_output(2.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn empty_rejected() {
+        let _ = Fir::new(&[]);
+    }
+
+    #[test]
+    fn lowpass_design_attenuates_high_frequency() {
+        let taps = lowpass(0.1, 31);
+        assert!((taps.iter().sum::<f64>() - 1.0).abs() < 1e-9, "unity DC");
+        let mut f = Fir::new(&taps);
+        // Drive with a high-frequency tone (0.4 cycles/sample) and a DC
+        // component; measure steady-state outputs.
+        let mut hf_energy = 0.0;
+        let mut dc_out = 0.0;
+        for i in 0..400 {
+            let hf = (2.0 * std::f64::consts::PI * 0.4 * i as f64).sin();
+            let y = f.push(hf + 1.0);
+            if i > 100 {
+                dc_out += y;
+                hf_energy += (y - dc_out / (i - 100) as f64).powi(2);
+            }
+        }
+        let mean = dc_out / 299.0;
+        assert!((mean - 1.0).abs() < 0.02, "DC passed: {mean}");
+        assert!(hf_energy / 299.0 < 0.01, "HF leaked: {}", hf_energy / 299.0);
+    }
+
+    #[test]
+    fn lowpass_is_symmetric_linear_phase() {
+        let taps = lowpass(0.2, 21);
+        for i in 0..taps.len() / 2 {
+            assert!(
+                (taps[i] - taps[taps.len() - 1 - i]).abs() < 1e-12,
+                "tap {i} asymmetric"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 0.5)")]
+    fn lowpass_cutoff_validated() {
+        let _ = lowpass(0.6, 11);
+    }
+}

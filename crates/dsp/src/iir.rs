@@ -1,0 +1,152 @@
+//! Golden floating-point biquad IIR section.
+//!
+//! Recursive filters are the classic source of fixed-point trouble (limit
+//! cycles, pole sensitivity); the `iir_refinement` example runs this block
+//! through the refinement flow.
+
+/// A direct-form-I biquad: `y = b0·x + b1·x1 + b2·x2 − a1·y1 − a2·y2`.
+///
+/// # Example
+///
+/// ```
+/// use fixref_dsp::Biquad;
+///
+/// let mut f = Biquad::lowpass(0.1, 0.707);
+/// let step: Vec<f64> = (0..200).map(|_| f.push(1.0)).collect();
+/// assert!((step.last().copied().expect("non-empty") - 1.0).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Biquad {
+    /// Numerator coefficients.
+    pub b: [f64; 3],
+    /// Denominator coefficients (a0 normalized to 1).
+    pub a: [f64; 2],
+    x: [f64; 2],
+    y: [f64; 2],
+}
+
+impl Biquad {
+    /// Creates a biquad from explicit coefficients (a0 = 1 implied).
+    pub fn new(b: [f64; 3], a: [f64; 2]) -> Self {
+        Biquad {
+            b,
+            a,
+            x: [0.0; 2],
+            y: [0.0; 2],
+        }
+    }
+
+    /// RBJ-cookbook lowpass with normalized cutoff `fc` (fraction of the
+    /// sample rate) and quality factor `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fc` is outside `(0, 0.5)` or `q` is not positive.
+    pub fn lowpass(fc: f64, q: f64) -> Self {
+        assert!(fc > 0.0 && fc < 0.5, "cutoff {fc} outside (0, 0.5)");
+        assert!(q > 0.0, "q must be positive");
+        let w0 = 2.0 * std::f64::consts::PI * fc;
+        let alpha = w0.sin() / (2.0 * q);
+        let cosw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Biquad::new(
+            [
+                (1.0 - cosw) / 2.0 / a0,
+                (1.0 - cosw) / a0,
+                (1.0 - cosw) / 2.0 / a0,
+            ],
+            [-2.0 * cosw / a0, (1.0 - alpha) / a0],
+        )
+    }
+
+    /// Pushes one sample.
+    pub fn push(&mut self, xin: f64) -> f64 {
+        let y = self.b[0] * xin + self.b[1] * self.x[0] + self.b[2] * self.x[1]
+            - self.a[0] * self.y[0]
+            - self.a[1] * self.y[1];
+        self.x = [xin, self.x[0]];
+        self.y = [y, self.y[0]];
+        y
+    }
+
+    /// Clears the state.
+    pub fn reset(&mut self) {
+        self.x = [0.0; 2];
+        self.y = [0.0; 2];
+    }
+
+    /// Whether the poles are inside the unit circle.
+    pub fn is_stable(&self) -> bool {
+        // Jury criterion for z^2 + a1 z + a2.
+        let (a1, a2) = (self.a[0], self.a[1]);
+        a2 < 1.0 && a2 > -1.0 && a1.abs() < 1.0 + a2
+    }
+
+    /// DC gain.
+    pub fn dc_gain(&self) -> f64 {
+        (self.b[0] + self.b[1] + self.b[2]) / (1.0 + self.a[0] + self.a[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowpass_is_stable_with_unity_dc() {
+        let f = Biquad::lowpass(0.1, 0.707);
+        assert!(f.is_stable());
+        assert!((f.dc_gain() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unstable_coefficients_detected() {
+        let f = Biquad::new([1.0, 0.0, 0.0], [0.0, 1.01]);
+        assert!(!f.is_stable());
+        let g = Biquad::new([1.0, 0.0, 0.0], [-2.05, 1.05]);
+        assert!(!g.is_stable());
+    }
+
+    #[test]
+    fn step_response_settles_to_dc_gain() {
+        let mut f = Biquad::lowpass(0.05, 1.0);
+        let mut last = 0.0;
+        for _ in 0..500 {
+            last = f.push(1.0);
+        }
+        assert!((last - f.dc_gain()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn attenuates_above_cutoff() {
+        let mut f = Biquad::lowpass(0.05, 0.707);
+        let mut in_e = 0.0;
+        let mut out_e = 0.0;
+        for i in 0..2000 {
+            let x = (2.0 * std::f64::consts::PI * 0.3 * i as f64).sin();
+            let y = f.push(x);
+            if i > 200 {
+                in_e += x * x;
+                out_e += y * y;
+            }
+        }
+        assert!(out_e / in_e < 1e-3, "attenuation {}", out_e / in_e);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut f = Biquad::lowpass(0.1, 0.707);
+        for _ in 0..10 {
+            f.push(1.0);
+        }
+        f.reset();
+        let y = f.push(0.0);
+        assert_eq!(y, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be positive")]
+    fn q_validated() {
+        let _ = Biquad::lowpass(0.1, 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! DSP substrate: the workloads of the DATE'99 fixed-point refinement
+//! evaluation, built from scratch.
+//!
+//! Two families of components live here:
+//!
+//! * **Golden `f64` blocks** — plain floating-point implementations of
+//!   every block (FIR, biquad, LMS, Farrow interpolator, Gardner TED, PI
+//!   loop filter, NCO) used as references and as the un-instrumented
+//!   baseline in the benchmarks;
+//! * **Instrumented models** — the same systems described through
+//!   [`fixref_sim::Design`] signals, exactly as the paper's C++ listings:
+//!   [`lms::LmsEqualizer`] is the motivational example of Fig. 1
+//!   (symbol-spaced adaptive LMS equalizer with a single adaptive feedback
+//!   coefficient) and [`timing_loop::TimingRecovery`] is the complex
+//!   example of Fig. 5 (PAM timing-recovery loop: interpolator → timing
+//!   error detector → loop filter → NCO).
+//!
+//! Stimulus generation ([`source`], [`channel`]) is synthetic — PRBS-driven
+//! 2-PAM through an ISI channel plus AWGN — replacing the paper's
+//! proprietary cable-modem field data while exercising the same code
+//! paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod channel;
+pub mod cic;
+pub mod cordic;
+pub mod fir;
+pub mod iir;
+pub mod interp;
+pub mod lms;
+pub mod loopfilter;
+pub mod metrics;
+pub mod nco;
+pub mod qam;
+pub mod slicer;
+pub mod source;
+pub mod ted;
+pub mod timing_loop;
+
+pub use blocks::{Accumulator, BiquadBlock, DelayLine, FirBlock};
+pub use channel::{Awgn, FirChannel};
+pub use cic::{hogenauer_width, CicDecimator, CicGolden};
+pub use fir::Fir;
+pub use iir::Biquad;
+pub use interp::FarrowCubic;
+pub use lms::{LmsConfig, LmsEqualizer, LmsGolden};
+pub use loopfilter::PiFilter;
+pub use metrics::{BerCounter, Mse};
+pub use nco::Nco;
+pub use qam::{ComplexChannel, FfeConfig, QamFfe, QamFfeGolden, QamSource};
+pub use slicer::pam_slice;
+pub use source::{Lfsr, PamSource, ShapedPamSource};
+pub use ted::GardnerTed;
+pub use timing_loop::{TimingConfig, TimingGolden, TimingRecovery};

@@ -1,0 +1,131 @@
+//! Proportional-integral loop filter.
+//!
+//! The "Loop filter" block of Fig. 5: `out = Kp·e + Ki·Σe`. The
+//! integrator is the classic MSB-explosion candidate for range
+//! propagation, and the motivation for saturation-mode types.
+
+/// A first-order PI loop filter.
+///
+/// # Example
+///
+/// ```
+/// use fixref_dsp::PiFilter;
+///
+/// let mut lf = PiFilter::new(0.1, 0.01);
+/// let y = lf.push(1.0);
+/// assert!((y - 0.11).abs() < 1e-12); // Kp*e + Ki*e
+/// ```
+#[derive(Debug, Clone)]
+pub struct PiFilter {
+    kp: f64,
+    ki: f64,
+    integrator: f64,
+    clamp: Option<(f64, f64)>,
+}
+
+impl PiFilter {
+    /// Creates a PI filter with proportional gain `kp` and integral gain
+    /// `ki`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either gain is negative or non-finite.
+    pub fn new(kp: f64, ki: f64) -> Self {
+        assert!(kp >= 0.0 && kp.is_finite(), "invalid kp {kp}");
+        assert!(ki >= 0.0 && ki.is_finite(), "invalid ki {ki}");
+        PiFilter {
+            kp,
+            ki,
+            integrator: 0.0,
+            clamp: None,
+        }
+    }
+
+    /// Adds an integrator clamp (anti-windup) — the floating-point
+    /// equivalent of a saturating fixed-point type on the integrator.
+    pub fn with_clamp(mut self, lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "clamp bounds reversed");
+        self.clamp = Some((lo, hi));
+        self
+    }
+
+    /// Pushes one error sample, returning the control output.
+    pub fn push(&mut self, e: f64) -> f64 {
+        self.integrator += self.ki * e;
+        if let Some((lo, hi)) = self.clamp {
+            self.integrator = self.integrator.clamp(lo, hi);
+        }
+        self.kp * e + self.integrator
+    }
+
+    /// The integrator state.
+    pub fn integrator(&self) -> f64 {
+        self.integrator
+    }
+
+    /// Resets the integrator.
+    pub fn reset(&mut self) {
+        self.integrator = 0.0;
+    }
+
+    /// The proportional gain.
+    pub fn kp(&self) -> f64 {
+        self.kp
+    }
+
+    /// The integral gain.
+    pub fn ki(&self) -> f64 {
+        self.ki
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_plus_integral() {
+        let mut lf = PiFilter::new(0.5, 0.1);
+        assert!((lf.push(1.0) - 0.6).abs() < 1e-12);
+        assert!((lf.push(1.0) - 0.7).abs() < 1e-12);
+        assert!((lf.integrator() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrator_accumulates_dc() {
+        let mut lf = PiFilter::new(0.0, 0.01);
+        for _ in 0..100 {
+            lf.push(0.5);
+        }
+        assert!((lf.integrator() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamp_bounds_integrator() {
+        let mut lf = PiFilter::new(0.0, 1.0).with_clamp(-0.25, 0.25);
+        for _ in 0..100 {
+            lf.push(1.0);
+        }
+        assert_eq!(lf.integrator(), 0.25);
+        for _ in 0..100 {
+            lf.push(-1.0);
+        }
+        assert_eq!(lf.integrator(), -0.25);
+    }
+
+    #[test]
+    fn reset_and_getters() {
+        let mut lf = PiFilter::new(0.3, 0.05);
+        lf.push(2.0);
+        lf.reset();
+        assert_eq!(lf.integrator(), 0.0);
+        assert_eq!(lf.kp(), 0.3);
+        assert_eq!(lf.ki(), 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid kp")]
+    fn gains_validated() {
+        let _ = PiFilter::new(-0.1, 0.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Quality metrics: mean-square error and bit-error counting.
+
+/// A running mean-square-error accumulator.
+///
+/// # Example
+///
+/// ```
+/// use fixref_dsp::Mse;
+///
+/// let mut m = Mse::new();
+/// m.record(1.0, 0.9);
+/// m.record(-1.0, -1.1);
+/// assert!((m.mse() - 0.01).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Mse {
+    sum_sq: f64,
+    count: u64,
+}
+
+impl Mse {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Mse::default()
+    }
+
+    /// Records one (reference, actual) pair.
+    pub fn record(&mut self, reference: f64, actual: f64) {
+        let e = reference - actual;
+        self.sum_sq += e * e;
+        self.count += 1;
+    }
+
+    /// Number of recorded pairs.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The mean square error (0 when empty).
+    pub fn mse(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_sq / self.count as f64
+        }
+    }
+
+    /// Root-mean-square error.
+    pub fn rmse(&self) -> f64 {
+        self.mse().sqrt()
+    }
+}
+
+/// Counts symbol decisions against a reference stream, tolerating an
+/// unknown constant pipeline delay (searched over a window).
+///
+/// # Example
+///
+/// ```
+/// use fixref_dsp::BerCounter;
+///
+/// let sent = [1.0, -1.0, 1.0, 1.0, -1.0, -1.0, 1.0, -1.0];
+/// // Receiver sees the same stream delayed by 2, one error at the end.
+/// let mut rx: Vec<f64> = vec![0.0, 0.0];
+/// rx.extend_from_slice(&sent[..6]);
+/// rx[7] = -rx[7];
+/// let c = BerCounter::align(&sent, &rx, 4);
+/// assert_eq!(c.delay(), 2);
+/// assert_eq!(c.errors(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BerCounter {
+    errors: u64,
+    compared: u64,
+    delay: usize,
+}
+
+impl BerCounter {
+    /// Aligns `received` against `sent` by searching delays
+    /// `0..=max_delay` for the fewest mismatches, then counts errors at
+    /// the best alignment. Comparison is by sign (2-PAM decisions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the streams are too short to overlap at `max_delay`.
+    pub fn align(sent: &[f64], received: &[f64], max_delay: usize) -> Self {
+        assert!(
+            received.len() > max_delay,
+            "received stream shorter than the delay search window"
+        );
+        let mut best = (u64::MAX, 0usize, 0u64);
+        for delay in 0..=max_delay {
+            let n = sent.len().min(received.len() - delay);
+            let mut errors = 0;
+            for i in 0..n {
+                let s = sent[i] > 0.0;
+                let r = received[i + delay] > 0.0;
+                if s != r {
+                    errors += 1;
+                }
+            }
+            if errors < best.0 {
+                best = (errors, delay, n as u64);
+            }
+        }
+        BerCounter {
+            errors: best.0,
+            compared: best.2,
+            delay: best.1,
+        }
+    }
+
+    /// Number of symbol errors at the best alignment.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Number of symbols compared.
+    pub fn compared(&self) -> u64 {
+        self.compared
+    }
+
+    /// The detected pipeline delay.
+    pub fn delay(&self) -> usize {
+        self.delay
+    }
+
+    /// The error ratio.
+    pub fn ber(&self) -> f64 {
+        if self.compared == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.compared as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_basics() {
+        let mut m = Mse::new();
+        assert_eq!(m.mse(), 0.0);
+        m.record(2.0, 1.0);
+        m.record(0.0, 2.0);
+        assert_eq!(m.count(), 2);
+        assert!((m.mse() - 2.5).abs() < 1e-12);
+        assert!((m.rmse() - 2.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ber_perfect_alignment() {
+        let sent: Vec<f64> = (0..50)
+            .map(|i| if i % 3 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let c = BerCounter::align(&sent, &sent, 8);
+        assert_eq!(c.errors(), 0);
+        assert_eq!(c.delay(), 0);
+        assert_eq!(c.ber(), 0.0);
+    }
+
+    #[test]
+    fn ber_finds_delay_and_counts() {
+        let sent: Vec<f64> = (0..100)
+            .map(|i| if (i * 7) % 5 < 2 { 1.0 } else { -1.0 })
+            .collect();
+        let mut rx = vec![1.0; 5];
+        rx.extend_from_slice(&sent);
+        // Flip three decisions.
+        for k in [10usize, 40, 70] {
+            rx[5 + k] = -rx[5 + k];
+        }
+        let c = BerCounter::align(&sent, &rx, 10);
+        assert_eq!(c.delay(), 5);
+        assert_eq!(c.errors(), 3);
+        assert!((c.ber() - 3.0 / c.compared() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the delay search window")]
+    fn ber_validates_lengths() {
+        let _ = BerCounter::align(&[1.0], &[1.0], 4);
+    }
+}

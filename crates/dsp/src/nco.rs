@@ -1,0 +1,122 @@
+//! Numerically-controlled oscillator (phase accumulator).
+//!
+//! The "NCO" block of Fig. 5: a mod-1 phase accumulator decremented each
+//! sample by the nominal step (1/sps) plus the loop-filter correction.
+//! Underflow marks a symbol strobe; the residual phase, scaled by the
+//! step, is the fractional interval `mu` handed to the interpolator.
+//! The wrap discontinuity makes its error statistics the divergent case
+//! of the paper's complex example (the `D` signal inside the NCO).
+
+/// A decrementing mod-1 NCO producing strobes and fractional intervals.
+///
+/// # Example
+///
+/// ```
+/// use fixref_dsp::Nco;
+///
+/// let mut nco = Nco::new(0.5); // 2 samples per symbol
+/// let mut strobes = 0;
+/// for _ in 0..100 {
+///     if nco.step(0.0).is_some() {
+///         strobes += 1;
+///     }
+/// }
+/// assert_eq!(strobes, 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Nco {
+    phase: f64,
+    nominal: f64,
+}
+
+impl Nco {
+    /// Creates an NCO with the given nominal step per sample
+    /// (`1 / samples-per-symbol`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < nominal < 1`.
+    pub fn new(nominal: f64) -> Self {
+        assert!(
+            nominal > 0.0 && nominal < 1.0,
+            "nominal step {nominal} outside (0, 1)"
+        );
+        Nco {
+            phase: 1.0 - f64::EPSILON,
+            nominal,
+        }
+    }
+
+    /// Advances one sample with loop correction `ctl`. Returns
+    /// `Some(mu)` when the accumulator underflows (symbol strobe), with
+    /// `mu ∈ [0, 1)` the fractional interpolation interval.
+    pub fn step(&mut self, ctl: f64) -> Option<f64> {
+        let step = (self.nominal + ctl).clamp(1e-6, 1.0 - 1e-6);
+        self.phase -= step;
+        if self.phase < 0.0 {
+            let mu = (self.phase + step) / step;
+            self.phase += 1.0;
+            Some(mu.clamp(0.0, 1.0 - f64::EPSILON))
+        } else {
+            None
+        }
+    }
+
+    /// The current phase in `[0, 1)`.
+    pub fn phase(&self) -> f64 {
+        self.phase
+    }
+
+    /// Resets the phase to just below 1 (immediately pre-strobe).
+    pub fn reset(&mut self) {
+        self.phase = 1.0 - f64::EPSILON;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strobe_rate_matches_nominal() {
+        let mut nco = Nco::new(0.25); // 4 samples per symbol
+        let strobes = (0..1000).filter(|_| nco.step(0.0).is_some()).count();
+        assert_eq!(strobes, 250);
+    }
+
+    #[test]
+    fn phase_stays_in_unit_interval() {
+        let mut nco = Nco::new(0.5);
+        for i in 0..1000 {
+            let ctl = 0.05 * ((i as f64) * 0.3).sin();
+            let _ = nco.step(ctl);
+            assert!((0.0..1.0).contains(&nco.phase()), "phase {}", nco.phase());
+        }
+    }
+
+    #[test]
+    fn mu_is_fractional_and_consistent() {
+        let mut nco = Nco::new(0.5);
+        for _ in 0..200 {
+            if let Some(mu) = nco.step(0.0) {
+                assert!((0.0..1.0).contains(&mu), "mu {mu}");
+            }
+        }
+    }
+
+    #[test]
+    fn positive_control_speeds_up_strobes() {
+        let count = |ctl: f64| {
+            let mut nco = Nco::new(0.5);
+            (0..1000).filter(|_| nco.step(ctl).is_some()).count()
+        };
+        assert!(count(0.05) > count(0.0));
+        assert!(count(-0.05) < count(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1)")]
+    fn nominal_validated() {
+        let _ = Nco::new(1.5);
+    }
+}

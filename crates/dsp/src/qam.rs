@@ -1,0 +1,553 @@
+//! Complex-baseband QAM receiver blocks — the paper's production context
+//! ("a cable modem ... signal processor"). The centerpiece is a complex
+//! adaptive feed-forward equalizer (FFE): every complex signal expands to
+//! a real/imaginary pair, every complex multiply to four real multiplies,
+//! so the refinement flow faces a realistically sized dataflow with
+//! adaptive (exploding) feedback on every coefficient.
+
+use fixref_fixed::DType;
+use fixref_sim::{Design, RegArray, Sig, SigArray, SignalId, SignalRef};
+
+use crate::channel::Awgn;
+use crate::slicer::pam_slice;
+use crate::source::Lfsr;
+
+/// A QPSK/QAM symbol source with unit-amplitude outer levels; symbols are
+/// `(i, q)` pairs.
+///
+/// # Example
+///
+/// ```
+/// use fixref_dsp::qam::QamSource;
+///
+/// let mut src = QamSource::qpsk(5);
+/// let (i, q) = src.next_symbol();
+/// assert!(i.abs() == 1.0 && q.abs() == 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QamSource {
+    lfsr: Lfsr,
+    levels: u32,
+}
+
+impl QamSource {
+    /// A QPSK source (±1 ± j).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` is zero.
+    pub fn qpsk(seed: u32) -> Self {
+        QamSource {
+            lfsr: Lfsr::prbs15(seed),
+            levels: 2,
+        }
+    }
+
+    /// A square 16-QAM source (levels ±1/3, ±1 per axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` is zero.
+    pub fn qam16(seed: u32) -> Self {
+        QamSource {
+            lfsr: Lfsr::prbs15(seed),
+            levels: 4,
+        }
+    }
+
+    fn axis(&mut self) -> f64 {
+        let bits = self.levels.trailing_zeros();
+        let mut v = 0u32;
+        for _ in 0..bits {
+            v = (v << 1) | self.lfsr.next_bit() as u32;
+        }
+        let m = self.levels as f64;
+        (2.0 * v as f64 - (m - 1.0)) / (m - 1.0)
+    }
+
+    /// The next `(i, q)` symbol.
+    pub fn next_symbol(&mut self) -> (f64, f64) {
+        (self.axis(), self.axis())
+    }
+
+    /// PAM order per axis (2 for QPSK, 4 for 16-QAM).
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+}
+
+/// A static complex ISI channel (complex FIR) with AWGN per axis.
+#[derive(Debug, Clone)]
+pub struct ComplexChannel {
+    taps: Vec<(f64, f64)>,
+    state: Vec<(f64, f64)>,
+    noise_i: Awgn,
+    noise_q: Awgn,
+}
+
+impl ComplexChannel {
+    /// Creates a channel from complex taps and a per-axis noise σ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty or `sigma` is invalid.
+    pub fn new(taps: &[(f64, f64)], seed: u64, sigma: f64) -> Self {
+        assert!(!taps.is_empty(), "channel needs at least one tap");
+        ComplexChannel {
+            taps: taps.to_vec(),
+            state: vec![(0.0, 0.0); taps.len()],
+            noise_i: Awgn::new(seed, sigma),
+            noise_q: Awgn::new(seed.wrapping_add(1), sigma),
+        }
+    }
+
+    /// The canonical mild complex-ISI channel used by the case study:
+    /// a unit main tap with small complex pre/postcursors.
+    pub fn mild(seed: u64, sigma: f64) -> Self {
+        ComplexChannel::new(&[(0.08, -0.04), (1.0, 0.0), (-0.07, 0.05)], seed, sigma)
+    }
+
+    /// Pushes one complex symbol, returning the received `(i, q)` sample.
+    pub fn push(&mut self, s: (f64, f64)) -> (f64, f64) {
+        self.state.rotate_right(1);
+        self.state[0] = s;
+        let mut i = 0.0;
+        let mut q = 0.0;
+        for ((tr, ti), (xr, xi)) in self.taps.iter().zip(&self.state) {
+            i += tr * xr - ti * xi;
+            q += tr * xi + ti * xr;
+        }
+        (self.noise_i.add(i), self.noise_q.add(q))
+    }
+
+    /// Worst-case output magnitude per axis for unit symbols.
+    pub fn peak_output(&self) -> f64 {
+        self.taps
+            .iter()
+            .map(|(r, i)| r.abs() + i.abs())
+            .sum::<f64>()
+    }
+}
+
+/// Configuration of the complex FFE models.
+#[derive(Debug, Clone)]
+pub struct FfeConfig {
+    /// Number of complex taps.
+    pub taps: usize,
+    /// LMS step size.
+    pub mu: f64,
+    /// PAM order per axis for the decision slicer.
+    pub levels: u32,
+    /// Optional fixed-point type for the received `(i, q)` inputs.
+    pub input_dtype: Option<DType>,
+    /// Explicit input range annotation.
+    pub input_range: Option<(f64, f64)>,
+}
+
+impl Default for FfeConfig {
+    fn default() -> Self {
+        FfeConfig {
+            taps: 5,
+            mu: 1.0 / 64.0,
+            levels: 2,
+            input_dtype: None,
+            input_range: Some((-1.6, 1.6)),
+        }
+    }
+}
+
+/// Golden floating-point complex LMS FFE.
+#[derive(Debug, Clone)]
+pub struct QamFfeGolden {
+    c: Vec<(f64, f64)>,
+    d: Vec<(f64, f64)>,
+    mu: f64,
+    levels: u32,
+}
+
+impl QamFfeGolden {
+    /// Creates the golden model with the center tap initialized to 1.
+    pub fn new(config: &FfeConfig) -> Self {
+        let mut g = QamFfeGolden {
+            c: vec![(0.0, 0.0); config.taps],
+            d: vec![(0.0, 0.0); config.taps],
+            mu: config.mu,
+            levels: config.levels,
+        };
+        g.reset();
+        g
+    }
+
+    /// Resets state and re-seeds the center tap.
+    pub fn reset(&mut self) {
+        self.c.iter_mut().for_each(|c| *c = (0.0, 0.0));
+        self.d.iter_mut().for_each(|d| *d = (0.0, 0.0));
+        let center = self.c.len() / 2;
+        self.c[center] = (1.0, 0.0);
+    }
+
+    /// One symbol step: returns `(out, decision)` complex pairs.
+    ///
+    /// The FIR consumes the delay line *before* this sample is shifted in
+    /// (one symbol of pipeline latency), mirroring the register semantics
+    /// of the instrumented model.
+    pub fn step(&mut self, x: (f64, f64)) -> ((f64, f64), (f64, f64)) {
+        let mut or_ = 0.0;
+        let mut oi = 0.0;
+        for ((cr, ci), (xr, xi)) in self.c.iter().zip(&self.d) {
+            or_ += cr * xr - ci * xi;
+            oi += cr * xi + ci * xr;
+        }
+        let dec = (pam_slice(or_, self.levels), pam_slice(oi, self.levels));
+        let (er, ei) = (dec.0 - or_, dec.1 - oi);
+        for (k, (cr, ci)) in self.c.iter_mut().enumerate() {
+            let (xr, xi) = self.d[k];
+            // c += mu * e * conj(x)
+            *cr += self.mu * (er * xr + ei * xi);
+            *ci += self.mu * (ei * xr - er * xi);
+        }
+        self.d.rotate_right(1);
+        self.d[0] = x;
+        ((or_, oi), dec)
+    }
+
+    /// The complex coefficients.
+    pub fn coefficients(&self) -> &[(f64, f64)] {
+        &self.c
+    }
+}
+
+/// The instrumented complex FFE over a [`Design`]: `6·taps + 8`
+/// monitored signals (38 at the default 5 taps).
+#[derive(Debug, Clone)]
+pub struct QamFfe {
+    design: Design,
+    config: FfeConfig,
+    xr: Sig,
+    xi: Sig,
+    dr: RegArray,
+    di: RegArray,
+    cr: RegArray,
+    ci: RegArray,
+    vr: SigArray,
+    vi: SigArray,
+    er: Sig,
+    ei: Sig,
+    yr: Sig,
+    yi: Sig,
+}
+
+impl QamFfe {
+    /// Declares the equalizer's signals in `design`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if names are taken or `config.taps == 0`.
+    pub fn new(design: &Design, config: &FfeConfig) -> Self {
+        assert!(config.taps > 0, "FFE needs at least one tap");
+        let (xr, xi) = match &config.input_dtype {
+            Some(t) => (
+                design.sig_typed("xr", t.clone()),
+                design.sig_typed("xi", t.clone()),
+            ),
+            None => (design.sig("xr"), design.sig("xi")),
+        };
+        if let Some((lo, hi)) = config.input_range {
+            xr.range(lo, hi);
+            xi.range(lo, hi);
+        }
+        let n = config.taps;
+        QamFfe {
+            design: design.clone(),
+            config: config.clone(),
+            xr,
+            xi,
+            dr: design.reg_array("dr", n),
+            di: design.reg_array("di", n),
+            cr: design.reg_array("cr", n),
+            ci: design.reg_array("ci", n),
+            vr: design.sig_array("vr", n + 1),
+            vi: design.sig_array("vi", n + 1),
+            er: design.sig("er"),
+            ei: design.sig("ei"),
+            yr: design.sig("yr"),
+            yi: design.sig("yi"),
+        }
+    }
+
+    /// Seeds the center tap (call after every `reset_state`).
+    pub fn init(&self) {
+        self.cr.at(self.config.taps / 2).set(1.0);
+        self.design.tick();
+    }
+
+    /// One symbol step; returns `(out, decision)` floating-path pairs.
+    pub fn step(&self, x: (f64, f64)) -> ((f64, f64), (f64, f64)) {
+        let n = self.config.taps;
+        let mu = self.config.mu;
+        self.xr.set(x.0);
+        self.xi.set(x.1);
+
+        self.dr.at(0).set(self.xr.get());
+        self.di.at(0).set(self.xi.get());
+        for k in 1..n {
+            self.dr.at(k).set(self.dr.at(k - 1).get());
+            self.di.at(k).set(self.di.at(k - 1).get());
+        }
+
+        // Complex FIR as real partial sums (pre-tick delay line).
+        self.vr.at(0).set(0.0);
+        self.vi.at(0).set(0.0);
+        for k in 0..n {
+            let (cr, ci) = (self.cr.at(k).get(), self.ci.at(k).get());
+            let (xr, xi) = (self.dr.at(k).get(), self.di.at(k).get());
+            self.vr
+                .at(k + 1)
+                .set(self.vr.at(k).get() + cr.clone() * xr.clone() - ci.clone() * xi.clone());
+            self.vi
+                .at(k + 1)
+                .set(self.vi.at(k).get() + cr * xi + ci * xr);
+        }
+
+        // Per-axis slicers (nearest level for the configured order).
+        let levels = self.config.levels;
+        self.yr
+            .set(crate::slicer::pam_slice_value(self.vr.at(n).get(), levels));
+        self.yi
+            .set(crate::slicer::pam_slice_value(self.vi.at(n).get(), levels));
+
+        // Error and LMS update c_k += mu * e * conj(x_k).
+        self.er.set(self.yr.get() - self.vr.at(n).get());
+        self.ei.set(self.yi.get() - self.vi.at(n).get());
+        for k in 0..n {
+            let (xr, xi) = (self.dr.at(k).get(), self.di.at(k).get());
+            self.cr.at(k).set(
+                self.cr.at(k).get()
+                    + mu * (self.er.get() * xr.clone() + self.ei.get() * xi.clone()),
+            );
+            self.ci
+                .at(k)
+                .set(self.ci.at(k).get() + mu * (self.ei.get() * xr - self.er.get() * xi));
+        }
+
+        self.design.tick();
+        (
+            (self.vr.at(n).get().flt(), self.vi.at(n).get().flt()),
+            (self.yr.get().flt(), self.yi.get().flt()),
+        )
+    }
+
+    /// The owning design.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Handles to the input pair.
+    pub fn inputs(&self) -> (&Sig, &Sig) {
+        (&self.xr, &self.xi)
+    }
+
+    /// Handles to the equalized output pair (`vr[n]`, `vi[n]`).
+    pub fn outputs(&self) -> (&Sig, &Sig) {
+        (self.vr.at(self.config.taps), self.vi.at(self.config.taps))
+    }
+
+    /// Ids of every monitored signal.
+    pub fn signal_ids(&self) -> Vec<SignalId> {
+        let mut ids = vec![self.xr.id(), self.xi.id()];
+        for arr in [&self.dr, &self.di, &self.cr, &self.ci] {
+            ids.extend(arr.iter().map(|r| r.id()));
+        }
+        for arr in [&self.vr, &self.vi] {
+            ids.extend(arr.iter().map(|s| s.id()));
+        }
+        ids.extend([self.er.id(), self.ei.id(), self.yr.id(), self.yi.id()]);
+        ids
+    }
+}
+
+/// The standard case-study stimulus: QPSK through the mild complex
+/// channel at the given SNR, clamped to the input annotation.
+pub fn qam_stimulus(seed: u64, snr_db: f64, len: usize) -> Vec<(f64, f64)> {
+    let sigma = 10f64.powf(-snr_db / 20.0);
+    let mut src = QamSource::qpsk(seed as u32 | 1);
+    let mut ch = ComplexChannel::mild(seed, sigma);
+    (0..len)
+        .map(|_| {
+            let (i, q) = ch.push(src.next_symbol());
+            (i.clamp(-1.6, 1.6), q.clamp(-1.6, 1.6))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qpsk_symbols_are_corners() {
+        let mut s = QamSource::qpsk(3);
+        for _ in 0..100 {
+            let (i, q) = s.next_symbol();
+            assert!(i.abs() == 1.0 && q.abs() == 1.0);
+        }
+        assert_eq!(s.levels(), 2);
+    }
+
+    #[test]
+    fn qam16_symbols_live_on_the_grid() {
+        let mut s = QamSource::qam16(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let (i, q) = s.next_symbol();
+            seen.insert(((i * 3.0).round() as i64, (q * 3.0).round() as i64));
+        }
+        assert_eq!(seen.len(), 16, "all 16 constellation points");
+    }
+
+    #[test]
+    fn complex_channel_is_complex_convolution() {
+        let mut ch = ComplexChannel::new(&[(0.0, 1.0)], 1, 0.0); // multiply by j
+        let (i, q) = ch.push((1.0, 0.0));
+        assert!((i - 0.0).abs() < 1e-12 && (q - 1.0).abs() < 1e-12);
+        let (i, q) = ch.push((0.0, 1.0)); // j * j = -1
+        assert!((i + 1.0).abs() < 1e-12 && (q - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mild_channel_peak_within_input_annotation() {
+        let ch = ComplexChannel::mild(1, 0.0);
+        assert!(ch.peak_output() <= 1.6, "peak {}", ch.peak_output());
+    }
+
+    #[test]
+    fn golden_ffe_opens_the_eye() {
+        let mut g = QamFfeGolden::new(&FfeConfig::default());
+        let xs = qam_stimulus(5, 26.0, 4000);
+        let mut tail_err = 0.0;
+        let mut count = 0;
+        for (i, &x) in xs.iter().enumerate() {
+            let ((or_, oi), (dr, di)) = g.step(x);
+            if i > 2500 {
+                tail_err += (or_ - dr).hypot(oi - di);
+                count += 1;
+            }
+        }
+        let mean = tail_err / count as f64;
+        assert!(mean < 0.25, "residual error {mean}");
+        // The center tap stays dominant.
+        let c = g.coefficients();
+        let center = c[c.len() / 2];
+        assert!(center.0 > 0.8, "center tap {center:?}");
+    }
+
+    #[test]
+    fn instrumented_matches_golden_when_floating() {
+        let d = Design::new();
+        let ffe = QamFfe::new(&d, &FfeConfig::default());
+        ffe.init();
+        let mut g = QamFfeGolden::new(&FfeConfig::default());
+        for &x in &qam_stimulus(7, 26.0, 400) {
+            let (go, gd) = g.step(x);
+            let (io, id) = ffe.step(x);
+            assert!((go.0 - io.0).abs() < 1e-12, "{go:?} vs {io:?}");
+            assert!((go.1 - io.1).abs() < 1e-12);
+            assert_eq!(gd, id);
+        }
+    }
+
+    #[test]
+    fn signal_count_is_six_taps_plus_eight() {
+        let d = Design::new();
+        let ffe = QamFfe::new(&d, &FfeConfig::default());
+        assert_eq!(ffe.signal_ids().len(), 6 * 5 + 8);
+        assert_eq!(d.num_signals(), 38);
+    }
+
+    #[test]
+    fn coefficients_explode_range_propagation() {
+        let d = Design::new();
+        let ffe = QamFfe::new(&d, &FfeConfig::default());
+        ffe.init();
+        for &x in &qam_stimulus(9, 26.0, 1500) {
+            ffe.step(x);
+        }
+        // Every adaptive coefficient is multiplicative feedback: its
+        // propagated range must blow up while its observed range stays
+        // small — the paper's explosion signature at scale.
+        let mut exploded = 0;
+        for k in 0..5 {
+            for name in [format!("cr[{k}]"), format!("ci[{k}]")] {
+                let r = d.report_by_id(d.find(&name).expect("declared"));
+                if r.prop.is_exploded() || r.prop.max_abs() > 1e7 {
+                    exploded += 1;
+                }
+                assert!(r.stat.interval().expect("observed").max_abs() < 2.0);
+            }
+        }
+        assert!(exploded >= 8, "only {exploded}/10 coefficients exploded");
+    }
+}
+
+#[cfg(test)]
+mod qam16_tests {
+    use super::*;
+
+    /// 16-QAM decision-directed convergence from a center-tap start at
+    /// high SNR: the residual error must shrink well below the level
+    /// spacing (2/3).
+    #[test]
+    fn qam16_ffe_converges_at_high_snr() {
+        let d = Design::new();
+        let config = FfeConfig {
+            levels: 4,
+            mu: 1.0 / 128.0,
+            ..FfeConfig::default()
+        };
+        let ffe = QamFfe::new(&d, &config);
+        ffe.init();
+        let sigma = 10f64.powf(-30.0 / 20.0) / 3.0;
+        let mut src = QamSource::qam16(11);
+        let mut ch = ComplexChannel::mild(11, sigma);
+        let mut tail = 0.0;
+        let mut count = 0;
+        for i in 0..6000 {
+            let x = ch.push(src.next_symbol());
+            let ((or_, oi), (dr, di)) = ffe.step((x.0.clamp(-1.6, 1.6), x.1.clamp(-1.6, 1.6)));
+            if i > 4000 {
+                tail += (or_ - dr).hypot(oi - di);
+                count += 1;
+            }
+        }
+        let mean = tail / count as f64;
+        assert!(mean < 0.15, "16-QAM residual {mean}");
+    }
+
+    /// The 16-QAM slicer's decision tree records in the signal-flow graph
+    /// (three nested selects per axis).
+    #[test]
+    fn qam16_slicer_records_decision_tree() {
+        let d = Design::new();
+        let config = FfeConfig {
+            levels: 4,
+            ..FfeConfig::default()
+        };
+        let ffe = QamFfe::new(&d, &config);
+        ffe.init();
+        d.record_graph(true);
+        let mut src = QamSource::qam16(13);
+        let mut ch = ComplexChannel::mild(13, 0.01);
+        for _ in 0..16 {
+            let x = ch.push(src.next_symbol());
+            ffe.step(x);
+        }
+        let g = d.graph();
+        let yr = d.find("yr").expect("declared");
+        let selects = g
+            .iter()
+            .filter(|(_, n)| matches!(n.op, fixref_sim::Op::Select))
+            .count();
+        assert!(selects >= 6, "two axes x three selects, got {selects}");
+        assert!(!g.defs(yr).is_empty());
+    }
+}

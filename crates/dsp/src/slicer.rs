@@ -1,0 +1,168 @@
+//! Decision slicers.
+
+/// Slices a sample to the nearest M-PAM level (unit outer levels, as
+/// produced by [`crate::PamSource`]).
+///
+/// For 2-PAM this is the paper's `y = w > 0 ? 1 : -1` slicer, with the
+/// tie at exactly zero resolved to −1 (matching `w > 0`).
+///
+/// # Panics
+///
+/// Panics unless `levels` is a power of two in `2..=16`.
+///
+/// # Example
+///
+/// ```
+/// use fixref_dsp::pam_slice;
+///
+/// assert_eq!(pam_slice(0.3, 2), 1.0);
+/// assert_eq!(pam_slice(-0.01, 2), -1.0);
+/// assert_eq!(pam_slice(0.3, 4), 1.0 / 3.0);
+/// ```
+pub fn pam_slice(x: f64, levels: u32) -> f64 {
+    assert!(
+        levels.is_power_of_two() && (2..=16).contains(&levels),
+        "unsupported PAM order {levels}"
+    );
+    if levels == 2 {
+        return if x > 0.0 { 1.0 } else { -1.0 };
+    }
+    let m = levels as f64;
+    // Levels are (2i - (M-1)) / (M-1), i = 0..M-1. Exact midpoints break
+    // downward, consistent with the strict `w > 0` of the 2-PAM slicer
+    // (and with the fixed-steered select tree of `pam_slice_value`).
+    let i = ((x * (m - 1.0) + (m - 1.0)) / 2.0 - 0.5)
+        .ceil()
+        .clamp(0.0, m - 1.0);
+    (2.0 * i - (m - 1.0)) / (m - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bpsk_matches_paper_semantics() {
+        assert_eq!(pam_slice(1e-9, 2), 1.0);
+        assert_eq!(pam_slice(0.0, 2), -1.0); // w > 0 is strict
+        assert_eq!(pam_slice(-5.0, 2), -1.0);
+        assert_eq!(pam_slice(5.0, 2), 1.0);
+    }
+
+    #[test]
+    fn pam4_nearest_level() {
+        let lv = [-1.0, -1.0 / 3.0, 1.0 / 3.0, 1.0];
+        for &l in &lv {
+            assert!((pam_slice(l + 0.1, 4) - l).abs() < 1e-12 || (l + 0.1) > l + 1.0 / 3.0 / 2.0);
+            assert_eq!(pam_slice(l, 4), l);
+        }
+        assert_eq!(pam_slice(0.4, 4), 1.0 / 3.0);
+        assert_eq!(pam_slice(0.8, 4), 1.0);
+        assert_eq!(pam_slice(-0.9, 4), -1.0);
+    }
+
+    #[test]
+    fn slicer_is_idempotent() {
+        for levels in [2u32, 4, 8, 16] {
+            for i in -20..=20 {
+                let x = i as f64 / 10.0;
+                let s = pam_slice(x, levels);
+                assert_eq!(pam_slice(s, levels), s, "levels {levels} x {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_clamped_to_outer_levels() {
+        assert_eq!(pam_slice(100.0, 8), 1.0);
+        assert_eq!(pam_slice(-100.0, 8), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported PAM order")]
+    fn order_validated() {
+        let _ = pam_slice(0.0, 3);
+    }
+}
+
+use fixref_sim::Value;
+
+/// Slices a dual-path [`Value`] to the nearest M-PAM level using a chain
+/// of fixed-path-steered selections, so both simulation paths take the
+/// same decision and the signal-flow graph records the full decision tree
+/// (for 2-PAM this is the paper's `w > 0 ? 1 : -1` slicer).
+///
+/// # Panics
+///
+/// Panics unless `levels` is a power of two in `2..=16`.
+///
+/// # Example
+///
+/// ```
+/// use fixref_dsp::slicer::pam_slice_value;
+/// use fixref_sim::Value;
+///
+/// let y = pam_slice_value(Value::from(0.4), 4);
+/// assert!((y.fix() - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn pam_slice_value(v: Value, levels: u32) -> Value {
+    assert!(
+        levels.is_power_of_two() && (2..=16).contains(&levels),
+        "unsupported PAM order {levels}"
+    );
+    let m = levels as f64;
+    let lvls: Vec<f64> = (0..levels)
+        .map(|i| (2.0 * i as f64 - (m - 1.0)) / (m - 1.0))
+        .collect();
+    slice_rec(&v, &lvls)
+}
+
+/// Binary decision tree over a sorted level slice.
+fn slice_rec(v: &Value, lvls: &[f64]) -> Value {
+    if lvls.len() == 1 {
+        return Value::from(lvls[0]);
+    }
+    let mid = lvls.len() / 2;
+    // Threshold midway between the two groups' adjacent levels.
+    let threshold = (lvls[mid - 1] + lvls[mid]) / 2.0;
+    let upper = slice_rec(v, &lvls[mid..]);
+    let lower = slice_rec(v, &lvls[..mid]);
+    (v.clone() - threshold).select_positive(upper, lower)
+}
+
+#[cfg(test)]
+mod value_tests {
+    use super::*;
+    use fixref_fixed::Interval;
+
+    #[test]
+    fn value_slicer_matches_scalar_slicer() {
+        for levels in [2u32, 4, 8, 16] {
+            for i in -25..=25 {
+                let x = i as f64 / 10.0;
+                let v = Value::with_paths(x, x, Interval::point(x));
+                let sliced = pam_slice_value(v, levels);
+                assert_eq!(sliced.fix(), pam_slice(x, levels), "levels {levels} x {x}");
+                assert_eq!(sliced.flt(), sliced.fix(), "paths agree on decisions");
+            }
+        }
+    }
+
+    #[test]
+    fn value_slicer_steered_by_fixed_path() {
+        // Float says +0.4 (level 1/3), fixed says -0.4 (level -1/3): both
+        // paths must take the fixed decision.
+        let v = Value::with_paths(0.4, -0.4, Interval::new(-1.0, 1.0));
+        let sliced = pam_slice_value(v, 4);
+        assert!((sliced.fix() + 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(sliced.flt(), sliced.fix());
+    }
+
+    #[test]
+    fn value_slicer_interval_covers_all_levels() {
+        let v = Value::with_paths(0.0, 0.0, Interval::new(-2.0, 2.0));
+        let sliced = pam_slice_value(v, 4);
+        assert!(sliced.interval().contains(-1.0));
+        assert!(sliced.interval().contains(1.0));
+    }
+}

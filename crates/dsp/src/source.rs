@@ -1,0 +1,374 @@
+//! Stimulus sources: PRBS, PAM symbols and pulse-shaped PAM waveforms.
+
+/// A Fibonacci linear-feedback shift register producing a maximal-length
+/// pseudo-random binary sequence (PRBS).
+///
+/// The default is PRBS-15 (`x^15 + x^14 + 1`), a classic test sequence for
+/// digital transmission equipment.
+///
+/// # Example
+///
+/// ```
+/// use fixref_dsp::Lfsr;
+///
+/// let mut lfsr = Lfsr::prbs15(1);
+/// let bits: Vec<bool> = (0..8).map(|_| lfsr.next_bit()).collect();
+/// assert_eq!(bits.len(), 8);
+/// // Deterministic per seed.
+/// let mut again = Lfsr::prbs15(1);
+/// assert!(bits.iter().all(|&b| b == again.next_bit()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr {
+    state: u32,
+    taps: u32,
+    len: u32,
+}
+
+impl Lfsr {
+    /// A PRBS-15 generator (`x^15 + x^14 + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` is zero (the LFSR would lock up).
+    pub fn prbs15(seed: u32) -> Self {
+        Lfsr::new(seed, (1 << 14) | (1 << 13), 15)
+    }
+
+    /// A PRBS-7 generator (`x^7 + x^6 + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` is zero.
+    pub fn prbs7(seed: u32) -> Self {
+        Lfsr::new(seed, (1 << 6) | (1 << 5), 7)
+    }
+
+    /// A generator with explicit tap mask and register length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` is zero after masking to `len` bits, or `len` is
+    /// not in `2..=31`.
+    pub fn new(seed: u32, taps: u32, len: u32) -> Self {
+        assert!((2..=31).contains(&len), "unsupported LFSR length {len}");
+        let state = seed & ((1 << len) - 1);
+        assert!(state != 0, "LFSR seed must be nonzero");
+        Lfsr { state, taps, len }
+    }
+
+    /// Produces the next bit.
+    pub fn next_bit(&mut self) -> bool {
+        let fb = (self.state & self.taps).count_ones() & 1;
+        self.state = ((self.state << 1) | fb) & ((1 << self.len) - 1);
+        fb == 1
+    }
+
+    /// The sequence period of a maximal-length configuration: `2^len - 1`.
+    pub fn period(&self) -> u64 {
+        (1u64 << self.len) - 1
+    }
+}
+
+/// A PRBS-driven M-PAM symbol source with unit outer levels
+/// (2-PAM: ±1; 4-PAM: ±1/3, ±1).
+///
+/// # Example
+///
+/// ```
+/// use fixref_dsp::PamSource;
+///
+/// let mut src = PamSource::bpsk(7);
+/// let s = src.next_symbol();
+/// assert!(s == 1.0 || s == -1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PamSource {
+    lfsr: Lfsr,
+    levels: u32,
+}
+
+impl PamSource {
+    /// A 2-PAM (±1) source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` is zero.
+    pub fn bpsk(seed: u32) -> Self {
+        PamSource {
+            lfsr: Lfsr::prbs15(seed),
+            levels: 2,
+        }
+    }
+
+    /// An M-PAM source; `levels` must be a power of two in `2..=16`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid `levels` or zero `seed`.
+    pub fn new(seed: u32, levels: u32) -> Self {
+        assert!(
+            levels.is_power_of_two() && (2..=16).contains(&levels),
+            "unsupported PAM order {levels}"
+        );
+        PamSource {
+            lfsr: Lfsr::prbs15(seed),
+            levels,
+        }
+    }
+
+    /// Produces the next symbol in `[-1, 1]`.
+    pub fn next_symbol(&mut self) -> f64 {
+        let bits = self.levels.trailing_zeros();
+        let mut v = 0u32;
+        for _ in 0..bits {
+            v = (v << 1) | self.lfsr.next_bit() as u32;
+        }
+        // Gray-free linear mapping to levels -(M-1), ..., (M-1), scaled.
+        let m = self.levels as f64;
+        (2.0 * v as f64 - (m - 1.0)) / (m - 1.0)
+    }
+}
+
+/// The raised-cosine pulse `g(t)` with roll-off `beta`, unit symbol time.
+///
+/// Handles both removable singularities (`t = 0` and
+/// `t = ±1/(2·beta)`).
+pub fn raised_cosine(t: f64, beta: f64) -> f64 {
+    let sinc = |x: f64| {
+        if x.abs() < 1e-12 {
+            1.0
+        } else {
+            (std::f64::consts::PI * x).sin() / (std::f64::consts::PI * x)
+        }
+    };
+    if beta > 0.0 {
+        let denom = 1.0 - (2.0 * beta * t) * (2.0 * beta * t);
+        if denom.abs() < 1e-9 {
+            // limit at t = ±1/(2 beta)
+            return std::f64::consts::FRAC_PI_4 * sinc(1.0 / (2.0 * beta));
+        }
+        sinc(t) * (std::f64::consts::PI * beta * t).cos() / denom
+    } else {
+        sinc(t)
+    }
+}
+
+/// A pulse-shaped PAM waveform source: PRBS symbols through a
+/// raised-cosine pulse, sampled at `sps` samples per symbol with a static
+/// timing offset `tau` (fractions of a symbol) and an optional small
+/// clock-frequency offset `ppm`.
+///
+/// This is the synthetic stand-in for the paper's cable-modem front-end
+/// input: the timing-recovery loop of Fig. 5 must estimate and track
+/// `tau`.
+///
+/// # Example
+///
+/// ```
+/// use fixref_dsp::ShapedPamSource;
+///
+/// let mut src = ShapedPamSource::new(3, 0.35, 2, 0.25, 0.0);
+/// let samples: Vec<f64> = (0..64).map(|_| src.next_sample()).collect();
+/// assert!(samples.iter().all(|s| s.abs() < 1.8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShapedPamSource {
+    source: PamSource,
+    symbols: Vec<f64>,
+    beta: f64,
+    sps: u32,
+    tau: f64,
+    ppm: f64,
+    sample_index: u64,
+    span: i64,
+}
+
+impl ShapedPamSource {
+    /// Creates a source with roll-off `beta`, `sps` samples per symbol,
+    /// timing offset `tau` (in symbols) and clock offset `ppm` (parts per
+    /// million of the symbol rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is outside `[0, 1]`, `sps == 0`, or `seed == 0`.
+    pub fn new(seed: u32, beta: f64, sps: u32, tau: f64, ppm: f64) -> Self {
+        assert!((0.0..=1.0).contains(&beta), "roll-off {beta} outside [0,1]");
+        assert!(sps >= 1, "need at least one sample per symbol");
+        ShapedPamSource {
+            source: PamSource::bpsk(seed),
+            symbols: Vec::new(),
+            beta,
+            sps,
+            tau,
+            ppm,
+            sample_index: 0,
+            span: 8,
+        }
+    }
+
+    /// The transmitted symbol at index `k` (generating it on demand).
+    pub fn symbol(&mut self, k: usize) -> f64 {
+        while self.symbols.len() <= k {
+            let s = self.source.next_symbol();
+            self.symbols.push(s);
+        }
+        self.symbols[k]
+    }
+
+    /// Produces the next received sample
+    /// `x(n) = Σ_k a_k · g(n/sps − k − τ − ppm·drift)`.
+    pub fn next_sample(&mut self) -> f64 {
+        let n = self.sample_index as f64;
+        self.sample_index += 1;
+        let drift = self.ppm * 1e-6 * n / self.sps as f64;
+        let t = n / self.sps as f64 - self.tau - drift;
+        let center = t.floor() as i64;
+        let mut acc = 0.0;
+        for k in (center - self.span)..=(center + self.span) {
+            if k < 0 {
+                continue;
+            }
+            let a = self.symbol(k as usize);
+            acc += a * raised_cosine(t - k as f64, self.beta);
+        }
+        acc
+    }
+
+    /// Samples per symbol.
+    pub fn sps(&self) -> u32 {
+        self.sps
+    }
+
+    /// The static timing offset.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lfsr_is_maximal_length() {
+        let mut l = Lfsr::prbs7(1);
+        let mut seen = std::collections::HashSet::new();
+        let mut state_bits = Vec::new();
+        for _ in 0..l.period() {
+            state_bits.push(l.next_bit());
+            seen.insert(l.state);
+        }
+        // All 127 nonzero states visited exactly once.
+        assert_eq!(seen.len(), 127);
+        assert_eq!(l.period(), 127);
+    }
+
+    #[test]
+    fn lfsr_balanced_ones_zeros() {
+        let mut l = Lfsr::prbs15(0x1234);
+        let n = l.period();
+        let ones: u64 = (0..n).map(|_| l.next_bit() as u64).sum();
+        // A maximal-length sequence has exactly 2^(len-1) ones.
+        assert_eq!(ones, 1 << 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed must be nonzero")]
+    fn lfsr_zero_seed_rejected() {
+        let _ = Lfsr::prbs15(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported LFSR length")]
+    fn lfsr_bad_length_rejected() {
+        let _ = Lfsr::new(1, 0b11, 1);
+    }
+
+    #[test]
+    fn bpsk_levels_and_balance() {
+        let mut s = PamSource::bpsk(99);
+        let n = 10000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = s.next_symbol();
+            assert!(v == 1.0 || v == -1.0);
+            sum += v;
+        }
+        assert!(sum.abs() / (n as f64) < 0.05, "imbalanced: {sum}");
+    }
+
+    #[test]
+    fn pam4_levels() {
+        let mut s = PamSource::new(5, 4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let v = s.next_symbol();
+            seen.insert((v * 3.0).round() as i64);
+        }
+        assert_eq!(seen, [-3i64, -1, 1, 3].into_iter().collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported PAM order")]
+    fn pam_order_validated() {
+        let _ = PamSource::new(1, 3);
+    }
+
+    #[test]
+    fn raised_cosine_properties() {
+        // Nyquist criterion: zero at nonzero integers, 1 at 0.
+        assert!((raised_cosine(0.0, 0.35) - 1.0).abs() < 1e-12);
+        for k in 1..6 {
+            assert!(raised_cosine(k as f64, 0.35).abs() < 1e-9, "g({k}) != 0");
+        }
+        // Singularity point t = 1/(2 beta) is finite and continuous.
+        let beta = 0.5;
+        let ts = 1.0 / (2.0 * beta);
+        let at = raised_cosine(ts, beta);
+        let near = raised_cosine(ts + 1e-7, beta);
+        assert!(at.is_finite());
+        assert!((at - near).abs() < 1e-4);
+        // beta = 0 degenerates to sinc.
+        assert!((raised_cosine(0.5, 0.0) - 2.0 / std::f64::consts::PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shaped_source_hits_symbols_at_zero_offset() {
+        // With tau = 0 and sps = 2, even samples sit exactly on symbol
+        // centers where the RC pulse is ISI-free.
+        let mut src = ShapedPamSource::new(11, 0.35, 2, 0.0, 0.0);
+        let samples: Vec<f64> = (0..200).map(|_| src.next_sample()).collect();
+        for (k, chunk) in samples.chunks(2).enumerate().skip(8) {
+            let a = src.symbol(k);
+            assert!(
+                (chunk[0] - a).abs() < 1e-6,
+                "sample {k}: {} vs symbol {a}",
+                chunk[0]
+            );
+        }
+    }
+
+    #[test]
+    fn shaped_source_bounded_amplitude() {
+        let mut src = ShapedPamSource::new(13, 0.35, 2, 0.3, 50.0);
+        for _ in 0..2000 {
+            let s = src.next_sample();
+            assert!(s.abs() < 1.8, "excursion {s}");
+        }
+    }
+
+    #[test]
+    fn timing_offset_shifts_waveform() {
+        let take = |tau: f64| {
+            let mut s = ShapedPamSource::new(17, 0.35, 2, tau, 0.0);
+            (0..100).map(|_| s.next_sample()).collect::<Vec<_>>()
+        };
+        let a = take(0.0);
+        let b = take(0.5);
+        // A half-symbol offset at 2 samples/symbol shifts by one sample.
+        for i in 20..80 {
+            assert!((a[i] - b[i + 1]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Gardner timing-error detector.
+//!
+//! The "Timing error detector" block of Fig. 5: a decision-independent
+//! TED operating at 2 samples/symbol. With strobes `y[k]` on symbol
+//! centers and `y[k-1/2]` midway,
+//! `e = y[k-1/2] · (y[k] − y[k-1])`: positive when sampling late,
+//! negative when early, zero-mean on time.
+
+/// A Gardner TED over symbol-rate strobes.
+///
+/// Feed the interpolated midway sample with [`GardnerTed::push_half`] and
+/// the on-symbol sample with [`GardnerTed::push_symbol`], which returns
+/// the error.
+///
+/// # Example
+///
+/// ```
+/// use fixref_dsp::GardnerTed;
+///
+/// let mut ted = GardnerTed::new();
+/// ted.push_symbol(1.0);
+/// ted.push_half(0.0);          // perfect zero crossing midway
+/// let e = ted.push_symbol(-1.0);
+/// assert_eq!(e, 0.0);          // on-time: no error
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GardnerTed {
+    prev_symbol: f64,
+    half: f64,
+}
+
+impl GardnerTed {
+    /// Creates a TED with zeroed state.
+    pub fn new() -> Self {
+        GardnerTed::default()
+    }
+
+    /// Records the mid-symbol (half-strobe) sample.
+    pub fn push_half(&mut self, y_half: f64) {
+        self.half = y_half;
+    }
+
+    /// Records the on-symbol sample and returns the timing error
+    /// `e = y_half · (y_now − y_prev)` (positive = sampling late, so a
+    /// positive loop gain advances the strobe).
+    pub fn push_symbol(&mut self, y_now: f64) -> f64 {
+        let e = self.half * (y_now - self.prev_symbol);
+        self.prev_symbol = y_now;
+        e
+    }
+
+    /// Clears the state.
+    pub fn reset(&mut self) {
+        *self = GardnerTed::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives the TED with a sinusoid-shaped alternating pattern sampled
+    /// with a controlled timing offset and returns the mean error.
+    fn mean_error(offset: f64) -> f64 {
+        // Alternating ±1 symbols produce a clean 0.5-cycle/symbol tone:
+        // y(t) = cos(pi t). Symbol strobes at t = k + offset, halves at
+        // t = k - 0.5 + offset.
+        let mut ted = GardnerTed::new();
+        let mut acc = 0.0;
+        let mut n = 0;
+        for k in 1..200 {
+            let t_sym = k as f64 + offset;
+            let t_half = k as f64 - 0.5 + offset;
+            ted.push_half((std::f64::consts::PI * t_half).cos());
+            let e = ted.push_symbol((std::f64::consts::PI * t_sym).cos());
+            if k > 2 {
+                acc += e;
+                n += 1;
+            }
+        }
+        acc / n as f64
+    }
+
+    #[test]
+    fn zero_error_when_on_time() {
+        assert!(mean_error(0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_sign_tracks_offset_direction() {
+        // Gardner S-curve: e ∝ sin(2π·offset); positive for late sampling.
+        let late = mean_error(0.1);
+        let early = mean_error(-0.1);
+        assert!(late > 0.01, "late error {late}");
+        assert!(early < -0.01, "early error {early}");
+        assert!((late + early).abs() < 1e-6, "S-curve asymmetric");
+    }
+
+    #[test]
+    fn s_curve_is_monotonic_near_lock() {
+        let e1 = mean_error(0.05);
+        let e2 = mean_error(0.15);
+        let e3 = mean_error(0.25);
+        assert!(0.0 < e1 && e1 < e2 && e2 <= e3 + 1e-9, "{e1} {e2} {e3}");
+    }
+
+    #[test]
+    fn reset_clears_memory() {
+        let mut ted = GardnerTed::new();
+        ted.push_half(0.7);
+        ted.push_symbol(1.0);
+        ted.reset();
+        ted.push_half(0.0);
+        assert_eq!(ted.push_symbol(5.0), 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Error types for fixed-point type construction, parsing and quantization.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing a [`DType`](crate::DType).
+///
+/// Returned by [`DType::new`](crate::DType::new) and
+/// [`DTypeBuilder::build`](crate::DTypeBuilder::build) when the requested
+/// wordlength or fractional-bit count is outside the supported envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DTypeError {
+    /// Total wordlength `n` must satisfy `1 <= n <= 63` so that the
+    /// bit-true mantissa fits an `i64`.
+    InvalidWordlength {
+        /// The rejected wordlength.
+        n: i32,
+    },
+    /// Fractional bit count `f` must satisfy `-256 <= f <= 256` so that
+    /// `2^-f` stays comfortably inside `f64` range.
+    InvalidFraction {
+        /// The rejected fractional bit count.
+        f: i32,
+    },
+}
+
+impl fmt::Display for DTypeError {
+    fn fmt(&self, fm: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DTypeError::InvalidWordlength { n } => {
+                write!(fm, "total wordlength {n} outside supported range 1..=63")
+            }
+            DTypeError::InvalidFraction { f } => {
+                write!(
+                    fm,
+                    "fractional bit count {f} outside supported range -256..=256"
+                )
+            }
+        }
+    }
+}
+
+impl Error for DTypeError {}
+
+/// Overflow detected while quantizing a value under
+/// [`OverflowMode::Error`](crate::OverflowMode::Error).
+///
+/// Carries the offending value and the representable range so that the
+/// designer can decide whether to widen the type or switch to saturation —
+/// exactly the "indication for the designer" the paper attaches to the
+/// error MSB mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverflowError {
+    /// The value that did not fit.
+    pub value: f64,
+    /// Smallest representable value of the target type.
+    pub min: f64,
+    /// Largest representable value of the target type.
+    pub max: f64,
+    /// Name of the target type, if any.
+    pub dtype: String,
+}
+
+impl fmt::Display for OverflowError {
+    fn fmt(&self, fm: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            fm,
+            "value {} overflows type {} with range [{}, {}]",
+            self.value, self.dtype, self.min, self.max
+        )
+    }
+}
+
+impl Error for OverflowError {}
+
+/// Error parsing a [`DType`](crate::DType) from its textual form.
+///
+/// The textual form is the paper's constructor notation
+/// `<n,f,vtype[,msbspec[,lsbspec]]>`, e.g. `<7,5,tc,st,rd>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseDTypeError {
+    /// The string is not of the form `<...>` with 3 to 5 comma fields.
+    Malformed(String),
+    /// A numeric field failed to parse.
+    BadNumber(String),
+    /// Unknown signedness token (expected `tc` or `ns`).
+    BadSignedness(String),
+    /// Unknown overflow token (expected `wp`, `st` or `er`).
+    BadOverflow(String),
+    /// Unknown rounding token (expected `rd` or `fl`).
+    BadRounding(String),
+    /// The numeric fields were valid syntax but an invalid type.
+    Invalid(DTypeError),
+}
+
+impl fmt::Display for ParseDTypeError {
+    fn fmt(&self, fm: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDTypeError::Malformed(s) => write!(fm, "malformed dtype literal {s:?}"),
+            ParseDTypeError::BadNumber(s) => write!(fm, "invalid number {s:?} in dtype literal"),
+            ParseDTypeError::BadSignedness(s) => {
+                write!(fm, "invalid signedness {s:?} (expected tc or ns)")
+            }
+            ParseDTypeError::BadOverflow(s) => {
+                write!(fm, "invalid overflow mode {s:?} (expected wp, st or er)")
+            }
+            ParseDTypeError::BadRounding(s) => {
+                write!(fm, "invalid rounding mode {s:?} (expected rd or fl)")
+            }
+            ParseDTypeError::Invalid(e) => write!(fm, "invalid dtype: {e}"),
+        }
+    }
+}
+
+impl Error for ParseDTypeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseDTypeError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DTypeError> for ParseDTypeError {
+    fn from(e: DTypeError) -> Self {
+        ParseDTypeError::Invalid(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dtype_error() {
+        let e = DTypeError::InvalidWordlength { n: 0 };
+        assert!(e.to_string().contains("wordlength 0"));
+        let e = DTypeError::InvalidFraction { f: 1000 };
+        assert!(e.to_string().contains("fractional bit count 1000"));
+    }
+
+    #[test]
+    fn display_overflow_error() {
+        let e = OverflowError {
+            value: 3.0,
+            min: -2.0,
+            max: 1.96875,
+            dtype: "T1".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("3"));
+        assert!(s.contains("T1"));
+    }
+
+    #[test]
+    fn parse_error_source_chain() {
+        let inner = DTypeError::InvalidWordlength { n: 99 };
+        let e = ParseDTypeError::from(inner.clone());
+        assert_eq!(e, ParseDTypeError::Invalid(inner));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&ParseDTypeError::Malformed("x".into())).is_none());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DTypeError>();
+        assert_send_sync::<OverflowError>();
+        assert_send_sync::<ParseDTypeError>();
+    }
+}

@@ -1,0 +1,419 @@
+//! Bit-true fixed-point values.
+//!
+//! The simulation engine follows the paper and computes in floating point,
+//! quantizing only at assignments. [`Fixed`] is the *bit-true* companion: an
+//! integer mantissa plus a [`DType`], with hardware-exact add/sub/mul whose
+//! result formats grow the way RTL datapaths do. It is used to
+//! cross-validate the floating-point quantization model (see the property
+//! tests) and by the VHDL back-end to compute literal encodings.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::dtype::{DType, OverflowMode, RoundingMode, Signedness};
+use crate::error::DTypeError;
+
+/// A bit-true fixed-point value: integer mantissa `m` with value
+/// `m · 2^lsb` in the format of its [`DType`].
+#[derive(Debug, Clone)]
+pub struct Fixed {
+    mantissa: i64,
+    dtype: DType,
+}
+
+impl Fixed {
+    /// Creates a value from a raw mantissa.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mantissa` is outside the dtype's mantissa range.
+    pub fn from_mantissa(mantissa: i64, dtype: DType) -> Self {
+        assert!(
+            (dtype.min_mantissa()..=dtype.max_mantissa()).contains(&mantissa),
+            "mantissa {mantissa} out of range for {dtype}"
+        );
+        Fixed { mantissa, dtype }
+    }
+
+    /// Quantizes a floating-point value into the given format.
+    pub fn from_f64(x: f64, dtype: DType) -> Self {
+        let q = dtype.quantize(x);
+        Fixed {
+            mantissa: q.mantissa,
+            dtype,
+        }
+    }
+
+    /// Zero in the given format.
+    pub fn zero(dtype: DType) -> Self {
+        Fixed { mantissa: 0, dtype }
+    }
+
+    /// The raw mantissa.
+    pub fn mantissa(&self) -> i64 {
+        self.mantissa
+    }
+
+    /// The value's format.
+    pub fn dtype(&self) -> &DType {
+        &self.dtype
+    }
+
+    /// The real value `mantissa · 2^lsb`.
+    pub fn to_f64(&self) -> f64 {
+        self.mantissa as f64 * self.dtype.resolution()
+    }
+
+    /// The unsigned bit pattern of the mantissa in `n` bits (two's
+    /// complement encoding for negative mantissas) — what the VHDL
+    /// back-end prints.
+    pub fn bits(&self) -> u64 {
+        let n = self.dtype.n() as u32;
+        (self.mantissa as u64) & (u64::MAX >> (64 - n))
+    }
+
+    /// Bit-true addition. The result format is the smallest format that
+    /// holds every possible sum: `lsb = min(lsbs)`, `msb = max(msbs) + 1`,
+    /// two's complement if either operand is.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DTypeError`] when the required result wordlength exceeds
+    /// 63 bits.
+    pub fn checked_add(&self, rhs: &Fixed) -> Result<Fixed, DTypeError> {
+        let (a, b, dt) = align(self, rhs, 1)?;
+        Ok(Fixed {
+            mantissa: a + b,
+            dtype: dt,
+        })
+    }
+
+    /// Bit-true subtraction with the same growth rule as
+    /// [`Fixed::checked_add`]; the result is always two's complement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DTypeError`] when the required result wordlength exceeds
+    /// 63 bits.
+    pub fn checked_sub(&self, rhs: &Fixed) -> Result<Fixed, DTypeError> {
+        let (a, b, dt) = align(self, rhs, 1)?;
+        let dt = DType::new(
+            format!("({}-{})", self.dtype.name(), rhs.dtype.name()),
+            dt.n(),
+            dt.f(),
+            Signedness::TwosComplement,
+            dt.overflow(),
+            dt.rounding(),
+        )?;
+        Ok(Fixed {
+            mantissa: a - b,
+            dtype: dt,
+        })
+    }
+
+    /// Bit-true multiplication: `lsb = lsb_a + lsb_b`,
+    /// `msb = msb_a + msb_b + 1` (the classic full-precision multiplier
+    /// output format).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DTypeError`] when the required result wordlength exceeds
+    /// 63 bits.
+    pub fn checked_mul(&self, rhs: &Fixed) -> Result<Fixed, DTypeError> {
+        let msb = self.dtype.msb() + rhs.dtype.msb() + 1;
+        let lsb = self.dtype.lsb() + rhs.dtype.lsb();
+        let signed = self.dtype.signedness() == Signedness::TwosComplement
+            || rhs.dtype.signedness() == Signedness::TwosComplement;
+        let dt = DType::from_positions(
+            format!("({}*{})", self.dtype.name(), rhs.dtype.name()),
+            msb,
+            lsb,
+            if signed {
+                Signedness::TwosComplement
+            } else {
+                Signedness::Unsigned
+            },
+            OverflowMode::Error,
+            RoundingMode::Round,
+        )?;
+        let p = self.mantissa as i128 * rhs.mantissa as i128;
+        debug_assert!(p >= dt.min_mantissa() as i128 && p <= dt.max_mantissa() as i128);
+        Ok(Fixed {
+            mantissa: p as i64,
+            dtype: dt,
+        })
+    }
+
+    /// Bit-true negation (result is two's complement one bit wider to hold
+    /// `-min`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DTypeError`] when the required result wordlength exceeds
+    /// 63 bits.
+    pub fn checked_neg(&self) -> Result<Fixed, DTypeError> {
+        let dt = DType::from_positions(
+            format!("(-{})", self.dtype.name()),
+            self.dtype.msb() + 1,
+            self.dtype.lsb(),
+            Signedness::TwosComplement,
+            self.dtype.overflow(),
+            self.dtype.rounding(),
+        )?;
+        Ok(Fixed {
+            mantissa: -self.mantissa,
+            dtype: dt,
+        })
+    }
+
+    /// Requantizes ("casts") into another format, applying that format's
+    /// rounding and overflow modes — the paper's explicit `cast` operator
+    /// for intermediate results.
+    pub fn cast(&self, dtype: DType) -> Fixed {
+        Fixed::from_f64(self.to_f64(), dtype)
+    }
+
+    /// Arithmetic shift by `k` bit positions (positive = left / multiply by
+    /// `2^k`). The value is unchanged; only the format moves, so this is
+    /// exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DTypeError`] when the shifted format is invalid.
+    pub fn shifted(&self, k: i32) -> Result<Fixed, DTypeError> {
+        let dt = DType::from_positions(
+            format!("({}<<{k})", self.dtype.name()),
+            self.dtype.msb() + k,
+            self.dtype.lsb() + k,
+            self.dtype.signedness(),
+            self.dtype.overflow(),
+            self.dtype.rounding(),
+        )?;
+        Ok(Fixed {
+            mantissa: self.mantissa,
+            dtype: dt,
+        })
+    }
+}
+
+/// Aligns two mantissas to a common format with `growth` extra MSBs.
+fn align(a: &Fixed, b: &Fixed, growth: i32) -> Result<(i64, i64, DType), DTypeError> {
+    let lsb = a.dtype.lsb().min(b.dtype.lsb());
+    let msb = a.dtype.msb().max(b.dtype.msb()) + growth;
+    let signed = a.dtype.signedness() == Signedness::TwosComplement
+        || b.dtype.signedness() == Signedness::TwosComplement;
+    let dt = DType::new(
+        format!("({}+{})", a.dtype.name(), b.dtype.name()),
+        msb - lsb + 1,
+        -lsb,
+        if signed {
+            Signedness::TwosComplement
+        } else {
+            Signedness::Unsigned
+        },
+        OverflowMode::Error,
+        RoundingMode::Round,
+    )?;
+    let sa = a.dtype.lsb() - lsb;
+    let sb = b.dtype.lsb() - lsb;
+    Ok((a.mantissa << sa, b.mantissa << sb, dt))
+}
+
+impl PartialEq for Fixed {
+    /// Numeric equality across formats (e.g. `1.0` in `<4,1>` equals `1.0`
+    /// in `<8,5>`).
+    fn eq(&self, other: &Self) -> bool {
+        self.partial_cmp(other) == Some(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for Fixed {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        // Compare exactly by aligning mantissas in i128.
+        let lsb = self.dtype.lsb().min(other.dtype.lsb());
+        let a = (self.mantissa as i128) << (self.dtype.lsb() - lsb);
+        let b = (other.mantissa as i128) << (other.dtype.lsb() - lsb);
+        a.partial_cmp(&b)
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.to_f64(), self.dtype)
+    }
+}
+
+impl fmt::Binary for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.dtype.n() as usize;
+        write!(f, "{:0width$b}", self.bits(), width = n)
+    }
+}
+
+impl fmt::LowerHex for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:x}", self.bits())
+    }
+}
+
+impl fmt::UpperHex for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:X}", self.bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tc(n: i32, f: i32) -> DType {
+        DType::tc("t", n, f).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_f64() {
+        let t = tc(7, 5);
+        let x = Fixed::from_f64(0.71875, t.clone());
+        assert_eq!(x.mantissa(), 23);
+        assert_eq!(x.to_f64(), 0.71875);
+        assert_eq!(Fixed::zero(t).to_f64(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_mantissa_range_checked() {
+        let _ = Fixed::from_mantissa(64, tc(7, 5));
+    }
+
+    #[test]
+    fn bits_two_complement_encoding() {
+        let t = tc(7, 5);
+        assert_eq!(Fixed::from_mantissa(-1, t.clone()).bits(), 0b111_1111);
+        assert_eq!(Fixed::from_mantissa(-64, t.clone()).bits(), 0b100_0000);
+        assert_eq!(Fixed::from_mantissa(63, t).bits(), 0b011_1111);
+    }
+
+    #[test]
+    fn add_grows_one_bit_and_is_exact() {
+        let a = Fixed::from_f64(1.5, tc(7, 5));
+        let b = Fixed::from_f64(1.96875, tc(7, 5));
+        let s = a.checked_add(&b).unwrap();
+        assert_eq!(s.to_f64(), 1.5 + 1.96875); // no overflow: grew a bit
+        assert_eq!(s.dtype().msb(), 2);
+        assert_eq!(s.dtype().lsb(), -5);
+    }
+
+    #[test]
+    fn add_mixed_formats_aligns_lsb() {
+        let a = Fixed::from_f64(0.75, tc(8, 2)); // lsb -2
+        let b = Fixed::from_f64(0.0625, tc(8, 4)); // lsb -4
+        let s = a.checked_add(&b).unwrap();
+        assert_eq!(s.dtype().lsb(), -4);
+        assert_eq!(s.to_f64(), 0.8125);
+    }
+
+    #[test]
+    fn sub_is_exact_and_signed() {
+        let a = Fixed::from_f64(0.5, tc(7, 5));
+        let b = Fixed::from_f64(1.0, tc(7, 5));
+        let d = a.checked_sub(&b).unwrap();
+        assert_eq!(d.to_f64(), -0.5);
+        assert_eq!(d.dtype().signedness(), Signedness::TwosComplement);
+    }
+
+    #[test]
+    fn mul_full_precision() {
+        let a = Fixed::from_f64(-1.5, tc(7, 5));
+        let b = Fixed::from_f64(1.25, tc(7, 5));
+        let p = a.checked_mul(&b).unwrap();
+        assert_eq!(p.to_f64(), -1.875);
+        assert_eq!(p.dtype().lsb(), -10);
+        assert_eq!(p.dtype().msb(), 3);
+        // Extremes never overflow the grown format.
+        let mn = Fixed::from_mantissa(-64, tc(7, 5));
+        let p = mn.checked_mul(&mn).unwrap();
+        assert_eq!(p.to_f64(), 4.0);
+    }
+
+    #[test]
+    fn growth_beyond_63_bits_rejected() {
+        let wide = DType::tc("w", 62, 0).unwrap();
+        let a = Fixed::from_f64(1000.0, wide.clone());
+        assert!(a.checked_mul(&a).is_err());
+        let b = Fixed::from_f64(1.0, DType::tc("x", 63, 0).unwrap());
+        assert!(b.checked_add(&b).is_err());
+    }
+
+    #[test]
+    fn neg_handles_min_value() {
+        let t = tc(7, 5);
+        let mn = Fixed::from_mantissa(-64, t);
+        let n = mn.checked_neg().unwrap();
+        assert_eq!(n.to_f64(), 2.0); // representable thanks to growth
+    }
+
+    #[test]
+    fn cast_requantizes_with_target_modes() {
+        let a = Fixed::from_f64(1.999, tc(16, 10));
+        let narrow = tc(7, 5); // saturating
+        let c = a.cast(narrow);
+        assert!((c.to_f64() - (2.0 - 0.03125)).abs() < 1e-12);
+        // Floor mode cast truncates.
+        let fl = DType::new(
+            "fl",
+            7,
+            5,
+            Signedness::TwosComplement,
+            OverflowMode::Saturate,
+            RoundingMode::Floor,
+        )
+        .unwrap();
+        let c = Fixed::from_f64(0.99, tc(16, 10)).cast(fl);
+        assert!((c.to_f64() - 0.96875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_is_exact_format_move() {
+        let a = Fixed::from_f64(0.75, tc(8, 4));
+        let s = a.shifted(2).unwrap();
+        assert_eq!(s.to_f64(), 3.0);
+        assert_eq!(s.mantissa(), a.mantissa());
+        let s = a.shifted(-3).unwrap();
+        assert!((s.to_f64() - 0.09375).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cross_format_comparison() {
+        let a = Fixed::from_f64(1.0, tc(4, 1));
+        let b = Fixed::from_f64(1.0, tc(8, 5));
+        assert_eq!(a, b);
+        let c = Fixed::from_f64(1.5, tc(8, 5));
+        assert!(a < c);
+        assert!(c > b);
+    }
+
+    #[test]
+    fn formatting() {
+        let t = tc(7, 5);
+        let x = Fixed::from_mantissa(-1, t);
+        assert_eq!(format!("{x:b}"), "1111111");
+        assert_eq!(format!("{x:x}"), "7f");
+        assert_eq!(format!("{x:X}"), "7F");
+        assert!(x.to_string().contains("<7,5,tc"));
+    }
+
+    #[test]
+    fn bit_true_matches_float_model() {
+        // The f64 quantization model and the bit-true mantissa must agree
+        // over a dense sweep.
+        let t = tc(10, 6);
+        let mut x = -9.0;
+        while x < 9.0 {
+            let q = t.quantize(x);
+            let f = Fixed::from_f64(x, t.clone());
+            assert_eq!(q.mantissa, f.mantissa(), "at {x}");
+            assert_eq!(q.value, f.to_f64(), "at {x}");
+            x += 0.0371;
+        }
+    }
+}

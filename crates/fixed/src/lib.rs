@@ -1,0 +1,68 @@
+//! Fixed-point type algebra for DSP ASIC fixed-point refinement.
+//!
+//! This crate is the numeric substrate of the `fixref` workspace, a
+//! reproduction of *"A Methodology and Design Environment for DSP ASIC
+//! Fixed Point Refinement"* (Cmar, Rijnders, Schaumont, Vernalde, Bolsens —
+//! IMEC, DATE 1999). It provides:
+//!
+//! * [`DType`] — the paper's `dtype(name, n, f, vtype, msbspec, lsbspec)`
+//!   fixed-point type descriptor: total wordlength, fractional bits,
+//!   two's-complement/unsigned representation, overflow mode
+//!   (wrap-around / saturation / error) and rounding mode (round-off /
+//!   floor);
+//! * [`quantize`](quantize::quantize) — the assignment-time quantization
+//!   kernel used by the simulation engine;
+//! * [`Fixed`] — a bit-true integer-mantissa value type used
+//!   to cross-check the floating-point quantization model and by the VHDL
+//!   back-end;
+//! * [`Interval`] — the interval ("range") arithmetic
+//!   behind the paper's quasi-analytical and analytical MSB estimation;
+//! * [`RangeStats`] / [`ErrorStats`] —
+//!   the running statistics gathered by range and error monitoring;
+//! * [`sqnr`] — signal-to-quantization-noise-ratio meters used by the
+//!   evaluation.
+//!
+//! # Position conventions
+//!
+//! Bit positions are absolute with respect to the binary point
+//! (paper, Section 2.1): the LSB position is `-f` and the MSB position is
+//! `n - f - 1`. For a two's-complement type the MSB carries the (negative)
+//! sign weight `-2^msb` and the representable range is
+//! `[-2^msb, 2^msb - 2^lsb]`; for an unsigned type it is
+//! `[0, 2^(msb+1) - 2^lsb]`.
+//!
+//! # Example
+//!
+//! ```
+//! use fixref_fixed::{DType, Signedness, OverflowMode, RoundingMode};
+//!
+//! # fn main() -> Result<(), fixref_fixed::DTypeError> {
+//! // The paper's input type <7,5,tc>: 7 bits total, 5 fractional.
+//! let t = DType::new("T_input", 7, 5, Signedness::TwosComplement,
+//!                    OverflowMode::Saturate, RoundingMode::Round)?;
+//! assert_eq!(t.msb(), 1);
+//! assert_eq!(t.lsb(), -5);
+//! let q = t.quantize(0.71);
+//! assert!((q.value - 0.71875).abs() < 1e-12); // 23/32
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dtype;
+pub mod error;
+pub mod fixed;
+pub mod interval;
+pub mod quantize;
+pub mod sqnr;
+pub mod stats;
+
+pub use dtype::{DType, DTypeBuilder, OverflowMode, RoundingMode, Signedness};
+pub use error::{DTypeError, OverflowError, ParseDTypeError};
+pub use fixed::Fixed;
+pub use interval::Interval;
+pub use quantize::{msb_for_range, quantize, Quantized};
+pub use sqnr::{db10, db20, SqnrMeter};
+pub use stats::{ErrorStats, RangeStats};

@@ -1,0 +1,254 @@
+//! Signal-to-quantization-noise-ratio measurement.
+//!
+//! The paper validates the LSB refinement by observing the SQNR of the
+//! equalizer output "before the LSB refinement (with quantizing the input
+//! signal only) … 39.8 dB, and after the LSB refinement (all signals
+//! quantized) 39.1 dB" (Section 6). [`SqnrMeter`] accumulates signal and
+//! noise power from paired (reference, quantized) samples and reports that
+//! ratio in dB.
+
+use std::fmt;
+
+/// `10·log10(x)` — power ratio to decibels.
+///
+/// Returns `-inf` for `x <= 0`.
+pub fn db10(x: f64) -> f64 {
+    if x > 0.0 {
+        10.0 * x.log10()
+    } else {
+        f64::NEG_INFINITY
+    }
+}
+
+/// `20·log10(x)` — amplitude ratio to decibels.
+///
+/// Returns `-inf` for `x <= 0`.
+pub fn db20(x: f64) -> f64 {
+    if x > 0.0 {
+        20.0 * x.log10()
+    } else {
+        f64::NEG_INFINITY
+    }
+}
+
+/// Accumulates SQNR from paired reference/test samples.
+///
+/// SQNR = `10·log10( Σ ref² / Σ (ref − test)² )`.
+///
+/// # Example
+///
+/// ```
+/// use fixref_fixed::{DType, SqnrMeter};
+///
+/// # fn main() -> Result<(), fixref_fixed::DTypeError> {
+/// let t = DType::tc("t", 12, 10)?;
+/// let mut m = SqnrMeter::new();
+/// for i in 0..1000 {
+///     let x = (i as f64 * 0.1).sin();
+///     m.record(x, t.quantize(x).value);
+/// }
+/// // 10 fractional bits gives roughly 6.02*10 + 10.8 - 3 dB for a sine.
+/// assert!(m.sqnr_db() > 55.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SqnrMeter {
+    signal_power: f64,
+    noise_power: f64,
+    count: u64,
+}
+
+impl SqnrMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        SqnrMeter::default()
+    }
+
+    /// Records one paired sample: `reference` is the floating-point (golden)
+    /// value, `test` the quantized value.
+    pub fn record(&mut self, reference: f64, test: f64) {
+        self.count += 1;
+        self.signal_power += reference * reference;
+        let e = reference - test;
+        self.noise_power += e * e;
+    }
+
+    /// Number of recorded pairs.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean signal power.
+    pub fn signal_power(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.signal_power / self.count as f64
+        }
+    }
+
+    /// Mean noise power.
+    pub fn noise_power(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.noise_power / self.count as f64
+        }
+    }
+
+    /// The SQNR in dB. Returns `+inf` when no noise was observed and
+    /// `-inf` when no signal was observed.
+    pub fn sqnr_db(&self) -> f64 {
+        if self.noise_power == 0.0 {
+            if self.signal_power == 0.0 {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            db10(self.signal_power / self.noise_power)
+        }
+    }
+
+    /// Merges another meter into this one.
+    pub fn merge(&mut self, other: &SqnrMeter) {
+        self.signal_power += other.signal_power;
+        self.noise_power += other.noise_power;
+        self.count += other.count;
+    }
+
+    /// Resets to the empty state.
+    pub fn reset(&mut self) {
+        *self = SqnrMeter::new();
+    }
+}
+
+impl fmt::Display for SqnrMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SQNR = {:.1} dB ({} samples)",
+            self.sqnr_db(),
+            self.count
+        )
+    }
+}
+
+/// Theoretical SQNR in dB of rounding a full-scale uniform signal to `f`
+/// fractional bits with signal standard deviation `sigma_signal`:
+/// `10·log10(σ_s² / (q²/12))` with `q = 2^-f`.
+///
+/// Useful as a sanity anchor for the measured values.
+pub fn uniform_quantization_sqnr_db(sigma_signal: f64, f: i32) -> f64 {
+    let q = (-(f as f64)).exp2();
+    db10(sigma_signal * sigma_signal / (q * q / 12.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DType;
+
+    #[test]
+    fn db_helpers() {
+        assert!((db10(100.0) - 20.0).abs() < 1e-12);
+        assert!((db20(10.0) - 20.0).abs() < 1e-12);
+        assert_eq!(db10(0.0), f64::NEG_INFINITY);
+        assert_eq!(db20(-1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn empty_and_degenerate_meters() {
+        let m = SqnrMeter::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.sqnr_db(), f64::NEG_INFINITY);
+        assert_eq!(m.signal_power(), 0.0);
+
+        let mut m = SqnrMeter::new();
+        m.record(1.0, 1.0);
+        assert_eq!(m.sqnr_db(), f64::INFINITY); // no noise
+    }
+
+    #[test]
+    fn known_ratio() {
+        let mut m = SqnrMeter::new();
+        // signal power 1, noise power 0.01 -> 20 dB
+        for _ in 0..100 {
+            m.record(1.0, 0.9);
+        }
+        assert!((m.sqnr_db() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantization_to_f_bits_tracks_6db_per_bit() {
+        // Quantizing a ramp to f and f+1 fractional bits should differ by
+        // about 6 dB.
+        let measure = |f: i32| {
+            let t = DType::tc("t", 16, f).unwrap();
+            let mut m = SqnrMeter::new();
+            for i in 0..4096 {
+                let x = (i as f64 / 4096.0) * 1.9 - 0.95;
+                m.record(x, t.quantize(x).value);
+            }
+            m.sqnr_db()
+        };
+        let a = measure(6);
+        let b = measure(7);
+        assert!(
+            (b - a - 6.02).abs() < 1.0,
+            "expected ~6 dB/bit, got {a} -> {b}"
+        );
+    }
+
+    #[test]
+    fn theory_anchor_close_to_measurement() {
+        let f = 8;
+        let t = DType::tc("t", 16, f).unwrap();
+        let mut m = SqnrMeter::new();
+        let mut acc = 0.0;
+        let n = 8192;
+        for i in 0..n {
+            let x = (i as f64 / n as f64) * 1.8 - 0.9;
+            acc += x * x;
+            m.record(x, t.quantize(x).value);
+        }
+        let sigma = (acc / n as f64).sqrt();
+        let theory = uniform_quantization_sqnr_db(sigma, f);
+        assert!(
+            (m.sqnr_db() - theory).abs() < 1.5,
+            "measured {} vs theory {}",
+            m.sqnr_db(),
+            theory
+        );
+    }
+
+    #[test]
+    fn merge_equals_combined() {
+        let mut a = SqnrMeter::new();
+        let mut b = SqnrMeter::new();
+        let mut whole = SqnrMeter::new();
+        for i in 0..200 {
+            let x = (i as f64 * 0.3).cos();
+            let y = x + 0.001 * ((i % 7) as f64 - 3.0);
+            whole.record(x, y);
+            if i < 100 {
+                a.record(x, y);
+            } else {
+                b.record(x, y);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.sqnr_db() - whole.sqnr_db()).abs() < 1e-12);
+        a.reset();
+        assert_eq!(a.count(), 0);
+    }
+
+    #[test]
+    fn display_contains_db() {
+        let mut m = SqnrMeter::new();
+        m.record(1.0, 0.99);
+        assert!(m.to_string().contains("dB"));
+    }
+}

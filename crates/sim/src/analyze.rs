@@ -1,0 +1,385 @@
+//! Analytical range estimation over the signal-flow graph.
+//!
+//! This is the third MSB-side method of paper §4.1: "a perfect evaluation
+//! of the signal range is enabled by constructing a signal flowgraph out of
+//! the source code and analyzing the data flow using the same range
+//! propagation mechanism". [`analyze_ranges`] runs the interval arithmetic
+//! of [`fixref_fixed::Interval`] to a fixpoint over a recorded [`Graph`],
+//! independent of how long the stimulus simulation ran.
+//!
+//! Feedback cycles that grow without bound are *widened* to
+//! [`Interval::UNBOUNDED`] after a configurable number of growing passes —
+//! the explicit form of the paper's "explosion of the MSB" on feedback
+//! signals. The cure is the same as in the paper: seed the offending signal
+//! with an explicit `range()` annotation and re-analyze.
+
+use std::collections::{HashMap, HashSet};
+
+use fixref_fixed::{Interval, OverflowMode};
+
+use crate::design::SignalId;
+use crate::graph::{Graph, NodeId, Op};
+
+/// Options for [`analyze_ranges`].
+#[derive(Debug, Clone)]
+pub struct AnalyzeOptions {
+    /// Maximum fixpoint passes before giving up.
+    pub max_passes: usize,
+    /// Widen a signal to `UNBOUNDED` after it has grown in this many
+    /// consecutive passes (feedback explosion detection).
+    pub widen_after: usize,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            max_passes: 256,
+            widen_after: 64,
+        }
+    }
+}
+
+/// The result of an analytical range pass.
+#[derive(Debug, Clone)]
+pub struct RangeAnalysis {
+    ranges: HashMap<SignalId, Interval>,
+    exploded: HashSet<SignalId>,
+    passes: usize,
+    converged: bool,
+}
+
+impl RangeAnalysis {
+    /// The derived range of a signal (`None` if it never appeared in the
+    /// graph and was not seeded).
+    pub fn range_of(&self, id: SignalId) -> Option<Interval> {
+        self.ranges.get(&id).copied()
+    }
+
+    /// Whether the signal's range exploded (feedback without a bounding
+    /// annotation).
+    pub fn is_exploded(&self, id: SignalId) -> bool {
+        self.exploded.contains(&id)
+            || self
+                .ranges
+                .get(&id)
+                .map(|i| i.is_exploded())
+                .unwrap_or(false)
+    }
+
+    /// Signals whose range exploded.
+    pub fn exploded_signals(&self) -> impl Iterator<Item = SignalId> + '_ {
+        self.exploded.iter().copied()
+    }
+
+    /// Number of fixpoint passes performed.
+    pub fn passes(&self) -> usize {
+        self.passes
+    }
+
+    /// Whether a fixpoint was reached within the pass budget.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// All derived ranges.
+    pub fn ranges(&self) -> &HashMap<SignalId, Interval> {
+        &self.ranges
+    }
+}
+
+/// Propagates ranges through `graph` to a fixpoint.
+///
+/// `seeds` pins the range of input or annotated signals; seeded signals
+/// never widen beyond their seed (they model `range()` annotations or
+/// saturating input converters). Signals read before any definition
+/// contribute their reset value `[0, 0]`.
+pub fn analyze_ranges(
+    graph: &Graph,
+    seeds: &HashMap<SignalId, Interval>,
+    options: &AnalyzeOptions,
+) -> RangeAnalysis {
+    let mut ranges: HashMap<SignalId, Interval> = seeds.clone();
+    let mut growth: HashMap<SignalId, usize> = HashMap::new();
+    let mut exploded: HashSet<SignalId> = HashSet::new();
+
+    let defined: Vec<SignalId> = {
+        let mut v: Vec<SignalId> = graph.defined_signals().collect();
+        v.sort();
+        v
+    };
+
+    let mut passes = 0;
+    let mut converged = false;
+    while passes < options.max_passes {
+        passes += 1;
+        let mut changed = false;
+        for &sig in &defined {
+            if seeds.contains_key(&sig) {
+                continue; // pinned
+            }
+            let mut incoming = Interval::EMPTY;
+            for &def in graph.defs(sig) {
+                incoming = incoming.union(&eval(graph, def, &ranges));
+            }
+            let old = ranges.get(&sig).copied().unwrap_or(Interval::EMPTY);
+            let mut new = old.union(&incoming);
+            if new != old {
+                let g = growth.entry(sig).or_insert(0);
+                *g += 1;
+                if *g >= options.widen_after {
+                    new = Interval::UNBOUNDED;
+                    exploded.insert(sig);
+                }
+                ranges.insert(sig, new);
+                changed = true;
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+
+    if !converged {
+        // Anything still moving at the pass limit is effectively unbounded.
+        for &sig in &defined {
+            if seeds.contains_key(&sig) {
+                continue;
+            }
+            let mut incoming = Interval::EMPTY;
+            for &def in graph.defs(sig) {
+                incoming = incoming.union(&eval(graph, def, &ranges));
+            }
+            let old = ranges.get(&sig).copied().unwrap_or(Interval::EMPTY);
+            if old.union(&incoming) != old {
+                ranges.insert(sig, Interval::UNBOUNDED);
+                exploded.insert(sig);
+            }
+        }
+    }
+
+    RangeAnalysis {
+        ranges,
+        exploded,
+        passes,
+        converged,
+    }
+}
+
+fn eval(graph: &Graph, root: NodeId, ranges: &HashMap<SignalId, Interval>) -> Interval {
+    // Iterative post-order evaluation with a memo over this call.
+    let mut memo: HashMap<NodeId, Interval> = HashMap::new();
+    let mut stack = vec![(root, false)];
+    while let Some((id, expanded)) = stack.pop() {
+        if memo.contains_key(&id) {
+            continue;
+        }
+        let node = graph.node(id);
+        if !expanded && !node.args.is_empty() {
+            stack.push((id, true));
+            for &a in &node.args {
+                stack.push((a, false));
+            }
+            continue;
+        }
+        let arg = |i: usize| memo[&node.args[i]];
+        let itv = match &node.op {
+            Op::Const(c) => Interval::point(*c),
+            Op::Read(s) => ranges
+                .get(s)
+                .copied()
+                .filter(|i| !i.is_empty())
+                .unwrap_or_else(|| Interval::point(0.0)),
+            Op::Add => arg(0) + arg(1),
+            Op::Sub => arg(0) - arg(1),
+            Op::Mul => arg(0) * arg(1),
+            Op::Div => arg(0) / arg(1),
+            Op::Neg => -arg(0),
+            Op::Abs => arg(0).abs(),
+            Op::Min => arg(0).min(&arg(1)),
+            Op::Max => arg(0).max(&arg(1)),
+            Op::Cast(dt) => {
+                if dt.overflow() == OverflowMode::Saturate {
+                    arg(0).intersect(&Interval::from_dtype(dt))
+                } else {
+                    arg(0)
+                }
+            }
+            Op::Select => arg(1).union(&arg(2)),
+        };
+        memo.insert(id, itv);
+    }
+    memo[&root]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Op;
+
+    fn sid(i: u32) -> SignalId {
+        SignalId(i)
+    }
+
+    /// Builds `y = a*c0 + b*c1` and checks the straight-line fixpoint.
+    #[test]
+    fn straight_line_dataflow() {
+        let mut g = Graph::new();
+        let a = g.add(Op::Read(sid(0)), vec![]);
+        let b = g.add(Op::Read(sid(1)), vec![]);
+        let c0 = g.add(Op::Const(0.5), vec![]);
+        let c1 = g.add(Op::Const(-2.0), vec![]);
+        let p0 = g.add(Op::Mul, vec![a, c0]);
+        let p1 = g.add(Op::Mul, vec![b, c1]);
+        let s = g.add(Op::Add, vec![p0, p1]);
+        g.record_def(sid(2), s);
+
+        let mut seeds = HashMap::new();
+        seeds.insert(sid(0), Interval::new(-1.0, 1.0));
+        seeds.insert(sid(1), Interval::new(0.0, 2.0));
+        let r = analyze_ranges(&g, &seeds, &AnalyzeOptions::default());
+        assert!(r.converged());
+        // a*0.5 in [-0.5,0.5]; b*-2 in [-4,0]; sum in [-4.5, 0.5]
+        assert_eq!(r.range_of(sid(2)).unwrap(), Interval::new(-4.5, 0.5));
+        assert!(!r.is_exploded(sid(2)));
+    }
+
+    /// An unseeded read contributes the reset value [0,0].
+    #[test]
+    fn unseeded_read_is_zero_point() {
+        let mut g = Graph::new();
+        let a = g.add(Op::Read(sid(0)), vec![]);
+        let one = g.add(Op::Const(1.0), vec![]);
+        let s = g.add(Op::Add, vec![a, one]);
+        g.record_def(sid(1), s);
+        let r = analyze_ranges(&g, &HashMap::new(), &AnalyzeOptions::default());
+        assert_eq!(r.range_of(sid(1)).unwrap(), Interval::point(1.0));
+    }
+
+    /// A bounded feedback loop (decaying accumulator) converges.
+    #[test]
+    fn contracting_feedback_converges() {
+        // acc = acc * 0.5 + x, x in [-1, 1]: fixpoint [-2, 2].
+        let mut g = Graph::new();
+        let acc = g.add(Op::Read(sid(0)), vec![]);
+        let half = g.add(Op::Const(0.5), vec![]);
+        let x = g.add(Op::Read(sid(1)), vec![]);
+        let m = g.add(Op::Mul, vec![acc, half]);
+        let s = g.add(Op::Add, vec![m, x]);
+        g.record_def(sid(0), s);
+
+        let mut seeds = HashMap::new();
+        seeds.insert(sid(1), Interval::new(-1.0, 1.0));
+        let r = analyze_ranges(&g, &seeds, &AnalyzeOptions::default());
+        assert!(r.converged());
+        let acc_range = r.range_of(sid(0)).unwrap();
+        assert!(!r.is_exploded(sid(0)));
+        // Interval iteration converges to within f64 resolution of [-2, 2].
+        assert!(acc_range.lo >= -2.0 - 1e-9 && acc_range.lo <= -1.9);
+        assert!(acc_range.hi <= 2.0 + 1e-9 && acc_range.hi >= 1.9);
+    }
+
+    /// An expanding feedback loop explodes and is widened.
+    #[test]
+    fn expanding_feedback_explodes() {
+        // acc = acc + x, x in [-1, 1]: diverges.
+        let mut g = Graph::new();
+        let acc = g.add(Op::Read(sid(0)), vec![]);
+        let x = g.add(Op::Read(sid(1)), vec![]);
+        let s = g.add(Op::Add, vec![acc, x]);
+        g.record_def(sid(0), s);
+
+        let mut seeds = HashMap::new();
+        seeds.insert(sid(1), Interval::new(-1.0, 1.0));
+        let opts = AnalyzeOptions {
+            max_passes: 100,
+            widen_after: 16,
+        };
+        let r = analyze_ranges(&g, &seeds, &opts);
+        assert!(r.is_exploded(sid(0)));
+        assert!(r.range_of(sid(0)).unwrap().is_exploded());
+        assert!(r.exploded_signals().any(|s| s == sid(0)));
+        // Widening makes the analysis terminate (converged after widening).
+        assert!(r.passes() <= 100);
+    }
+
+    /// Seeding the feedback signal (the paper's range() fix) stops the
+    /// explosion.
+    #[test]
+    fn seeding_feedback_prevents_explosion() {
+        let mut g = Graph::new();
+        let acc = g.add(Op::Read(sid(0)), vec![]);
+        let x = g.add(Op::Read(sid(1)), vec![]);
+        let s = g.add(Op::Add, vec![acc, x]);
+        g.record_def(sid(0), s);
+
+        let mut seeds = HashMap::new();
+        seeds.insert(sid(1), Interval::new(-1.0, 1.0));
+        seeds.insert(sid(0), Interval::new(-0.2, 0.2)); // the b.range() fix
+        let r = analyze_ranges(&g, &seeds, &AnalyzeOptions::default());
+        assert!(r.converged());
+        assert!(!r.is_exploded(sid(0)));
+        assert_eq!(r.range_of(sid(0)).unwrap(), Interval::new(-0.2, 0.2));
+    }
+
+    /// Saturating casts bound an otherwise exploding loop.
+    #[test]
+    fn saturating_cast_bounds_feedback() {
+        let dt = fixref_fixed::DType::tc("sat", 8, 5).unwrap(); // saturating
+        let mut g = Graph::new();
+        let acc = g.add(Op::Read(sid(0)), vec![]);
+        let x = g.add(Op::Read(sid(1)), vec![]);
+        let s = g.add(Op::Add, vec![acc, x]);
+        let c = g.add(Op::Cast(dt.clone()), vec![s]);
+        g.record_def(sid(0), c);
+
+        let mut seeds = HashMap::new();
+        seeds.insert(sid(1), Interval::new(-1.0, 1.0));
+        let r = analyze_ranges(&g, &seeds, &AnalyzeOptions::default());
+        assert!(r.converged());
+        assert!(!r.is_exploded(sid(0)));
+        let range = r.range_of(sid(0)).unwrap();
+        assert!(range.lo >= dt.min_value());
+        assert!(range.hi <= dt.max_value());
+    }
+
+    /// Select covers both branches.
+    #[test]
+    fn select_unions_branches() {
+        let mut g = Graph::new();
+        let w = g.add(Op::Read(sid(0)), vec![]);
+        let one = g.add(Op::Const(1.0), vec![]);
+        let mone = g.add(Op::Const(-1.0), vec![]);
+        let sel = g.add(Op::Select, vec![w, one, mone]);
+        g.record_def(sid(1), sel);
+        let r = analyze_ranges(&g, &HashMap::new(), &AnalyzeOptions::default());
+        assert_eq!(r.range_of(sid(1)).unwrap(), Interval::new(-1.0, 1.0));
+    }
+
+    /// Multiple defs union.
+    #[test]
+    fn multiple_defs_union() {
+        let mut g = Graph::new();
+        let a = g.add(Op::Const(3.0), vec![]);
+        let b = g.add(Op::Const(-5.0), vec![]);
+        g.record_def(sid(0), a);
+        g.record_def(sid(0), b);
+        let r = analyze_ranges(&g, &HashMap::new(), &AnalyzeOptions::default());
+        assert_eq!(r.range_of(sid(0)).unwrap(), Interval::new(-5.0, 3.0));
+    }
+
+    /// Division by a zero-containing range explodes (documented interval
+    /// semantics) rather than producing a wrong bound.
+    #[test]
+    fn division_by_zero_range_is_unbounded() {
+        let mut g = Graph::new();
+        let a = g.add(Op::Const(1.0), vec![]);
+        let d = g.add(Op::Read(sid(0)), vec![]);
+        let q = g.add(Op::Div, vec![a, d]);
+        g.record_def(sid(1), q);
+        let mut seeds = HashMap::new();
+        seeds.insert(sid(0), Interval::new(-1.0, 1.0));
+        let r = analyze_ranges(&g, &seeds, &AnalyzeOptions::default());
+        assert!(r.is_exploded(sid(1)));
+    }
+}

@@ -1,0 +1,988 @@
+//! The design registry and signal handles.
+//!
+//! A [`Design`] owns every signal of a processor description. Handles
+//! ([`Sig`], [`Reg`], [`SigArray`], [`RegArray`]) are cheap `Rc` clones
+//! into the shared registry, so a model struct can keep its handles while
+//! the refinement flow keeps the [`Design`].
+//!
+//! Every assignment through a handle performs, in one pass (paper Fig. 2):
+//! quantization (if the signal has a [`DType`]), statistic range
+//! monitoring, quasi-analytical range propagation, consumed/produced error
+//! statistics, optional `error()` injection, and signal-flow-graph
+//! recording.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fixref_fixed::{quantize, DType, ErrorStats, Interval, OverflowMode, RangeStats};
+
+use crate::graph::Graph;
+use crate::report::SignalReport;
+use crate::value::Value;
+
+/// Stable identifier of a signal within its [`Design`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// Constructs an id from its raw index. Only ids obtained from the
+    /// owning [`Design`] are meaningful; this constructor exists for
+    /// serialization and test interop.
+    pub fn from_raw(raw: u32) -> Self {
+        SignalId(raw)
+    }
+
+    /// The raw index.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Wire vs. clocked register semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalKind {
+    /// Combinational: [`Sig::set`] takes effect immediately.
+    Wire,
+    /// Clocked: [`Reg::set`] takes effect at the next [`Design::tick`].
+    Register,
+}
+
+/// An overflow observed on a signal whose type uses
+/// [`OverflowMode::Error`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverflowEvent {
+    /// The overflowing signal.
+    pub signal: SignalId,
+    /// Its name.
+    pub name: String,
+    /// The unquantized value that did not fit.
+    pub value: f64,
+    /// The clock cycle (tick count) at which it happened.
+    pub cycle: u64,
+}
+
+impl fmt::Display for OverflowEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "overflow on {} (value {} at cycle {})",
+            self.name, self.value, self.cycle
+        )
+    }
+}
+
+#[derive(Debug)]
+struct SignalState {
+    name: String,
+    kind: SignalKind,
+    dtype: Option<DType>,
+    flt: f64,
+    fix: f64,
+    next: Option<(f64, f64)>,
+    range_override: Option<Interval>,
+    error_override: Option<f64>,
+    prop: Interval,
+    stat: RangeStats,
+    consumed: ErrorStats,
+    produced: ErrorStats,
+    overflows: u64,
+    reads: u64,
+    writes: u64,
+    /// Finest LSB position needed to represent every assigned (quantized)
+    /// value exactly: `Some(l)` means every value was `m·2^l`. `None`
+    /// until a nonzero value arrives, or forever once a value needed an
+    /// LSB below the practical window (every finite `f64` is dyadic; the
+    /// window caps the search).
+    granularity: Option<i32>,
+    non_dyadic: bool,
+}
+
+impl SignalState {
+    fn new(name: String, kind: SignalKind, dtype: Option<DType>) -> Self {
+        let prop = initial_prop(&dtype);
+        SignalState {
+            name,
+            kind,
+            dtype,
+            flt: 0.0,
+            fix: 0.0,
+            next: None,
+            range_override: None,
+            error_override: None,
+            prop,
+            stat: RangeStats::new(),
+            consumed: ErrorStats::new(),
+            produced: ErrorStats::new(),
+            overflows: 0,
+            reads: 0,
+            writes: 0,
+            granularity: None,
+            non_dyadic: false,
+        }
+    }
+}
+
+/// The dyadic LSB position of `v`: the `l` with `v = m·2^l`, `m` odd —
+/// read directly from the IEEE-754 encoding (exponent plus trailing
+/// zeros of the mantissa). `None` for zero, non-finite values, and
+/// positions below the practical −128 window.
+fn dyadic_lsb(v: f64) -> Option<i32> {
+    if v == 0.0 || !v.is_finite() {
+        return None;
+    }
+    let bits = v.to_bits();
+    let exp = ((bits >> 52) & 0x7FF) as i32;
+    let frac = bits & ((1u64 << 52) - 1);
+    let (mantissa, e) = if exp == 0 {
+        (frac, -1074) // subnormal
+    } else {
+        (frac | (1u64 << 52), exp - 1075)
+    };
+    let l = e + mantissa.trailing_zeros() as i32;
+    if l < -128 {
+        None
+    } else {
+        Some(l)
+    }
+}
+
+/// A typed signal's propagated range starts from its type's representable
+/// range ("when declaring signals with type information their range is
+/// automatically determined" — paper §4.1); untyped signals start empty.
+fn initial_prop(dtype: &Option<DType>) -> Interval {
+    dtype
+        .as_ref()
+        .map(Interval::from_dtype)
+        .unwrap_or(Interval::EMPTY)
+}
+
+#[derive(Debug)]
+struct DesignInner {
+    signals: Vec<SignalState>,
+    names: HashMap<String, SignalId>,
+    rng: StdRng,
+    seed: u64,
+    cycle: u64,
+    recording: bool,
+    graph: Graph,
+    overflow_events: Vec<OverflowEvent>,
+    /// Cap on retained overflow events; further overflows only count.
+    overflow_event_cap: usize,
+}
+
+/// The signal registry and simulation clock of one processor description.
+///
+/// `Design` is a shared handle (cloning it aliases the same registry); all
+/// methods take `&self` via interior mutability. It is intentionally
+/// **not** `Send`: one design is one sequential simulation, as in the
+/// paper's engine.
+///
+/// # Example
+///
+/// ```
+/// use fixref_sim::Design;
+///
+/// let d = Design::new();
+/// let a = d.reg("a");
+/// a.set(1.0);
+/// assert_eq!(a.get().flt(), 0.0); // registers update on tick
+/// d.tick();
+/// assert_eq!(a.get().flt(), 1.0);
+/// ```
+#[derive(Clone)]
+pub struct Design {
+    inner: Rc<RefCell<DesignInner>>,
+}
+
+impl fmt::Debug for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Design")
+            .field("signals", &inner.signals.len())
+            .field("cycle", &inner.cycle)
+            .field("recording", &inner.recording)
+            .finish()
+    }
+}
+
+impl Default for Design {
+    fn default() -> Self {
+        Design::new()
+    }
+}
+
+impl Design {
+    /// Creates an empty design with the default error-injection seed.
+    pub fn new() -> Self {
+        Design::with_seed(0x5EED_F1C5)
+    }
+
+    /// Creates an empty design with an explicit seed for the `error()`
+    /// injection RNG, for reproducible runs.
+    pub fn with_seed(seed: u64) -> Self {
+        Design {
+            inner: Rc::new(RefCell::new(DesignInner {
+                signals: Vec::new(),
+                names: HashMap::new(),
+                rng: StdRng::seed_from_u64(seed),
+                seed,
+                cycle: 0,
+                recording: false,
+                graph: Graph::new(),
+                overflow_events: Vec::new(),
+                overflow_event_cap: 1024,
+            })),
+        }
+    }
+
+    fn add_signal(&self, name: &str, kind: SignalKind, dtype: Option<DType>) -> SignalId {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            !inner.names.contains_key(name),
+            "duplicate signal name {name:?}"
+        );
+        let id = SignalId(inner.signals.len() as u32);
+        inner.names.insert(name.to_string(), id);
+        inner
+            .signals
+            .push(SignalState::new(name.to_string(), kind, dtype));
+        id
+    }
+
+    /// Declares a floating-point wire signal (paper: `sig a("a");`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken in this design.
+    pub fn sig(&self, name: &str) -> Sig {
+        Sig {
+            design: self.clone(),
+            id: self.add_signal(name, SignalKind::Wire, None),
+        }
+    }
+
+    /// Declares a fixed-point wire signal (paper: `sig a("a", T1);`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken in this design.
+    pub fn sig_typed(&self, name: &str, dtype: DType) -> Sig {
+        Sig {
+            design: self.clone(),
+            id: self.add_signal(name, SignalKind::Wire, Some(dtype)),
+        }
+    }
+
+    /// Declares a floating-point register (paper: `reg b("b");`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken in this design.
+    pub fn reg(&self, name: &str) -> Reg {
+        Reg {
+            design: self.clone(),
+            id: self.add_signal(name, SignalKind::Register, None),
+        }
+    }
+
+    /// Declares a fixed-point register (paper: `reg b("b", T1);`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken in this design.
+    pub fn reg_typed(&self, name: &str, dtype: DType) -> Reg {
+        Reg {
+            design: self.clone(),
+            id: self.add_signal(name, SignalKind::Register, Some(dtype)),
+        }
+    }
+
+    /// Declares an array of floating-point wires named `name[0]` …
+    /// `name[len-1]` (paper: `sigarray v("v", N);`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element name is already taken.
+    pub fn sig_array(&self, name: &str, len: usize) -> SigArray {
+        SigArray {
+            sigs: (0..len)
+                .map(|i| self.sig(&format!("{name}[{i}]")))
+                .collect(),
+        }
+    }
+
+    /// Declares an array of fixed-point wires sharing one type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element name is already taken.
+    pub fn sig_array_typed(&self, name: &str, len: usize, dtype: DType) -> SigArray {
+        SigArray {
+            sigs: (0..len)
+                .map(|i| self.sig_typed(&format!("{name}[{i}]"), dtype.clone()))
+                .collect(),
+        }
+    }
+
+    /// Declares an array of floating-point registers (paper:
+    /// `regarray d("d", N);`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element name is already taken.
+    pub fn reg_array(&self, name: &str, len: usize) -> RegArray {
+        RegArray {
+            regs: (0..len)
+                .map(|i| self.reg(&format!("{name}[{i}]")))
+                .collect(),
+        }
+    }
+
+    /// Declares an array of fixed-point registers sharing one type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element name is already taken.
+    pub fn reg_array_typed(&self, name: &str, len: usize, dtype: DType) -> RegArray {
+        RegArray {
+            regs: (0..len)
+                .map(|i| self.reg_typed(&format!("{name}[{i}]"), dtype.clone()))
+                .collect(),
+        }
+    }
+
+    /// Advances the clock: every pending register assignment becomes
+    /// visible and the cycle counter increments.
+    pub fn tick(&self) {
+        let mut inner = self.inner.borrow_mut();
+        for st in &mut inner.signals {
+            if let Some((flt, fix)) = st.next.take() {
+                st.flt = flt;
+                st.fix = fix;
+            }
+        }
+        inner.cycle += 1;
+    }
+
+    /// The current cycle (number of [`Design::tick`] calls).
+    pub fn cycle(&self) -> u64 {
+        self.inner.borrow().cycle
+    }
+
+    /// Enables or disables signal-flow-graph recording. Typically enabled
+    /// for the first iteration of a stimulus loop only, since repeated
+    /// executions intern to the same nodes anyway but cost allocations.
+    pub fn record_graph(&self, on: bool) {
+        self.inner.borrow_mut().recording = on;
+    }
+
+    /// Whether graph recording is currently enabled.
+    pub fn is_recording(&self) -> bool {
+        self.inner.borrow().recording
+    }
+
+    /// A snapshot of the recorded signal-flow graph.
+    pub fn graph(&self) -> Graph {
+        self.inner.borrow().graph.clone()
+    }
+
+    /// Discards the recorded signal-flow graph.
+    pub fn clear_graph(&self) {
+        self.inner.borrow_mut().graph = Graph::new();
+    }
+
+    /// Number of declared signals.
+    pub fn num_signals(&self) -> usize {
+        self.inner.borrow().signals.len()
+    }
+
+    /// Looks a signal up by name.
+    pub fn find(&self, name: &str) -> Option<SignalId> {
+        self.inner.borrow().names.get(name).copied()
+    }
+
+    /// The name of a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a signal of this design.
+    pub fn name_of(&self, id: SignalId) -> String {
+        self.inner.borrow().signals[id.0 as usize].name.clone()
+    }
+
+    /// The current type of a signal (`None` = floating point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a signal of this design.
+    pub fn dtype_of(&self, id: SignalId) -> Option<DType> {
+        self.inner.borrow().signals[id.0 as usize].dtype.clone()
+    }
+
+    /// Sets or clears the type of a signal — how the refinement flow
+    /// applies its decisions. Re-initializes the propagated range from the
+    /// new type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a signal of this design.
+    pub fn set_dtype(&self, id: SignalId, dtype: Option<DType>) {
+        let mut inner = self.inner.borrow_mut();
+        let st = &mut inner.signals[id.0 as usize];
+        st.dtype = dtype;
+        st.prop = initial_prop(&st.dtype);
+    }
+
+    /// Sets the explicit range annotation of a signal (the paper's
+    /// `x.range(min, max)`), used to seed or pin down range propagation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `id` is not a signal of this design.
+    pub fn set_range(&self, id: SignalId, lo: f64, hi: f64) {
+        self.inner.borrow_mut().signals[id.0 as usize].range_override = Some(Interval::new(lo, hi));
+    }
+
+    /// Removes the explicit range annotation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a signal of this design.
+    pub fn clear_range(&self, id: SignalId) {
+        self.inner.borrow_mut().signals[id.0 as usize].range_override = None;
+    }
+
+    /// The explicit range annotation, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a signal of this design.
+    pub fn range_of(&self, id: SignalId) -> Option<Interval> {
+        self.inner.borrow().signals[id.0 as usize].range_override
+    }
+
+    /// Sets the explicit produced-error annotation of a signal (the
+    /// paper's `a.error(...)`): each assignment replaces the float path
+    /// with `fix + U(-σ√3, σ√3)`, a zero-mean uniform error of standard
+    /// deviation `sigma`. This breaks float/fixed divergence on sensitive
+    /// feedback signals (paper §4.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or `id` is not a signal of this
+    /// design.
+    pub fn set_error_sigma(&self, id: SignalId, sigma: f64) {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "invalid sigma {sigma}");
+        self.inner.borrow_mut().signals[id.0 as usize].error_override = Some(sigma);
+    }
+
+    /// Removes the explicit produced-error annotation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a signal of this design.
+    pub fn clear_error(&self, id: SignalId) {
+        self.inner.borrow_mut().signals[id.0 as usize].error_override = None;
+    }
+
+    /// The explicit produced-error annotation, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a signal of this design.
+    pub fn error_of(&self, id: SignalId) -> Option<f64> {
+        self.inner.borrow().signals[id.0 as usize].error_override
+    }
+
+    /// Drains the recorded overflow events (signals with
+    /// [`OverflowMode::Error`] types).
+    pub fn take_overflow_events(&self) -> Vec<OverflowEvent> {
+        std::mem::take(&mut self.inner.borrow_mut().overflow_events)
+    }
+
+    /// Resets every monitoring statistic (ranges, errors, counters,
+    /// overflow events) while keeping values, types and annotations —
+    /// called between refinement iterations.
+    pub fn reset_stats(&self) {
+        let mut inner = self.inner.borrow_mut();
+        for st in &mut inner.signals {
+            st.stat.reset();
+            st.consumed.reset();
+            st.produced.reset();
+            st.prop = initial_prop(&st.dtype);
+            st.overflows = 0;
+            st.reads = 0;
+            st.writes = 0;
+            st.granularity = None;
+            st.non_dyadic = false;
+        }
+        inner.overflow_events.clear();
+    }
+
+    /// Resets simulation state (signal values, pending register updates,
+    /// the cycle counter and the error-injection RNG) while keeping types,
+    /// annotations and statistics.
+    pub fn reset_state(&self) {
+        let mut inner = self.inner.borrow_mut();
+        for st in &mut inner.signals {
+            st.flt = 0.0;
+            st.fix = 0.0;
+            st.next = None;
+        }
+        inner.cycle = 0;
+        inner.rng = StdRng::seed_from_u64(inner.seed);
+    }
+
+    /// The monitoring report of one signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle belongs to a different design.
+    pub fn report_for(&self, handle: &impl SignalRef) -> SignalReport {
+        assert!(
+            Rc::ptr_eq(&self.inner, &handle.design().inner),
+            "handle belongs to a different design"
+        );
+        self.report_by_id(handle.id())
+    }
+
+    /// The monitoring report of a signal by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a signal of this design.
+    pub fn report_by_id(&self, id: SignalId) -> SignalReport {
+        let inner = self.inner.borrow();
+        let st = &inner.signals[id.0 as usize];
+        SignalReport {
+            id,
+            name: st.name.clone(),
+            kind: st.kind,
+            dtype: st.dtype.clone(),
+            range_override: st.range_override,
+            error_override: st.error_override,
+            stat: st.stat,
+            prop: st.prop,
+            consumed: st.consumed,
+            produced: st.produced,
+            overflows: st.overflows,
+            reads: st.reads,
+            writes: st.writes,
+            finest_lsb: if st.non_dyadic { None } else { st.granularity },
+        }
+    }
+
+    /// Monitoring reports for every signal, in declaration order.
+    pub fn reports(&self) -> Vec<SignalReport> {
+        (0..self.num_signals() as u32)
+            .map(|i| self.report_by_id(SignalId(i)))
+            .collect()
+    }
+
+    /// Re-acquires a wire handle from an id (useful inside stimulus
+    /// closures that only captured the design).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a signal of this design or names a register.
+    pub fn sig_handle(&self, id: SignalId) -> Sig {
+        assert_eq!(
+            self.inner.borrow().signals[id.0 as usize].kind,
+            SignalKind::Wire,
+            "{} is a register; use reg_handle",
+            self.name_of(id)
+        );
+        Sig {
+            design: self.clone(),
+            id,
+        }
+    }
+
+    /// Re-acquires a register handle from an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a signal of this design or names a wire.
+    pub fn reg_handle(&self, id: SignalId) -> Reg {
+        assert_eq!(
+            self.inner.borrow().signals[id.0 as usize].kind,
+            SignalKind::Register,
+            "{} is a wire; use sig_handle",
+            self.name_of(id)
+        );
+        Reg {
+            design: self.clone(),
+            id,
+        }
+    }
+
+    /// Reads the raw `(flt, fix)` value pair of a signal *without*
+    /// touching any monitor or counter — used by waveform tracing so that
+    /// sampling does not skew the `#n` columns of the reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a signal of this design.
+    pub fn peek(&self, id: SignalId) -> (f64, f64) {
+        let inner = self.inner.borrow();
+        let st = &inner.signals[id.0 as usize];
+        (st.flt, st.fix)
+    }
+
+    fn read(&self, id: SignalId) -> Value {
+        let mut inner = self.inner.borrow_mut();
+        let recording = inner.recording;
+        let st = &mut inner.signals[id.0 as usize];
+        st.reads += 1;
+        let itv = match st.range_override {
+            Some(r) => r,
+            None => {
+                if st.prop.is_empty() {
+                    Interval::point(st.fix)
+                } else {
+                    st.prop
+                }
+            }
+        };
+        Value::from_signal(st.flt, st.fix, itv, id, recording)
+    }
+
+    fn assign(&self, id: SignalId, value: Value) {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let st = &mut inner.signals[id.0 as usize];
+        st.writes += 1;
+        st.stat.record(value.fix());
+        st.consumed.record(value.flt() - value.fix());
+
+        // LSB+MSB: quantize the fixed path through the signal's type.
+        let mut new_fix = value.fix();
+        if let Some(dt) = &st.dtype {
+            let q = quantize(value.fix(), dt);
+            if q.overflowed {
+                st.overflows += 1;
+                if dt.overflow() == OverflowMode::Error
+                    && inner.overflow_events.len() < inner.overflow_event_cap
+                {
+                    inner.overflow_events.push(OverflowEvent {
+                        signal: id,
+                        name: st.name.clone(),
+                        value: value.fix(),
+                        cycle: inner.cycle,
+                    });
+                }
+            }
+            new_fix = q.value;
+        }
+
+        // Float path: either the true reference, or the explicit error
+        // model for divergent feedback signals.
+        let new_flt = match st.error_override {
+            Some(sigma) if sigma > 0.0 => {
+                let half = sigma * 3f64.sqrt();
+                new_fix + inner.rng.gen_range(-half..=half)
+            }
+            Some(_) => new_fix,
+            None => value.flt(),
+        };
+        st.produced.record(new_flt - new_fix);
+
+        // Granularity: the finest LSB any assigned value actually used.
+        if new_fix != 0.0 && !st.non_dyadic {
+            match dyadic_lsb(new_fix) {
+                Some(l) => {
+                    st.granularity = Some(st.granularity.map_or(l, |g| g.min(l)));
+                }
+                None => {
+                    st.non_dyadic = true;
+                    st.granularity = None;
+                }
+            }
+        }
+
+        // Quasi-analytical range propagation (assignment rule: union).
+        if st.range_override.is_none() {
+            let mut incoming = value.interval();
+            if let Some(dt) = &st.dtype {
+                if dt.overflow() == OverflowMode::Saturate {
+                    incoming = incoming.intersect(&Interval::from_dtype(dt));
+                }
+            }
+            st.prop = st.prop.union(&incoming);
+        }
+
+        // Signal-flow graph. A value with no expression trace (a literal,
+        // or one built before recording was enabled) records as a constant
+        // definition — this is how coefficient initializations like
+        // `c[i] = coef[i]` enter the analytical model.
+        if inner.recording {
+            let root = inner.graph.intern_expr(value.expr()).unwrap_or_else(|| {
+                inner
+                    .graph
+                    .add(crate::graph::Op::Const(value.fix()), vec![])
+            });
+            inner.graph.record_def(id, root);
+        }
+
+        match st.kind {
+            SignalKind::Wire => {
+                st.flt = new_flt;
+                st.fix = new_fix;
+            }
+            SignalKind::Register => {
+                st.next = Some((new_flt, new_fix));
+            }
+        }
+    }
+}
+
+/// Common interface of [`Sig`] and [`Reg`] handles.
+pub trait SignalRef {
+    /// The signal's id within its design.
+    fn id(&self) -> SignalId;
+    /// The owning design.
+    fn design(&self) -> &Design;
+
+    /// The signal's name.
+    fn name(&self) -> String {
+        self.design().name_of(self.id())
+    }
+
+    /// The signal's current type (`None` = floating point).
+    fn dtype(&self) -> Option<DType> {
+        self.design().dtype_of(self.id())
+    }
+
+    /// Sets or clears the signal's type.
+    fn set_dtype(&self, dtype: Option<DType>) {
+        self.design().set_dtype(self.id(), dtype);
+    }
+
+    /// Explicit range annotation (paper `x.range(min, max)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    fn range(&self, lo: f64, hi: f64) {
+        self.design().set_range(self.id(), lo, hi);
+    }
+
+    /// Explicit produced-error annotation with standard deviation `sigma`
+    /// (paper `a.error(...)`).
+    fn error_sigma(&self, sigma: f64) {
+        self.design().set_error_sigma(self.id(), sigma);
+    }
+
+    /// Explicit produced-error annotation equivalent to quantizing at LSB
+    /// position `lsb`: `σ = 2^lsb / √12` (the paper's example maps
+    /// LSB −6 to its uniform error model).
+    fn error_lsb(&self, lsb: i32) {
+        self.design()
+            .set_error_sigma(self.id(), (lsb as f64).exp2() / 12f64.sqrt());
+    }
+}
+
+/// Handle to a combinational (wire) signal — the paper's `sig`.
+#[derive(Debug, Clone)]
+pub struct Sig {
+    design: Design,
+    id: SignalId,
+}
+
+impl Sig {
+    /// Reads the signal's current dual value.
+    pub fn get(&self) -> Value {
+        self.design.read(self.id)
+    }
+
+    /// Assigns immediately (combinational semantics), performing
+    /// quantization and all monitoring.
+    pub fn set(&self, value: impl Into<Value>) {
+        self.design.assign(self.id, value.into());
+    }
+}
+
+impl SignalRef for Sig {
+    fn id(&self) -> SignalId {
+        self.id
+    }
+    fn design(&self) -> &Design {
+        &self.design
+    }
+}
+
+/// Handle to a clocked register — the paper's `reg`. Assignments become
+/// visible at the next [`Design::tick`].
+#[derive(Debug, Clone)]
+pub struct Reg {
+    design: Design,
+    id: SignalId,
+}
+
+impl Reg {
+    /// Reads the register's current (pre-tick) dual value.
+    pub fn get(&self) -> Value {
+        self.design.read(self.id)
+    }
+
+    /// Schedules an assignment for the next clock tick, performing
+    /// quantization and all monitoring now.
+    pub fn set(&self, value: impl Into<Value>) {
+        self.design.assign(self.id, value.into());
+    }
+}
+
+impl SignalRef for Reg {
+    fn id(&self) -> SignalId {
+        self.id
+    }
+    fn design(&self) -> &Design {
+        &self.design
+    }
+}
+
+/// An indexed collection of wires — the paper's `sigarray`.
+#[derive(Debug, Clone)]
+pub struct SigArray {
+    sigs: Vec<Sig>,
+}
+
+impl SigArray {
+    /// The element at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn at(&self, i: usize) -> &Sig {
+        &self.sigs[i]
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+
+    /// Iterates over the element handles.
+    pub fn iter(&self) -> std::slice::Iter<'_, Sig> {
+        self.sigs.iter()
+    }
+
+    /// Applies one type to every element.
+    pub fn set_dtype_all(&self, dtype: Option<DType>) {
+        for s in &self.sigs {
+            s.set_dtype(dtype.clone());
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a SigArray {
+    type Item = &'a Sig;
+    type IntoIter = std::slice::Iter<'a, Sig>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.sigs.iter()
+    }
+}
+
+/// An indexed collection of registers — the paper's `regarray`.
+#[derive(Debug, Clone)]
+pub struct RegArray {
+    regs: Vec<Reg>,
+}
+
+impl RegArray {
+    /// The element at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn at(&self, i: usize) -> &Reg {
+        &self.regs[i]
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// Iterates over the element handles.
+    pub fn iter(&self) -> std::slice::Iter<'_, Reg> {
+        self.regs.iter()
+    }
+
+    /// Applies one type to every element.
+    pub fn set_dtype_all(&self, dtype: Option<DType>) {
+        for r in &self.regs {
+            r.set_dtype(dtype.clone());
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a RegArray {
+    type Item = &'a Reg;
+    type IntoIter = std::slice::Iter<'a, Reg>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.regs.iter()
+    }
+}
+
+impl std::ops::Index<usize> for SigArray {
+    type Output = Sig;
+    /// Indexes the element handles (`&arr[i]` ≡ `arr.at(i)`).
+    fn index(&self, i: usize) -> &Sig {
+        self.at(i)
+    }
+}
+
+impl std::ops::Index<usize> for RegArray {
+    type Output = Reg;
+    /// Indexes the element handles (`&arr[i]` ≡ `arr.at(i)`).
+    fn index(&self, i: usize) -> &Reg {
+        self.at(i)
+    }
+}
+
+#[cfg(test)]
+mod index_tests {
+    use super::*;
+
+    #[test]
+    fn arrays_index_like_slices() {
+        let d = Design::new();
+        let sigs = d.sig_array("s", 3);
+        let regs = d.reg_array("r", 2);
+        sigs[1].set(0.5);
+        assert_eq!(sigs[1].get().flt(), 0.5);
+        regs[0].set(1.0);
+        d.tick();
+        assert_eq!(regs[0].get().flt(), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_index_panics() {
+        let d = Design::new();
+        let sigs = d.sig_array("s", 2);
+        let _ = &sigs[5];
+    }
+}

@@ -1,0 +1,138 @@
+//! Per-signal monitoring reports.
+
+use std::fmt;
+
+use fixref_fixed::{DType, ErrorStats, Interval, RangeStats};
+
+use crate::design::{SignalId, SignalKind};
+
+/// Everything the monitors learned about one signal during a simulation —
+/// the raw material of the refinement rules.
+#[derive(Debug, Clone)]
+pub struct SignalReport {
+    /// The signal's id.
+    pub id: SignalId,
+    /// The signal's name.
+    pub name: String,
+    /// Wire or register.
+    pub kind: SignalKind,
+    /// The type active during the run (`None` = floating point).
+    pub dtype: Option<DType>,
+    /// Explicit `range()` annotation, if any.
+    pub range_override: Option<Interval>,
+    /// Explicit `error()` annotation (σ), if any.
+    pub error_override: Option<f64>,
+    /// Statistic-based observed range (pre-quantization values).
+    pub stat: RangeStats,
+    /// Quasi-analytically propagated range.
+    pub prop: Interval,
+    /// Consumed error statistics (float-vs-fixed difference of incoming
+    /// values, paper Fig. 3's `e_c`).
+    pub consumed: ErrorStats,
+    /// Produced error statistics (difference after assignment
+    /// quantization / error injection, paper Fig. 3's `e_p`).
+    pub produced: ErrorStats,
+    /// Number of assignments that overflowed the signal's type.
+    pub overflows: u64,
+    /// Number of reads.
+    pub reads: u64,
+    /// Number of assignments (the tables' `#n`).
+    pub writes: u64,
+    /// Finest LSB position used by any assigned quantized value
+    /// (`Some(0)` for a ±1 slicer output). `None` when no nonzero value
+    /// was assigned or a value needed an LSB below −128.
+    pub finest_lsb: Option<i32>,
+}
+
+impl SignalReport {
+    /// The effective propagated range: the explicit annotation when
+    /// present, otherwise the propagated interval.
+    pub fn effective_prop(&self) -> Interval {
+        self.range_override.unwrap_or(self.prop)
+    }
+
+    /// Whether the signal is floating point (no type assigned).
+    pub fn is_floating(&self) -> bool {
+        self.dtype.is_none()
+    }
+
+    /// Whether this signal showed a *precision loss*: produced error
+    /// exceeding consumed error (paper §5.2: "If e_p > e_c a precision
+    /// loss due to quantization occurs").
+    pub fn precision_loss(&self) -> bool {
+        self.produced.std() > self.consumed.std() * (1.0 + 1e-9) + 1e-18
+    }
+}
+
+impl fmt::Display for SignalReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({:?}, {}): #w={} #r={} {} prop={} {} ovf={}",
+            self.name,
+            self.kind,
+            self.dtype
+                .as_ref()
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "float".to_string()),
+            self.writes,
+            self.reads,
+            self.stat,
+            self.prop,
+            self.produced,
+            self.overflows
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank() -> SignalReport {
+        SignalReport {
+            id: SignalId(0),
+            name: "x".into(),
+            kind: SignalKind::Wire,
+            dtype: None,
+            range_override: None,
+            error_override: None,
+            stat: RangeStats::new(),
+            prop: Interval::new(-1.0, 1.0),
+            consumed: ErrorStats::new(),
+            produced: ErrorStats::new(),
+            overflows: 0,
+            reads: 0,
+            writes: 0,
+            finest_lsb: None,
+        }
+    }
+
+    #[test]
+    fn effective_prop_prefers_override() {
+        let mut r = blank();
+        assert_eq!(r.effective_prop(), Interval::new(-1.0, 1.0));
+        r.range_override = Some(Interval::new(-0.2, 0.2));
+        assert_eq!(r.effective_prop(), Interval::new(-0.2, 0.2));
+    }
+
+    #[test]
+    fn floating_and_precision_loss_flags() {
+        let mut r = blank();
+        assert!(r.is_floating());
+        assert!(!r.precision_loss());
+        for i in 0..100 {
+            r.consumed.record(0.001 * ((i % 3) as f64 - 1.0));
+            r.produced.record(0.01 * ((i % 3) as f64 - 1.0));
+        }
+        assert!(r.precision_loss());
+    }
+
+    #[test]
+    fn display_includes_name_and_counts() {
+        let r = blank();
+        let s = r.to_string();
+        assert!(s.contains('x'));
+        assert!(s.contains("float"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Waveform tracing (VCD dump).
+//!
+//! The paper's environment is a full simulation engine; waveform inspection
+//! is part of the designer loop. [`Trace`] samples the float and fixed
+//! paths of selected signals each clock cycle and writes an IEEE-1364 VCD
+//! file with `real` variables, viewable in GTKWave and friends. The
+//! float/fixed pair of one signal makes quantization effects directly
+//! visible on screen.
+
+use std::io::{self, Write};
+
+use crate::design::{Design, SignalId};
+
+/// A sampled waveform recorder for one [`Design`].
+///
+/// # Example
+///
+/// ```
+/// use fixref_sim::{Design, Trace};
+///
+/// let d = Design::new();
+/// let a = d.sig("a");
+/// let mut tr = Trace::all(&d);
+/// for i in 0..4 {
+///     a.set(i as f64 * 0.25);
+///     tr.sample(&d);
+///     d.tick();
+/// }
+/// let mut vcd = Vec::new();
+/// tr.write_vcd(&mut vcd).expect("in-memory write cannot fail");
+/// let text = String::from_utf8(vcd).expect("vcd is ascii");
+/// assert!(text.contains("$var real"));
+/// assert!(text.contains("a_flt"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trace {
+    signals: Vec<(SignalId, String)>,
+    /// One entry per sample: (cycle, per-signal (flt, fix)).
+    samples: Vec<(u64, Vec<(f64, f64)>)>,
+}
+
+impl Trace {
+    /// Traces every signal currently declared in the design.
+    pub fn all(design: &Design) -> Self {
+        let signals = design
+            .reports()
+            .into_iter()
+            .map(|r| (r.id, r.name))
+            .collect();
+        Trace {
+            signals,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Traces an explicit set of signals.
+    pub fn of(design: &Design, ids: &[SignalId]) -> Self {
+        let signals = ids.iter().map(|&id| (id, design.name_of(id))).collect();
+        Trace {
+            signals,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Number of samples taken so far.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were taken.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Records the current value of every traced signal, stamped with the
+    /// design's current cycle.
+    pub fn sample(&mut self, design: &Design) {
+        let row = self
+            .signals
+            .iter()
+            .map(|&(id, _)| design.peek(id))
+            .collect();
+        self.samples.push((design.cycle(), row));
+    }
+
+    /// Writes the recorded samples as a VCD file with two `real` variables
+    /// per signal: `<name>_flt` and `<name>_fix`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_vcd<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(w, "$date fixref trace $end")?;
+        writeln!(w, "$version fixref-sim $end")?;
+        writeln!(w, "$timescale 1 ns $end")?;
+        writeln!(w, "$scope module design $end")?;
+        for (i, (_, name)) in self.signals.iter().enumerate() {
+            let clean = sanitize(name);
+            writeln!(w, "$var real 64 {} {}_flt $end", code(2 * i), clean)?;
+            writeln!(w, "$var real 64 {} {}_fix $end", code(2 * i + 1), clean)?;
+        }
+        writeln!(w, "$upscope $end")?;
+        writeln!(w, "$enddefinitions $end")?;
+        for (t, row) in &self.samples {
+            writeln!(w, "#{t}")?;
+            for (i, (flt, fix)) in row.iter().enumerate() {
+                writeln!(w, "r{} {}", flt, code(2 * i))?;
+                writeln!(w, "r{} {}", fix, code(2 * i + 1))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// VCD identifier code for variable `i`: base-94 over the printable ASCII
+/// range `!`..=`~`.
+fn code(mut i: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push((33 + (i % 94)) as u8 as char);
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+    }
+    s
+}
+
+/// VCD identifiers may not contain whitespace or brackets; map them away.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| match c {
+            '[' | ']' => '_',
+            c if c.is_whitespace() => '_',
+            c => c,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            let c = code(i);
+            assert!(c.chars().all(|ch| ('!'..='~').contains(&ch)));
+            assert!(seen.insert(c), "duplicate code for {i}");
+        }
+    }
+
+    #[test]
+    fn sanitize_brackets_and_spaces() {
+        assert_eq!(sanitize("v[3]"), "v_3_");
+        assert_eq!(sanitize("a b"), "a_b");
+        assert_eq!(sanitize("plain"), "plain");
+    }
+
+    #[test]
+    fn trace_records_cycles_and_values() {
+        let d = Design::new();
+        let a = d.sig("a");
+        let b = d.reg("b[0]");
+        let mut tr = Trace::all(&d);
+        assert!(tr.is_empty());
+        a.set(1.5);
+        b.set(2.5);
+        tr.sample(&d);
+        d.tick();
+        tr.sample(&d);
+        assert_eq!(tr.len(), 2);
+
+        let mut out = Vec::new();
+        tr.write_vcd(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("$enddefinitions"));
+        assert!(text.contains("a_flt"));
+        assert!(text.contains("b_0__fix"));
+        assert!(text.contains("#0"));
+        assert!(text.contains("#1"));
+        assert!(text.contains("r1.5"));
+        // Register committed only after the tick.
+        assert!(text.contains("r2.5"));
+    }
+
+    #[test]
+    fn trace_of_subset() {
+        let d = Design::new();
+        let a = d.sig("a");
+        let _b = d.sig("b");
+        let mut tr = Trace::of(&d, &[d.find("a").unwrap()]);
+        a.set(1.0);
+        tr.sample(&d);
+        let mut out = Vec::new();
+        tr.write_vcd(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("a_flt"));
+        assert!(!text.contains("b_flt"));
+    }
+
+    #[test]
+    fn sampling_does_not_skew_read_counters() {
+        let d = Design::new();
+        let a = d.sig("a");
+        a.set(1.0);
+        let mut tr = Trace::all(&d);
+        tr.sample(&d);
+        tr.sample(&d);
+        assert_eq!(d.report_for(&a).reads, 0);
+    }
+}

@@ -1,0 +1,560 @@
+//! The dual-path expression value.
+//!
+//! [`Value`] is what [`Sig::get`](crate::Sig::get) returns and what the
+//! overloaded operators combine. It carries, side by side (paper Fig. 2/3):
+//!
+//! * `flt` — the floating-point reference value;
+//! * `fix` — the fixed-point path value (still an `f64`: per the paper
+//!   "all operations are performed with floating point arithmetic. Only
+//!   when assigning a signal, the quantization is performed");
+//! * `itv` — the propagated worst-case range (quasi-analytical method);
+//! * `expr` — an optional expression trace for signal-flow-graph
+//!   extraction (only built while the design records its graph).
+//!
+//! Relational decisions are evaluated **uniformly on the fixed-point
+//! path** ([`Value::is_positive`], [`Value::gt`] …) so that the float
+//! reference takes the same control decisions — the paper's key trick to
+//! keep error statistics meaningful through data-dependent control.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+use std::rc::Rc;
+
+use fixref_fixed::{quantize, DType, Interval};
+
+use crate::design::SignalId;
+
+/// Expression-trace operator set (a subset of [`crate::graph::Op`] built
+/// during evaluation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ExprOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Negation.
+    Neg,
+    /// Absolute value.
+    Abs,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise maximum.
+    Max,
+    /// Intermediate cast (quantization) — carries the dtype separately.
+    Cast,
+    /// Fixed-path-steered selection: `args = [cond, then, else]`.
+    Select,
+}
+
+/// Expression trace node.
+#[derive(Debug, Clone)]
+pub(crate) struct ExprNode {
+    pub op: ExprOp,
+    pub args: Vec<Expr>,
+    /// Only used by `Cast`.
+    pub dtype: Option<DType>,
+}
+
+/// Expression trace: absent (`Off`) when graph recording is disabled, so
+/// the dual simulation allocates nothing per operation.
+#[derive(Debug, Clone, Default)]
+pub(crate) enum Expr {
+    /// Recording disabled — propagates through every operator for free.
+    #[default]
+    Off,
+    /// A literal constant.
+    Const(f64),
+    /// A read of a signal's current value.
+    Read(SignalId),
+    /// An interior operator node (cheaply clonable).
+    Node(Rc<ExprNode>),
+}
+
+impl Expr {
+    fn is_off(&self) -> bool {
+        matches!(self, Expr::Off)
+    }
+
+    /// Materializes a non-recording operand as the constant it currently
+    /// holds, so literals (`Value::from(1.0)`) mixed into recorded
+    /// expressions appear as `Const` leaves instead of poisoning the
+    /// whole trace.
+    fn or_const(self, value: f64) -> Expr {
+        if self.is_off() {
+            Expr::Const(value)
+        } else {
+            self
+        }
+    }
+
+    /// Builds an operator node from `(expr, fixed value)` operand pairs.
+    /// The node records as long as *any* operand records; a value built
+    /// purely from literals stays `Off` (nothing upstream to trace).
+    fn node(op: ExprOp, args: Vec<(Expr, f64)>, dtype: Option<DType>) -> Expr {
+        if args.iter().all(|(e, _)| e.is_off()) {
+            Expr::Off
+        } else {
+            Expr::Node(Rc::new(ExprNode {
+                op,
+                args: args.into_iter().map(|(e, v)| e.or_const(v)).collect(),
+                dtype,
+            }))
+        }
+    }
+}
+
+/// A dual-path (float + fixed + range) expression value.
+///
+/// Produced by [`Sig::get`](crate::Sig::get) and literals
+/// (`Value::from(1.5)`), combined by the arithmetic operators, consumed by
+/// [`Sig::set`](crate::Sig::set).
+///
+/// # Example
+///
+/// ```
+/// use fixref_sim::Value;
+///
+/// let a = Value::from(0.5);
+/// let b = Value::from(-2.0);
+/// let c = a * b + Value::from(1.0);
+/// assert_eq!(c.flt(), 0.0);
+/// assert_eq!(c.fix(), 0.0);
+/// assert!(!c.is_positive());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Value {
+    flt: f64,
+    fix: f64,
+    itv: Interval,
+    expr: Expr,
+}
+
+impl Value {
+    /// Builds a value with explicit float and fixed components (used by the
+    /// design when reading signals; mostly useful in tests).
+    pub fn with_paths(flt: f64, fix: f64, itv: Interval) -> Self {
+        Value {
+            flt,
+            fix,
+            itv,
+            expr: Expr::Off,
+        }
+    }
+
+    pub(crate) fn from_signal(
+        flt: f64,
+        fix: f64,
+        itv: Interval,
+        id: SignalId,
+        record: bool,
+    ) -> Self {
+        Value {
+            flt,
+            fix,
+            itv,
+            expr: if record { Expr::Read(id) } else { Expr::Off },
+        }
+    }
+
+    pub(crate) fn constant(c: f64, record: bool) -> Self {
+        Value {
+            flt: c,
+            fix: c,
+            itv: Interval::point(c),
+            expr: if record { Expr::Const(c) } else { Expr::Off },
+        }
+    }
+
+    pub(crate) fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// The floating-point reference value.
+    pub fn flt(&self) -> f64 {
+        self.flt
+    }
+
+    /// The fixed-point path value.
+    pub fn fix(&self) -> f64 {
+        self.fix
+    }
+
+    /// The propagated worst-case range.
+    pub fn interval(&self) -> Interval {
+        self.itv
+    }
+
+    /// The current float-vs-fixed difference carried by this value.
+    pub fn error(&self) -> f64 {
+        self.flt - self.fix
+    }
+
+    /// Intermediate quantization — the paper's explicit `cast` operator for
+    /// results that are quantized *before* being assigned (§2.2).
+    ///
+    /// Only the fixed path is quantized; the float reference flows on
+    /// unchanged. A saturating cast also clamps the propagated range.
+    pub fn cast(self, dtype: &DType) -> Value {
+        let q = quantize(self.fix, dtype);
+        let itv = if self.itv.is_empty() {
+            self.itv
+        } else {
+            match dtype.overflow() {
+                fixref_fixed::OverflowMode::Saturate => {
+                    self.itv.intersect(&Interval::from_dtype(dtype))
+                }
+                _ => self.itv,
+            }
+        };
+        let fix_in = self.fix;
+        Value {
+            flt: self.flt,
+            fix: q.value,
+            itv,
+            expr: Expr::node(ExprOp::Cast, vec![(self.expr, fix_in)], Some(dtype.clone())),
+        }
+    }
+
+    /// Absolute value on both paths.
+    pub fn abs(self) -> Value {
+        Value {
+            flt: self.flt.abs(),
+            fix: self.fix.abs(),
+            itv: self.itv.abs(),
+            expr: Expr::node(ExprOp::Abs, vec![(self.expr, self.fix)], None),
+        }
+    }
+
+    /// Elementwise minimum on both paths.
+    pub fn min(self, rhs: Value) -> Value {
+        Value {
+            flt: self.flt.min(rhs.flt),
+            fix: self.fix.min(rhs.fix),
+            itv: self.itv.min(&rhs.itv),
+            expr: Expr::node(
+                ExprOp::Min,
+                vec![(self.expr, self.fix), (rhs.expr, rhs.fix)],
+                None,
+            ),
+        }
+    }
+
+    /// Elementwise maximum on both paths.
+    pub fn max(self, rhs: Value) -> Value {
+        Value {
+            flt: self.flt.max(rhs.flt),
+            fix: self.fix.max(rhs.fix),
+            itv: self.itv.max(&rhs.itv),
+            expr: Expr::node(
+                ExprOp::Max,
+                vec![(self.expr, self.fix), (rhs.expr, rhs.fix)],
+                None,
+            ),
+        }
+    }
+
+    /// Fixed-path-steered selection: returns `then_v` when the **fixed**
+    /// value of `self` is strictly positive, else `else_v` — on *both*
+    /// paths, so the float reference takes the same branch (paper §4.2).
+    ///
+    /// The propagated range is the union of both branches and the
+    /// expression trace keeps both, so the analytical method covers
+    /// whichever branch the stimuli did not trigger.
+    pub fn select_positive(self, then_v: Value, else_v: Value) -> Value {
+        let take_then = self.fix > 0.0;
+        Value {
+            flt: if take_then { then_v.flt } else { else_v.flt },
+            fix: if take_then { then_v.fix } else { else_v.fix },
+            itv: then_v.itv.union(&else_v.itv),
+            expr: Expr::node(
+                ExprOp::Select,
+                vec![
+                    (self.expr, self.fix),
+                    (then_v.expr, then_v.fix),
+                    (else_v.expr, else_v.fix),
+                ],
+                None,
+            ),
+        }
+    }
+
+    /// Whether the fixed-path value is strictly positive — the uniform
+    /// relational decision for both simulations.
+    pub fn is_positive(&self) -> bool {
+        self.fix > 0.0
+    }
+
+    /// Whether the fixed-path value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.fix < 0.0
+    }
+
+    /// Fixed-path `>` comparison.
+    pub fn gt(&self, rhs: &Value) -> bool {
+        self.fix > rhs.fix
+    }
+
+    /// Fixed-path `>=` comparison.
+    pub fn ge(&self, rhs: &Value) -> bool {
+        self.fix >= rhs.fix
+    }
+
+    /// Fixed-path `<` comparison.
+    pub fn lt(&self, rhs: &Value) -> bool {
+        self.fix < rhs.fix
+    }
+
+    /// Fixed-path `<=` comparison.
+    pub fn le(&self, rhs: &Value) -> bool {
+        self.fix <= rhs.fix
+    }
+}
+
+impl From<f64> for Value {
+    /// A constant: both paths carry `c`, range is the point `[c, c]`.
+    fn from(c: f64) -> Self {
+        Value::constant(c, false)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flt={} fix={} itv={}", self.flt, self.fix, self.itv)
+    }
+}
+
+macro_rules! binop {
+    ($trait:ident, $method:ident, $op:tt, $exprop:expr, $itv:expr) => {
+        impl $trait for Value {
+            type Output = Value;
+            fn $method(self, rhs: Value) -> Value {
+                let itv: fn(Interval, Interval) -> Interval = $itv;
+                Value {
+                    flt: self.flt $op rhs.flt,
+                    fix: self.fix $op rhs.fix,
+                    itv: itv(self.itv, rhs.itv),
+                    expr: Expr::node(
+                        $exprop,
+                        vec![(self.expr, self.fix), (rhs.expr, rhs.fix)],
+                        None,
+                    ),
+                }
+            }
+        }
+
+        impl $trait<f64> for Value {
+            type Output = Value;
+            fn $method(self, rhs: f64) -> Value {
+                let recording = !matches!(self.expr, Expr::Off);
+                self $op Value::constant(rhs, recording)
+            }
+        }
+
+        impl $trait<Value> for f64 {
+            type Output = Value;
+            fn $method(self, rhs: Value) -> Value {
+                Value::constant(self, !matches!(rhs.expr, Expr::Off)) $op rhs
+            }
+        }
+    };
+}
+
+binop!(Add, add, +, ExprOp::Add, |a, b| a + b);
+binop!(Sub, sub, -, ExprOp::Sub, |a, b| a - b);
+binop!(Mul, mul, *, ExprOp::Mul, |a, b| a * b);
+binop!(Div, div, /, ExprOp::Div, |a, b| a / b);
+
+impl Neg for Value {
+    type Output = Value;
+    fn neg(self) -> Value {
+        Value {
+            flt: -self.flt,
+            fix: -self.fix,
+            itv: -self.itv,
+            expr: Expr::node(ExprOp::Neg, vec![(self.expr, self.fix)], None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixref_fixed::{OverflowMode, RoundingMode, Signedness};
+
+    fn v(flt: f64, fix: f64) -> Value {
+        Value::with_paths(flt, fix, Interval::new(flt.min(fix), flt.max(fix)))
+    }
+
+    #[test]
+    fn constants_have_point_intervals() {
+        let c = Value::from(1.5);
+        assert_eq!(c.flt(), 1.5);
+        assert_eq!(c.fix(), 1.5);
+        assert_eq!(c.interval(), Interval::point(1.5));
+        assert_eq!(c.error(), 0.0);
+    }
+
+    #[test]
+    fn arithmetic_tracks_both_paths_independently() {
+        let a = v(1.0, 0.9);
+        let b = v(2.0, 2.1);
+        let s = a.clone() + b.clone();
+        assert_eq!(s.flt(), 3.0);
+        assert!((s.fix() - 3.0).abs() < 0.2);
+        assert_eq!(s.fix(), 0.9 + 2.1);
+
+        let d = a.clone() - b.clone();
+        assert_eq!(d.flt(), -1.0);
+        assert!((d.fix() - (0.9 - 2.1)).abs() < 1e-15);
+
+        let p = a.clone() * b.clone();
+        assert_eq!(p.flt(), 2.0);
+        assert!((p.fix() - 0.9 * 2.1).abs() < 1e-15);
+
+        let q = a / b;
+        assert_eq!(q.flt(), 0.5);
+        assert!((q.fix() - 0.9 / 2.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scalar_mixed_operands() {
+        let a = v(1.0, 0.9);
+        assert_eq!((a.clone() + 1.0).flt(), 2.0);
+        assert_eq!((1.0 + a.clone()).fix(), 1.9);
+        assert_eq!((a.clone() * 2.0).flt(), 2.0);
+        assert_eq!((2.0 * a.clone()).fix(), 1.8);
+        assert_eq!((a.clone() - 0.5).flt(), 0.5);
+        assert_eq!((3.0 - a.clone()).fix(), 2.1);
+        assert_eq!((a.clone() / 2.0).flt(), 0.5);
+        assert_eq!((1.8 / a).fix(), 2.0);
+    }
+
+    #[test]
+    fn interval_propagates_through_ops() {
+        let a = Value::with_paths(0.0, 0.0, Interval::new(-1.0, 2.0));
+        let b = Value::with_paths(0.0, 0.0, Interval::new(-3.0, 0.5));
+        assert_eq!((a.clone() + b.clone()).interval(), Interval::new(-4.0, 2.5));
+        assert_eq!((a.clone() - b.clone()).interval(), Interval::new(-1.5, 5.0));
+        assert_eq!((a.clone() * b).interval(), Interval::new(-6.0, 3.0));
+        assert_eq!((-a).interval(), Interval::new(-2.0, 1.0));
+    }
+
+    #[test]
+    fn error_is_float_minus_fixed() {
+        let a = v(1.0, 0.9375);
+        assert!((a.error() - 0.0625).abs() < 1e-15);
+        let s = a + v(0.0, 0.0);
+        assert!((s.error() - 0.0625).abs() < 1e-15);
+    }
+
+    #[test]
+    fn comparisons_use_fixed_path() {
+        // flt says positive, fix says negative: fixed path must win.
+        let a = v(0.1, -0.1);
+        assert!(!a.is_positive());
+        assert!(a.is_negative());
+        let b = v(-5.0, 0.0);
+        assert!(a.lt(&b));
+        assert!(b.gt(&a));
+        assert!(b.ge(&b));
+        assert!(a.le(&a));
+    }
+
+    #[test]
+    fn select_positive_steers_both_paths_by_fixed() {
+        let cond = v(1.0, -1.0); // float positive, fixed negative
+        let then_v = v(10.0, 10.0);
+        let else_v = v(-10.0, -10.0);
+        let out = cond.select_positive(then_v, else_v);
+        // Fixed path is negative, so BOTH paths take the else branch.
+        assert_eq!(out.flt(), -10.0);
+        assert_eq!(out.fix(), -10.0);
+        // Range covers both branches regardless.
+        assert!(out.interval().contains(10.0));
+        assert!(out.interval().contains(-10.0));
+    }
+
+    #[test]
+    fn abs_min_max() {
+        let a = v(-2.0, -2.5);
+        assert_eq!(a.clone().abs().flt(), 2.0);
+        assert_eq!(a.clone().abs().fix(), 2.5);
+        let b = v(1.0, 1.0);
+        assert_eq!(a.clone().min(b.clone()).flt(), -2.0);
+        assert_eq!(a.clone().max(b.clone()).fix(), 1.0);
+    }
+
+    #[test]
+    fn cast_quantizes_only_fixed_path() {
+        let t = DType::tc("t", 7, 5).unwrap();
+        let a = v(0.7, 0.7);
+        let c = a.cast(&t);
+        assert_eq!(c.flt(), 0.7);
+        assert_eq!(c.fix(), 22.0 / 32.0);
+    }
+
+    #[test]
+    fn saturating_cast_clamps_interval() {
+        let t = DType::new(
+            "t",
+            7,
+            5,
+            Signedness::TwosComplement,
+            OverflowMode::Saturate,
+            RoundingMode::Round,
+        )
+        .unwrap();
+        let wide = Value::with_paths(0.0, 0.0, Interval::new(-40.0, 40.0));
+        let c = wide.cast(&t);
+        assert!(c.interval().hi <= t.max_value());
+        assert!(c.interval().lo >= t.min_value());
+        // Wrap cast does not clamp.
+        let t_wrap = t.with_overflow(OverflowMode::Wrap);
+        let wide = Value::with_paths(0.0, 0.0, Interval::new(-40.0, 40.0));
+        assert_eq!(wide.cast(&t_wrap).interval(), Interval::new(-40.0, 40.0));
+    }
+
+    #[test]
+    fn expr_off_propagates_without_allocation() {
+        let a = Value::from(1.0);
+        let b = Value::from(2.0);
+        let c = a * b + 3.0;
+        assert!(matches!(c.expr, Expr::Off));
+    }
+
+    #[test]
+    fn expr_recording_builds_nodes() {
+        let a = Value::constant(1.0, true);
+        let b = Value::constant(2.0, true);
+        let c = a * b;
+        match &c.expr {
+            Expr::Node(n) => {
+                assert_eq!(n.op, ExprOp::Mul);
+                assert_eq!(n.args.len(), 2);
+            }
+            other => panic!("expected node, got {other:?}"),
+        }
+        // Mixing with scalar keeps recording on.
+        let d = c + 1.0;
+        assert!(matches!(d.expr, Expr::Node(_)));
+    }
+
+    #[test]
+    fn default_value_is_zeroish() {
+        let v = Value::default();
+        assert_eq!(v.flt(), 0.0);
+        assert_eq!(v.fix(), 0.0);
+        assert!(v.interval().is_empty());
+    }
+
+    #[test]
+    fn display_mentions_both_paths() {
+        let s = v(1.0, 0.5).to_string();
+        assert!(s.contains("flt=1"));
+        assert!(s.contains("fix=0.5"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Property-based tests of the dual-path simulation engine's invariants.
+
+use fixref_fixed::{DType, OverflowMode, RoundingMode, Signedness};
+use fixref_sim::{Design, SignalRef, Value};
+use proptest::prelude::*;
+
+fn arb_dtype() -> impl Strategy<Value = DType> {
+    (
+        2i32..=20,
+        -4i32..=16,
+        prop_oneof![
+            Just(OverflowMode::Wrap),
+            Just(OverflowMode::Saturate),
+            Just(OverflowMode::Error)
+        ],
+    )
+        .prop_map(|(n, f, o)| {
+            DType::new(
+                "p",
+                n,
+                f,
+                Signedness::TwosComplement,
+                o,
+                RoundingMode::Round,
+            )
+            .expect("valid dtype")
+        })
+}
+
+/// A tiny arithmetic program over three signals, as data.
+#[derive(Debug, Clone)]
+enum Step {
+    SetInput(f64),
+    AddMul { k: f64, c: f64 },
+    NegAbs,
+    MinMax { lo: f64, hi: f64 },
+    Select,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (-2.0f64..2.0).prop_map(Step::SetInput),
+        ((-1.5f64..1.5), (-1.0f64..1.0)).prop_map(|(k, c)| Step::AddMul { k, c }),
+        Just(Step::NegAbs),
+        ((-1.0f64..0.0), (0.0f64..1.0)).prop_map(|(lo, hi)| Step::MinMax { lo, hi }),
+        Just(Step::Select),
+    ]
+}
+
+fn run_program(steps: &[Step], dtype: Option<DType>) -> Design {
+    let d = Design::with_seed(99);
+    let x = match &dtype {
+        Some(t) => d.sig_typed("x", t.clone()),
+        None => d.sig("x"),
+    };
+    let y = d.sig("y");
+    for s in steps {
+        match s {
+            Step::SetInput(v) => x.set(*v),
+            Step::AddMul { k, c } => y.set(x.get() * *k + *c),
+            Step::NegAbs => y.set((-x.get()).abs()),
+            Step::MinMax { lo, hi } => y.set(x.get().max(Value::from(*lo)).min(Value::from(*hi))),
+            Step::Select => y.set(x.get().select_positive(1.0.into(), (-1.0).into())),
+        }
+    }
+    d
+}
+
+proptest! {
+    /// With no types anywhere, the two paths are identical everywhere.
+    #[test]
+    fn untyped_paths_never_diverge(steps in prop::collection::vec(arb_step(), 1..60)) {
+        let d = run_program(&steps, None);
+        for r in d.reports() {
+            prop_assert_eq!(r.consumed.max_abs(), 0.0, "{} consumed", r.name);
+            prop_assert_eq!(r.produced.max_abs(), 0.0, "{} produced", r.name);
+        }
+    }
+
+    /// The fixed path of a typed signal always sits on its grid and
+    /// inside its range (any overflow mode).
+    #[test]
+    fn typed_fixed_path_stays_on_grid(
+        steps in prop::collection::vec(arb_step(), 1..60),
+        t in arb_dtype(),
+    ) {
+        let d = run_program(&steps, Some(t.clone()));
+        let id = d.find("x").expect("declared");
+        let (_, fix) = d.peek(id);
+        prop_assert!(t.is_representable(fix), "{fix} not representable in {t}");
+    }
+
+    /// The statistic range always covers the propagated-interval
+    /// *intersection* with reality: every observed value lies inside the
+    /// union of statistic and is below the propagated bound when that
+    /// bound is finite and no annotation overrides it.
+    #[test]
+    fn prop_interval_covers_observations(steps in prop::collection::vec(arb_step(), 1..60)) {
+        let d = run_program(&steps, None);
+        for r in d.reports() {
+            if let Some(stat) = r.stat.interval() {
+                if r.range_override.is_none() && r.prop.is_bounded() {
+                    prop_assert!(
+                        r.prop.contains_interval(&stat),
+                        "{}: prop {} misses stat {:?}",
+                        r.name, r.prop, stat
+                    );
+                }
+            }
+        }
+    }
+
+    /// Counters are exact: writes equals the number of set calls issued
+    /// to that signal.
+    #[test]
+    fn write_counters_exact(steps in prop::collection::vec(arb_step(), 1..60)) {
+        let d = run_program(&steps, None);
+        let sets_x = steps.iter().filter(|s| matches!(s, Step::SetInput(_))).count() as u64;
+        let sets_y = steps.len() as u64 - sets_x;
+        prop_assert_eq!(d.report_by_id(d.find("x").expect("x")).writes, sets_x);
+        prop_assert_eq!(d.report_by_id(d.find("y").expect("y")).writes, sets_y);
+    }
+
+    /// reset_stats clears everything observable while values persist.
+    #[test]
+    fn reset_stats_is_complete(steps in prop::collection::vec(arb_step(), 1..40)) {
+        let d = run_program(&steps, None);
+        let id = d.find("y").expect("y");
+        let before = d.peek(id);
+        d.reset_stats();
+        let r = d.report_by_id(id);
+        prop_assert_eq!(r.writes, 0);
+        prop_assert_eq!(r.reads, 0);
+        prop_assert!(r.stat.is_empty());
+        prop_assert_eq!(r.produced.count(), 0);
+        prop_assert_eq!(r.overflows, 0);
+        prop_assert_eq!(d.peek(id), before);
+    }
+
+    /// Register semantics: a chain of registers is an exact delay line
+    /// under any input sequence.
+    #[test]
+    fn register_chain_is_exact_delay(inputs in prop::collection::vec(-2.0f64..2.0, 4..40)) {
+        let d = Design::new();
+        let regs = d.reg_array("r", 3);
+        let mut history = Vec::new();
+        for &v in &inputs {
+            regs.at(0).set(v);
+            for i in 1..3 {
+                regs.at(i).set(regs.at(i - 1).get());
+            }
+            d.tick();
+            history.push(v);
+            let n = history.len();
+            for k in 0..3usize {
+                let expect = if n > k { history[n - 1 - k] } else { 0.0 };
+                prop_assert_eq!(regs.at(k).get().flt(), expect, "tap {} at step {}", k, n);
+            }
+        }
+    }
+
+    /// Graph recording never changes simulated values.
+    #[test]
+    fn recording_is_observationally_transparent(
+        steps in prop::collection::vec(arb_step(), 1..40),
+        t in arb_dtype(),
+    ) {
+        let a = run_program(&steps, Some(t.clone()));
+        let b = {
+            let d = Design::with_seed(99);
+            let x = d.sig_typed("x", t.clone());
+            let y = d.sig("y");
+            d.record_graph(true);
+            for s in &steps {
+                match s {
+                    Step::SetInput(v) => x.set(*v),
+                    Step::AddMul { k, c } => y.set(x.get() * *k + *c),
+                    Step::NegAbs => y.set((-x.get()).abs()),
+                    Step::MinMax { lo, hi } =>
+                        y.set(x.get().max(Value::from(*lo)).min(Value::from(*hi))),
+                    Step::Select =>
+                        y.set(x.get().select_positive(1.0.into(), (-1.0).into())),
+                }
+            }
+            d
+        };
+        for (ra, rb) in a.reports().into_iter().zip(b.reports()) {
+            prop_assert_eq!(a.peek(ra.id), b.peek(rb.id));
+            prop_assert_eq!(ra.writes, rb.writes);
+            prop_assert_eq!(ra.prop, rb.prop);
+        }
+        prop_assert!(!b.graph().is_empty() || steps.iter().all(|s| matches!(s, Step::SetInput(_))));
+    }
+
+    /// Saturating input types absorb any input: the fixed path is always
+    /// within range and overflow events are only counted, never panic.
+    #[test]
+    fn saturating_input_absorbs_everything(vals in prop::collection::vec(-100.0f64..100.0, 1..50)) {
+        let d = Design::new();
+        let t = DType::tc("t", 8, 4).expect("valid");
+        let x = d.sig_typed("x", t.clone());
+        for &v in &vals {
+            x.set(v);
+            let fix = x.get().fix();
+            prop_assert!(fix >= t.min_value() && fix <= t.max_value());
+        }
+        let expected_overflows = vals
+            .iter()
+            .filter(|v| **v > t.max_value() + t.resolution() / 2.0 || **v < t.min_value() - t.resolution() / 2.0)
+            .count() as u64;
+        prop_assert_eq!(d.report_for(&x).overflows, expected_overflows);
+    }
+
+    /// Error injection honors the requested sigma regardless of the data.
+    #[test]
+    fn error_injection_bounded_by_sqrt3_sigma(
+        sigma in 0.001f64..0.5,
+        vals in prop::collection::vec(-1.0f64..1.0, 10..100),
+    ) {
+        let d = Design::with_seed(5);
+        let a = d.sig("a");
+        a.error_sigma(sigma);
+        for &v in &vals {
+            a.set(v);
+            let err = a.get().flt() - a.get().fix();
+            prop_assert!(err.abs() <= sigma * 3f64.sqrt() + 1e-12, "err {err} sigma {sigma}");
+        }
+        let r = d.report_for(&a);
+        prop_assert!(r.produced.max_abs() <= sigma * 3f64.sqrt() + 1e-12);
+    }
+}

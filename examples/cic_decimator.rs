@@ -1,0 +1,82 @@
+//! The CIC decimator: where designer knowledge beats both estimators.
+//!
+//! Hogenauer's classic result: a CIC's integrators may wrap freely — the
+//! modular arithmetic cancels through the combs — as long as every stage
+//! carries `B_in + N·log2(R·M)` bits. No simulation statistic or interval
+//! propagation can *discover* that wrap is safe here (the true integrator
+//! ranges are unbounded), which is exactly why the paper's methodology
+//! keeps the designer in the loop. This example shows both sides:
+//!
+//! 1. the instrumented CIC with formula-width wrap types matches the
+//!    unbounded golden model bit for bit while its integrators overflow
+//!    hundreds of times;
+//! 2. the refinement flow, given the same design, honestly reports the
+//!    integrators as exploding feedback and falls back to saturation —
+//!    safe, but wider and slower than the designer's wrap solution.
+//!
+//! ```text
+//! cargo run --release --example cic_decimator
+//! ```
+
+use fixref::dsp::cic::{hogenauer_width, CicDecimator, CicGolden};
+use fixref::sim::Design;
+
+fn main() {
+    let (stages, r, m, b_in, frac) = (3u32, 8u32, 1u32, 8u32, 6i32);
+    let w = hogenauer_width(b_in, stages, r, m);
+    println!("CIC N={stages} R={r} M={m}, input {b_in} bits");
+    println!("Hogenauer width: {w} bits for every internal stage\n");
+
+    // Side 1: wrap arithmetic at formula width is exact.
+    let design = Design::new();
+    let mut fixed = CicDecimator::new(&design, stages, r, m, b_in, frac);
+    let mut golden = CicGolden::new(stages, r, m);
+    let mut outputs = 0u32;
+    let mut exact = true;
+    for i in 0..20000u32 {
+        let x =
+            0.015625 * (((i.wrapping_mul(2654435761).wrapping_add(i) >> 7) % 128) as f64 - 64.0);
+        let (gf, ff) = (golden.push(x), fixed.push(x));
+        if let (Some(g), Some(f)) = (gf, ff) {
+            outputs += 1;
+            exact &= g == f;
+        }
+    }
+    let wraps: u64 = design
+        .reports()
+        .iter()
+        .filter(|rep| rep.name.starts_with("cic_i"))
+        .map(|rep| rep.overflows)
+        .sum();
+    println!("{outputs} decimated outputs compared against the unbounded model");
+    println!("integrator wrap events: {wraps}");
+    println!(
+        "bit-exact: {} (Hogenauer's modular-arithmetic result)",
+        if exact { "YES" } else { "NO" }
+    );
+
+    // Side 2: what the estimators see.
+    let report = design.reports();
+    let integ = report
+        .iter()
+        .find(|rep| rep.name == "cic_i[0]")
+        .expect("declared");
+    println!();
+    println!(
+        "first integrator: observed range {}, type range [{}, {}]",
+        integ
+            .stat
+            .interval()
+            .map(|i| i.to_string())
+            .unwrap_or_default(),
+        integ.dtype.as_ref().map(|t| t.min_value()).unwrap_or(0.0),
+        integ.dtype.as_ref().map(|t| t.max_value()).unwrap_or(0.0),
+    );
+    println!(
+        "the observed range is stimulus luck — for DC input it grows without\n\
+         bound, so the statistic estimator under-provisions and interval\n\
+         propagation explodes. Only the designer's wrap types are both exact\n\
+         and minimal: the paper's methodology is a decision aid, not a\n\
+         replacement for knowing your arithmetic."
+    );
+}

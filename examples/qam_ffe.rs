@@ -1,0 +1,81 @@
+//! Case study: refine a complex-baseband QAM adaptive equalizer — the
+//! signal class of the paper's production cable modems. Ten adaptive
+//! complex coefficients mean ten multiplicative feedback loops; watch the
+//! flow pin every one of them after range explosion and still converge in
+//! two MSB iterations.
+//!
+//! ```text
+//! cargo run --release --example qam_ffe
+//! ```
+
+use fixref::codegen::estimate_cost;
+use fixref::dsp::qam::{qam_stimulus, FfeConfig, QamFfe};
+use fixref::fixed::SqnrMeter;
+use fixref::refine::{RefinePolicy, RefinementFlow};
+use fixref::sim::Design;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = Design::with_seed(0x0A11_CAFE);
+    let config = FfeConfig {
+        input_dtype: Some("<9,7,tc,st,rd>".parse()?),
+        input_range: None,
+        ..FfeConfig::default()
+    };
+    let ffe = QamFfe::new(&design, &config);
+    println!("complex FFE: {} monitored signals", ffe.signal_ids().len());
+
+    let mut flow = RefinementFlow::new(design.clone(), RefinePolicy::default());
+    let ffe_for_flow = ffe.clone();
+    let outcome = flow.run(move |d, _| {
+        d.reset_state();
+        ffe_for_flow.init();
+        for &x in &qam_stimulus(3, 26.0, 5000) {
+            ffe_for_flow.step(x);
+        }
+    })?;
+
+    println!(
+        "refined in {} MSB + {} LSB iterations",
+        outcome.msb_iterations, outcome.lsb_iterations
+    );
+    let (forced, other) = outcome.saturation_counts();
+    println!("coefficients pinned after range explosion: {forced}");
+    println!("other saturations: {other}");
+    println!("interventions: {}", outcome.interventions.len());
+    for iv in outcome.interventions.iter().take(4) {
+        println!("  {iv}");
+    }
+    if outcome.interventions.len() > 4 {
+        println!("  ... and {} more", outcome.interventions.len() - 4);
+    }
+
+    // Measure quality and cost with the decided types.
+    design.reset_stats();
+    design.reset_state();
+    design.clear_graph();
+    design.record_graph(true);
+    ffe.init();
+    let mut meter = SqnrMeter::new();
+    for &x in &qam_stimulus(3, 26.0, 5000) {
+        ffe.step(x);
+        let (or_, oi) = ffe.outputs();
+        let (vr, vi) = (or_.get(), oi.get());
+        meter.record(vr.flt(), vr.fix());
+        meter.record(vi.flt(), vi.fix());
+    }
+    design.record_graph(false);
+    let cost = estimate_cost(&design, &design.graph());
+    println!("equalized-output {meter}");
+    println!(
+        "datapath estimate: {:.0} gate equivalents ({} mult bits, {} add bits, {} reg bits)",
+        cost.gate_score(),
+        cost.multiplier_bits,
+        cost.adder_bits,
+        cost.register_bits
+    );
+    println!(
+        "verification: {} overflows, {} saturation events",
+        outcome.verify.total_overflows, outcome.verify.saturation_events
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quickstart: refine a tiny multiply-accumulate datapath from floating
+//! point to fixed point in one call, then look at what was decided.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use fixref::fixed::DType;
+use fixref::refine::{RefinePolicy, RefinementFlow};
+use fixref::sim::Design;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the datapath through the design environment. The input
+    //    already has its fixed-point type (it comes from an 8-bit ADC);
+    //    everything else starts floating point.
+    let design = Design::new();
+    let adc: DType = "<8,6,tc,st,rd>".parse()?;
+    let x = design.sig_typed("x", adc);
+    let scaled = design.sig("scaled");
+    let acc = design.reg("acc");
+    let y = design.sig("y");
+
+    // 2. Hand the design and a stimulus to the refinement flow. The
+    //    stimulus is any closure that exercises the design; here a swept
+    //    tone through a leaky accumulator.
+    let mut flow = RefinementFlow::new(design.clone(), RefinePolicy::default());
+    let (xc, sc, ac, yc) = (x.clone(), scaled.clone(), acc.clone(), y.clone());
+    let outcome = flow.run(move |d, _iteration| {
+        for i in 0..2000 {
+            xc.set((i as f64 * 0.05).sin() * 0.9);
+            sc.set(xc.get() * 0.75);
+            ac.set(ac.get() * 0.9 + sc.get());
+            yc.set(ac.get() + sc.get());
+            d.tick();
+        }
+    })?;
+
+    // 3. Every signal now carries a decided fixed-point type.
+    println!(
+        "refined in {} MSB + {} LSB iterations",
+        outcome.msb_iterations, outcome.lsb_iterations
+    );
+    for (id, dtype) in &outcome.types {
+        println!("  {:<8} -> {}", design.name_of(*id), dtype);
+    }
+    println!(
+        "verification: {} overflows, {} saturation events",
+        outcome.verify.total_overflows, outcome.verify.saturation_events
+    );
+
+    // 4. The decided types live on the design, so further simulation runs
+    //    bit-true fixed point with the float reference alongside.
+    x.set(0.5);
+    scaled.set(x.get() * 0.75);
+    let v = scaled.get();
+    println!("scaled: float path {} vs fixed path {}", v.flt(), v.fix());
+    Ok(())
+}

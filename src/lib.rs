@@ -1,0 +1,59 @@
+//! `fixref` — a methodology and design environment for DSP ASIC fixed-point
+//! refinement.
+//!
+//! This is the umbrella crate of the workspace, re-exporting the public API
+//! of every subsystem:
+//!
+//! * [`fixed`] — fixed-point type algebra ([`fixed::DType`], quantization,
+//!   interval arithmetic, statistics, SQNR meters);
+//! * [`sim`] — the design environment: a dual fixed/float simulation engine
+//!   with range and error monitoring;
+//! * [`refine`] — the paper's contribution: the hybrid MSB/LSB refinement
+//!   engine, flow driver and baseline strategies;
+//! * [`dsp`] — the evaluation workloads: LMS equalizer, PAM timing-recovery
+//!   loop and the DSP blocks they are built from;
+//! * [`codegen`] — the VHDL back-end.
+//!
+//! See the repository `README.md` for a tour, `DESIGN.md` for the system
+//! inventory, and `examples/` for runnable end-to-end flows.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fixref::fixed::DType;
+//!
+//! # fn main() -> Result<(), fixref::fixed::DTypeError> {
+//! let t = DType::tc("x", 7, 5)?; // the paper's <7,5,tc> input type
+//! assert_eq!(t.msb(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use fixref_codegen as codegen;
+pub use fixref_core as refine;
+pub use fixref_dsp as dsp;
+pub use fixref_fixed as fixed;
+pub use fixref_sim as sim;
+
+/// The common imports for describing and refining a design:
+///
+/// ```
+/// use fixref::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let design = Design::new();
+/// let adc: DType = "<8,6,tc,st,rd>".parse()?;
+/// let x = design.sig_typed("x", adc);
+/// x.range(-1.0, 1.0);
+/// let mut flow = RefinementFlow::new(design.clone(), RefinePolicy::default());
+/// # let _ = (x, flow.policy());
+/// # Ok(())
+/// # }
+/// ```
+pub mod prelude {
+    pub use fixref_core::{RefinePolicy, RefinementFlow};
+    pub use fixref_fixed::{DType, Interval, OverflowMode, RoundingMode, Signedness};
+    pub use fixref_sim::{Design, Reg, Sig, SignalRef, Value};
+}

@@ -1,0 +1,243 @@
+//! Integration tests asserting the *shape* of every reproduced paper
+//! result — who wins, by what order, where the crossovers are — so the
+//! EXPERIMENTS.md numbers cannot silently rot.
+
+use fixref::refine::LsbStatus;
+use fixref_bench::{
+    run_baselines, run_complex, run_sqnr, run_table1, run_table2, LMS_SAMPLES, TIMING_SAMPLES,
+};
+
+#[test]
+fn table1_shape_two_iterations_with_b_intervention() {
+    let (history, interventions) = run_table1(LMS_SAMPLES).expect("converges");
+    assert_eq!(history.len(), 2, "paper: 2 iterations");
+
+    let first = &history[0];
+    let row = |name: &str| {
+        first
+            .iter()
+            .find(|a| a.name == name)
+            .unwrap_or_else(|| panic!("{name} missing"))
+    };
+    // Iteration 1: w and b suffer range explosion; everything else with
+    // range information resolves.
+    assert!(row("w").exploded, "w must explode");
+    assert!(row("b").exploded, "b must explode");
+    for name in [
+        "x", "c[0]", "c[1]", "c[2]", "d[0]", "v[1]", "v[3]", "y", "s",
+    ] {
+        assert!(!row(name).exploded, "{name} must not explode");
+        assert!(row(name).decision.is_resolved(), "{name} must resolve");
+    }
+    // The input range annotation drives x's propagated side.
+    assert_eq!(row("x").prop.expect("x has a range").hi, 1.5);
+
+    // Exactly one automatic intervention, on b (w's explosion is
+    // inherited and resolves by itself — like the paper's Table 1).
+    assert_eq!(interventions.len(), 1, "{interventions:?}");
+    assert!(interventions[0].contains("b.range("), "{interventions:?}");
+
+    // Iteration 2: everything with range information resolved.
+    let last = history.last().expect("non-empty");
+    for a in last {
+        if a.name == "v[0]" {
+            continue; // constant zero: no range information, by design
+        }
+        assert!(a.decision.is_resolved(), "{} unresolved in iter 2", a.name);
+        assert!(!a.exploded, "{} still exploded in iter 2", a.name);
+    }
+    // b is decided saturated, as the paper marks it "(st)".
+    let b = last.iter().find(|a| a.name == "b").expect("b present");
+    assert!(b.decision.is_saturated());
+}
+
+#[test]
+fn table2_shape_one_iteration_exact_slicer() {
+    let history = run_table2(LMS_SAMPLES).expect("converges");
+    assert_eq!(history.len(), 1, "paper: one LSB iteration");
+    let rows = &history[0];
+    let row = |name: &str| {
+        rows.iter()
+            .find(|a| a.name == name)
+            .unwrap_or_else(|| panic!("{name} missing"))
+    };
+
+    // The input is quantized <7,5>: its measured sigma is the classic
+    // 2^-5/sqrt(12) and its decided LSB sits 2 bits below (k = 1).
+    let x = row("x");
+    let expected_sigma = (0.03125f64) / 12f64.sqrt();
+    assert!(
+        (x.std - expected_sigma).abs() / expected_sigma < 0.05,
+        "x sigma {} vs theory {expected_sigma}",
+        x.std
+    );
+    assert_eq!(x.lsb, Some(-7));
+
+    // The slicer output is exact with LSB 0 — the paper's y row.
+    let y = row("y");
+    assert_eq!(y.status, LsbStatus::Exact);
+    assert_eq!(y.lsb, Some(0));
+    assert_eq!(y.max_abs, 0.0);
+    assert_eq!(y.std, 0.0);
+
+    // The FIR tail and slicer input carry comparable noise to the input
+    // (their LSBs land within a couple of bits of x's).
+    for name in ["v[2]", "v[3]", "w"] {
+        let l = row(name).lsb.expect("resolved");
+        assert!(
+            (-9..=-5).contains(&l),
+            "{name} lsb {l} outside the plausible band"
+        );
+    }
+    // b's error is attenuated by the small step size: finer LSB than w.
+    assert!(row("b").lsb.expect("resolved") <= row("w").lsb.expect("resolved"));
+}
+
+#[test]
+fn sqnr_shape_high_thirties_with_subdb_cost() {
+    let (sqnr, outcome) = run_sqnr(LMS_SAMPLES).expect("converges");
+    // Paper: 39.8 dB before, 39.1 dB after. Shapes: high-30s/low-40s
+    // before; refinement costs well under 2.5 dB.
+    assert!(
+        (37.0..=44.0).contains(&sqnr.before_db),
+        "before {}",
+        sqnr.before_db
+    );
+    assert!(sqnr.after_db < sqnr.before_db, "refinement cannot add SQNR");
+    assert!(
+        sqnr.cost_db() < 2.5,
+        "cost {} dB vs paper's 0.7",
+        sqnr.cost_db()
+    );
+    assert!(outcome.verify.is_overflow_free());
+    // Everything but the locked input got a type.
+    assert!(outcome.types.len() >= 12, "{} types", outcome.types.len());
+    assert!(outcome.unrefined.is_empty(), "{:?}", outcome.unrefined);
+}
+
+#[test]
+fn complex_example_shape_matches_section_6_1() {
+    let r = run_complex(TIMING_SAMPLES).expect("converges");
+    assert_eq!(r.signals, 61, "paper: 61 signals");
+    assert_eq!(r.msb_iterations, 2, "paper: 2 MSB iterations");
+    assert_eq!(
+        r.forced_saturations, 2,
+        "paper: 2 forced by MSB explosion (the two accumulators)"
+    );
+    assert_eq!(r.knowledge_saturations, 5, "paper: 5 knowledge-based");
+    assert!(
+        (46..=56).contains(&r.nonsaturated),
+        "paper: 54 non-saturated, got {}",
+        r.nonsaturated
+    );
+    // Sub-to-low single-digit bits of MSB overhead (paper: 0.22).
+    assert!(
+        (0.0..=2.0).contains(&r.msb_overhead_bits),
+        "overhead {}",
+        r.msb_overhead_bits
+    );
+    // The NCO phase is the first divergent signal, stabilized by error().
+    assert!(
+        r.lsb_divergent.first().map(String::as_str) == Some("phase"),
+        "divergent: {:?} (paper: the NCO phase)",
+        r.lsb_divergent
+    );
+    assert!(
+        r.lsb_divergent.len() <= 2,
+        "at most the two feedback accumulators diverge: {:?}",
+        r.lsb_divergent
+    );
+    assert!(r.lsb_iterations >= 2, "divergence costs an extra iteration");
+    assert!(r.outcome.verify.is_overflow_free());
+
+    // §5.2 precision checks on the verification run: the error()-pinned
+    // NCO phase must read as the feedback suspect; nothing else in the
+    // datapath may hide incoming error.
+    use fixref::refine::PrecisionStatus;
+    let suspects: Vec<&str> = r
+        .precision
+        .iter()
+        .filter(|c| c.status == PrecisionStatus::FeedbackSuspect)
+        .map(|c| c.name.as_str())
+        .collect();
+    assert!(suspects.contains(&"phase"), "suspects: {suspects:?}");
+    assert!(suspects.len() <= 2, "suspects: {suspects:?}");
+}
+
+#[test]
+fn baselines_shape_hybrid_wins_both_axes() {
+    let rows = run_baselines(2000, 35.0).expect("strategies complete");
+    let get = |name: &str| {
+        rows.iter()
+            .find(|r| r.strategy == name)
+            .unwrap_or_else(|| panic!("{name} missing"))
+    };
+    let hybrid = get("hybrid");
+    let simulation = get("simulation");
+    let analytical = get("analytical");
+
+    // Cost axis: the hybrid needs a handful of simulations; the search an
+    // order of magnitude more; the analytical method one.
+    assert!(
+        hybrid.simulations <= 6,
+        "hybrid sims {}",
+        hybrid.simulations
+    );
+    assert!(
+        simulation.simulations >= hybrid.simulations * 10,
+        "search {} vs hybrid {}",
+        simulation.simulations,
+        hybrid.simulations
+    );
+    assert_eq!(analytical.simulations, 1);
+
+    // Quality axis: all meet the target; the hybrid clears it.
+    assert!(hybrid.quality.expect("measured") >= 35.0);
+    assert!(simulation.quality.expect("measured") >= 35.0);
+    assert!(analytical.quality.expect("measured") >= 35.0);
+
+    // Wordlength axis: the analytical method decides more bits than the
+    // hybrid on the same design (overestimation).
+    assert!(
+        analytical.mean_wordlength.expect("typed") > hybrid.mean_wordlength.expect("typed"),
+        "analytical {} vs hybrid {}",
+        analytical.mean_wordlength.expect("typed"),
+        hybrid.mean_wordlength.expect("typed")
+    );
+}
+
+#[test]
+fn case_study_shape_qam_ffe() {
+    let r = fixref_bench::run_case_study(4000).expect("converges");
+    assert_eq!(r.signals, 38);
+    assert_eq!(r.msb_iterations, 2, "explosions resolve in one extra pass");
+    // All ten adaptive complex coefficients are multiplicative feedback:
+    // every one must be pinned after range explosion.
+    assert_eq!(r.forced_saturations, 10);
+    assert!(r.sqnr_db > 35.0, "SQNR {}", r.sqnr_db);
+    assert_eq!(
+        r.decision_mismatches, 0,
+        "fixed path must decide like float"
+    );
+    assert!(r.outcome.verify.is_overflow_free());
+    assert!(r.gates > 0.0);
+}
+
+#[test]
+fn scaling_shape_hybrid_flat_search_grows() {
+    let rows = fixref_bench::run_scaling(1200, 33.0).expect("strategies complete");
+    assert_eq!(rows.len(), 2);
+    let (small, large) = (&rows[0], &rows[1]);
+    assert!(large.signals > small.signals * 2);
+    // Hybrid cost is flat in design size.
+    assert!(small.hybrid_sims <= 6 && large.hybrid_sims <= 6);
+    assert_eq!(small.hybrid_sims, large.hybrid_sims);
+    // Search cost grows with the signal count.
+    assert!(
+        large.search_sims > small.search_sims,
+        "search {} -> {}",
+        small.search_sims,
+        large.search_sims
+    );
+    assert!(large.search_sims >= large.hybrid_sims * 20);
+}
