@@ -1,7 +1,7 @@
 //! Back-end costs: VHDL emission, testbench generation and the bit-true
 //! RTL interpreter, all on the refined LMS equalizer.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fixref_bench::microbench::Harness;
 use fixref_bench::paper_input_type;
 use fixref_codegen::{
     estimate_cost, generate_testbench, generate_vhdl, RtlInterpreter, VhdlOptions,
@@ -40,31 +40,32 @@ fn refined() -> (Design, LmsEqualizer) {
     (design, eq)
 }
 
-fn bench_codegen(c: &mut Criterion) {
+fn main() {
     let (design, eq) = refined();
     let opts = VhdlOptions::named("lms").with_input(eq.x().id());
     let outs = vec![eq.y().id(), eq.w().id()];
+    let mut h = Harness::new("codegen");
 
-    c.bench_function("codegen/generate_vhdl_lms", |b| {
-        b.iter(|| generate_vhdl(&design, &outs, &opts).expect("generates"))
+    h.bench("codegen/generate_vhdl_lms", || {
+        generate_vhdl(&design, &outs, &opts).expect("generates")
     });
 
     let trace = vec![(eq.x().id(), equalizer_stimulus(5, 28.0, 32))];
-    c.bench_function("codegen/generate_testbench_32_cycles", |b| {
-        b.iter(|| generate_testbench(&design, &outs, &opts, &trace).expect("generates"))
+    h.bench("codegen/generate_testbench_32_cycles", || {
+        generate_testbench(&design, &outs, &opts, &trace).expect("generates")
     });
 
-    c.bench_function("codegen/estimate_cost_lms", |b| {
+    {
         let graph = design.graph();
-        b.iter(|| estimate_cost(&design, &graph))
-    });
+        h.bench("codegen/estimate_cost_lms", || {
+            estimate_cost(&design, &graph)
+        });
+    }
 
-    let mut group = c.benchmark_group("codegen");
-    group.throughput(Throughput::Elements(512));
-    group.bench_function("rtl_interpreter_512_cycles", |b| {
+    {
         let graph = design.graph();
         let stimulus = equalizer_stimulus(5, 28.0, 512);
-        b.iter(|| {
+        h.bench("codegen/rtl_interpreter_512_cycles", || {
             let mut rtl = RtlInterpreter::new(&design, &graph).expect("builds");
             let mut acc = 0.0;
             for &x in &stimulus {
@@ -74,10 +75,8 @@ fn bench_codegen(c: &mut Criterion) {
                 acc += rtl.value(eq.w().id());
             }
             acc
-        })
-    });
-    group.finish();
-}
+        });
+    }
 
-criterion_group!(benches, bench_codegen);
-criterion_main!(benches);
+    h.finish();
+}

@@ -4,7 +4,7 @@
 //! whose cost stays practical, versus running separate fixed and float
 //! simulations plus a signal database.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fixref_bench::microbench::Harness;
 use fixref_bench::paper_input_type;
 use fixref_dsp::lms::equalizer_stimulus;
 use fixref_dsp::{LmsConfig, LmsEqualizer, LmsGolden};
@@ -12,27 +12,26 @@ use fixref_sim::Design;
 
 const SAMPLES: usize = 512;
 
-fn bench_dual_sim(c: &mut Criterion) {
+fn main() {
     let stimulus = equalizer_stimulus(7, 28.0, SAMPLES);
-    let mut group = c.benchmark_group("dual_sim");
-    group.throughput(Throughput::Elements(SAMPLES as u64));
+    let mut h = Harness::new("dual_sim");
 
-    group.bench_function("golden_f64", |b| {
+    {
         let mut g = LmsGolden::new(&LmsConfig::default());
-        b.iter(|| {
+        h.bench("dual_sim/golden_f64", || {
             g.reset();
             let mut acc = 0.0;
             for &x in &stimulus {
                 acc += g.step(x).0;
             }
             acc
-        })
-    });
+        });
+    }
 
-    group.bench_function("instrumented_floating", |b| {
+    {
         let d = Design::new();
         let eq = LmsEqualizer::new(&d, &LmsConfig::default());
-        b.iter(|| {
+        h.bench("dual_sim/instrumented_floating", || {
             d.reset_state();
             eq.init();
             let mut acc = 0.0;
@@ -40,17 +39,17 @@ fn bench_dual_sim(c: &mut Criterion) {
                 acc += eq.step(x).0;
             }
             acc
-        })
-    });
+        });
+    }
 
-    group.bench_function("instrumented_typed_input", |b| {
+    {
         let d = Design::new();
         let config = LmsConfig {
             input_dtype: Some(paper_input_type()),
             ..LmsConfig::default()
         };
         let eq = LmsEqualizer::new(&d, &config);
-        b.iter(|| {
+        h.bench("dual_sim/instrumented_typed_input", || {
             d.reset_state();
             eq.init();
             let mut acc = 0.0;
@@ -58,14 +57,14 @@ fn bench_dual_sim(c: &mut Criterion) {
                 acc += eq.step(x).0;
             }
             acc
-        })
-    });
+        });
+    }
 
-    group.bench_function("instrumented_graph_recording", |b| {
+    {
         let d = Design::new();
         let eq = LmsEqualizer::new(&d, &LmsConfig::default());
         d.record_graph(true);
-        b.iter(|| {
+        h.bench("dual_sim/instrumented_graph_recording", || {
             d.reset_state();
             eq.init();
             let mut acc = 0.0;
@@ -73,11 +72,8 @@ fn bench_dual_sim(c: &mut Criterion) {
                 acc += eq.step(x).0;
             }
             acc
-        })
-    });
+        });
+    }
 
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_dual_sim);
-criterion_main!(benches);

@@ -2,7 +2,9 @@
 //! LMS equalizer — the paper's "short and safe determination process"
 //! ("a fraction of a second for this example").
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use fixref_bench::microbench::Harness;
 use fixref_bench::{paper_input_type, run_table1, run_table2};
 use fixref_core::{RefinePolicy, RefinementFlow};
 use fixref_dsp::lms::equalizer_stimulus;
@@ -11,39 +13,33 @@ use fixref_sim::Design;
 
 const SAMPLES: usize = 1000;
 
-fn bench_phases(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lms_refine");
-    group.sample_size(20);
+fn main() {
+    let mut h = Harness::new("lms_refine").with_budget(Duration::from_millis(400));
 
-    group.bench_function("msb_phase_table1", |b| {
-        b.iter(|| run_table1(SAMPLES).expect("converges"))
+    h.bench("lms_refine/msb_phase_table1", || {
+        run_table1(SAMPLES).expect("converges")
     });
 
-    group.bench_function("lsb_phase_table2", |b| {
-        b.iter(|| run_table2(SAMPLES).expect("converges"))
+    h.bench("lms_refine/lsb_phase_table2", || {
+        run_table2(SAMPLES).expect("converges")
     });
 
-    group.bench_function("full_flow", |b| {
-        b.iter(|| {
-            let d = Design::new();
-            let config = LmsConfig {
-                input_dtype: Some(paper_input_type()),
-                ..LmsConfig::default()
-            };
-            let eq = LmsEqualizer::new(&d, &config);
-            let mut flow = RefinementFlow::new(d, RefinePolicy::default());
-            flow.run(|_, _| {
-                eq.init();
-                for &x in &equalizer_stimulus(7, 28.0, SAMPLES) {
-                    eq.step(x);
-                }
-            })
-            .expect("converges")
+    h.bench("lms_refine/full_flow", || {
+        let d = Design::new();
+        let config = LmsConfig {
+            input_dtype: Some(paper_input_type()),
+            ..LmsConfig::default()
+        };
+        let eq = LmsEqualizer::new(&d, &config);
+        let mut flow = RefinementFlow::new(d, RefinePolicy::default());
+        flow.run(|_, _| {
+            eq.init();
+            for &x in &equalizer_stimulus(7, 28.0, SAMPLES) {
+                eq.step(x);
+            }
         })
+        .expect("converges")
     });
 
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_phases);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
 //! Quantization-kernel throughput per overflow/rounding mode — the inner
 //! loop of every assignment in the environment.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fixref_bench::microbench::{black_box, Harness};
 use fixref_fixed::{quantize, DType, Fixed, OverflowMode, RoundingMode, Signedness};
 
-fn bench_quantize(c: &mut Criterion) {
-    let mut group = c.benchmark_group("quantize");
+fn main() {
+    let mut h = Harness::new("quantize");
     let inputs: Vec<f64> = (0..1024).map(|i| ((i as f64) * 0.37).sin() * 3.0).collect();
 
     for (label, overflow) in [
@@ -19,31 +19,23 @@ fn bench_quantize(c: &mut Criterion) {
         ] {
             let t = DType::new("t", 12, 8, Signedness::TwosComplement, overflow, rounding)
                 .expect("valid dtype");
-            group.bench_with_input(BenchmarkId::new(label, rlabel), &t, |b, t| {
-                b.iter(|| {
-                    let mut acc = 0.0;
-                    for &x in &inputs {
-                        acc += quantize(black_box(x), t).value;
-                    }
-                    acc
-                })
+            h.bench(&format!("quantize/{label}/{rlabel}"), || {
+                let mut acc = 0.0;
+                for &x in &inputs {
+                    acc += quantize(black_box(x), &t).value;
+                }
+                acc
             });
         }
     }
-    group.finish();
-}
 
-fn bench_bit_true(c: &mut Criterion) {
     let t = DType::tc("t", 12, 8).expect("valid dtype");
     let a = Fixed::from_f64(0.713, t.clone());
     let b = Fixed::from_f64(-1.211, t);
-    c.bench_function("fixed/mul_add_bit_true", |bch| {
-        bch.iter(|| {
-            let p = black_box(&a).checked_mul(black_box(&b)).expect("fits");
-            p.checked_add(black_box(&a)).expect("fits").to_f64()
-        })
+    h.bench("fixed/mul_add_bit_true", || {
+        let p = black_box(&a).checked_mul(black_box(&b)).expect("fits");
+        p.checked_add(black_box(&a)).expect("fits").to_f64()
     });
-}
 
-criterion_group!(benches, bench_quantize, bench_bit_true);
-criterion_main!(benches);
+    h.finish();
+}

@@ -3,26 +3,24 @@
 
 use std::collections::HashMap;
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fixref_bench::microbench::{black_box, Harness};
 use fixref_dsp::lms::equalizer_stimulus;
 use fixref_dsp::{LmsConfig, LmsEqualizer};
 use fixref_fixed::Interval;
 use fixref_sim::analyze::{analyze_ranges, AnalyzeOptions};
 use fixref_sim::{Design, SignalRef};
 
-fn bench_interval_ops(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("range_prop");
+
     let a = Interval::new(-1.5, 2.25);
     let b = Interval::new(-0.11, 1.2);
-    c.bench_function("interval/mul_add_union", |bench| {
-        bench.iter(|| {
-            let p = black_box(a) * black_box(b);
-            let s = p + black_box(a);
-            s.union(&black_box(b))
-        })
+    h.bench("interval/mul_add_union", || {
+        let p = black_box(a) * black_box(b);
+        let s = p + black_box(a);
+        s.union(&black_box(b))
     });
-}
 
-fn bench_analytical_fixpoint(c: &mut Criterion) {
     // Record the equalizer's graph once.
     let d = Design::new();
     let eq = LmsEqualizer::new(&d, &LmsConfig::default());
@@ -36,10 +34,9 @@ fn bench_analytical_fixpoint(c: &mut Criterion) {
     seeds.insert(eq.x().id(), Interval::new(-1.5, 1.5));
     seeds.insert(eq.b().id(), Interval::new(-0.2, 0.2));
 
-    c.bench_function("analyze_ranges/lms_graph", |bench| {
-        bench.iter(|| analyze_ranges(&graph, &seeds, &AnalyzeOptions::default()))
+    h.bench("analyze_ranges/lms_graph", || {
+        analyze_ranges(&graph, &seeds, &AnalyzeOptions::default())
     });
-}
 
-criterion_group!(benches, bench_interval_ops, bench_analytical_fixpoint);
-criterion_main!(benches);
+    h.finish();
+}

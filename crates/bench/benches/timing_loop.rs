@@ -1,40 +1,38 @@
 //! Throughput of the complex example: the 61-signal instrumented
 //! timing-recovery loop versus its golden `f64` model.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+use fixref_bench::microbench::Harness;
 use fixref_dsp::source::ShapedPamSource;
 use fixref_dsp::{TimingConfig, TimingGolden, TimingRecovery};
 use fixref_sim::Design;
 
 const SAMPLES: usize = 2000;
 
-fn bench_timing(c: &mut Criterion) {
+fn main() {
     let samples: Vec<f64> = {
         let mut src = ShapedPamSource::new(31, 0.35, 2, 0.3, 100.0);
         (0..SAMPLES).map(|_| src.next_sample()).collect()
     };
 
-    let mut group = c.benchmark_group("timing_loop");
-    group.throughput(Throughput::Elements(SAMPLES as u64));
-    group.sample_size(20);
+    let mut h = Harness::new("timing_loop").with_budget(Duration::from_millis(300));
 
-    group.bench_function("golden_f64", |b| {
-        b.iter(|| {
-            let mut rx = TimingGolden::new(&TimingConfig::default());
-            let mut strobes = 0usize;
-            for &x in &samples {
-                if rx.step(x).strobe {
-                    strobes += 1;
-                }
+    h.bench("timing_loop/golden_f64", || {
+        let mut rx = TimingGolden::new(&TimingConfig::default());
+        let mut strobes = 0usize;
+        for &x in &samples {
+            if rx.step(x).strobe {
+                strobes += 1;
             }
-            strobes
-        })
+        }
+        strobes
     });
 
-    group.bench_function("instrumented_61_signals", |b| {
+    {
         let d = Design::new();
         let rx = TimingRecovery::new(&d, &TimingConfig::default());
-        b.iter(|| {
+        h.bench("timing_loop/instrumented_61_signals", || {
             d.reset_state();
             rx.init();
             let mut strobes = 0usize;
@@ -44,11 +42,8 @@ fn bench_timing(c: &mut Criterion) {
                 }
             }
             strobes
-        })
-    });
+        });
+    }
 
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_timing);
-criterion_main!(benches);

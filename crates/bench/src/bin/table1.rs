@@ -6,13 +6,32 @@
 //! adaptive feedback; pinning `b`'s range (the flow's automatic
 //! equivalent of the paper's `b.range(-0.2, 0.2)`) resolves both in
 //! iteration 2.
+//!
+//! With `--json`, prints the flow's [`MetricsReport`] as JSON instead and
+//! writes it to `BENCH_flow.json` for downstream tooling.
 
-use fixref_bench::{run_table1, LMS_SAMPLES};
+use fixref_bench::{run_table1_report, LMS_SAMPLES};
 use fixref_core::render_msb_table;
+use fixref_obs::MetricsReport;
+
+/// Renders the report as JSON to stdout and `BENCH_flow.json`.
+fn emit_json(report: &MetricsReport) {
+    let rendered = report.render_json();
+    if let Err(e) = std::fs::write("BENCH_flow.json", rendered.as_bytes()) {
+        eprintln!("warning: could not write BENCH_flow.json: {e}");
+    }
+    println!("{rendered}");
+}
 
 fn main() {
-    let (history, interventions) =
-        run_table1(LMS_SAMPLES).expect("MSB phase converges on the equalizer");
+    let json = std::env::args().skip(1).any(|a| a == "--json");
+    let (history, interventions, report) =
+        run_table1_report(LMS_SAMPLES).expect("MSB phase converges on the equalizer");
+
+    if json {
+        emit_json(&report);
+        return;
+    }
 
     println!("Table 1 — MSB analysis of the LMS equalizer (paper Fig. 1)");
     println!("===========================================================");

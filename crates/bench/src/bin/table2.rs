@@ -4,12 +4,32 @@
 //! Expected shape (paper §6): one iteration resolves the LSB position of
 //! every signal; the slicer output `y` is exact (all-zero error
 //! statistics) with LSB 0.
+//!
+//! With `--json`, prints the flow's [`MetricsReport`] as JSON instead and
+//! writes it to `BENCH_flow.json` for downstream tooling.
 
-use fixref_bench::{run_table2, LMS_SAMPLES};
+use fixref_bench::{run_table2_report, LMS_SAMPLES};
 use fixref_core::render_lsb_table;
+use fixref_obs::MetricsReport;
+
+/// Renders the report as JSON to stdout and `BENCH_flow.json`.
+fn emit_json(report: &MetricsReport) {
+    let rendered = report.render_json();
+    if let Err(e) = std::fs::write("BENCH_flow.json", rendered.as_bytes()) {
+        eprintln!("warning: could not write BENCH_flow.json: {e}");
+    }
+    println!("{rendered}");
+}
 
 fn main() {
-    let history = run_table2(LMS_SAMPLES).expect("LSB phase converges on the equalizer");
+    let json = std::env::args().skip(1).any(|a| a == "--json");
+    let (history, report) =
+        run_table2_report(LMS_SAMPLES).expect("LSB phase converges on the equalizer");
+
+    if json {
+        emit_json(&report);
+        return;
+    }
 
     println!("Table 2 — LSB analysis of the LMS equalizer (input <7,5,tc>, k = 1)");
     println!("====================================================================");

@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod microbench;
+
 use std::collections::HashMap;
 
 use fixref_core::baseline::{
@@ -27,6 +29,7 @@ use fixref_dsp::lms::equalizer_stimulus;
 use fixref_dsp::source::ShapedPamSource;
 use fixref_dsp::{Awgn, LmsConfig, LmsEqualizer, TimingConfig, TimingRecovery};
 use fixref_fixed::{DType, Interval, SqnrMeter};
+use fixref_obs::MetricsReport;
 use fixref_sim::{Design, SignalRef};
 
 /// The paper's input type `<7,5,tc>` with saturation and rounding.
@@ -70,12 +73,28 @@ fn lms_stimulus(eq: &LmsEqualizer, samples: usize) -> impl FnMut(&Design, usize)
 /// Propagates [`FlowError`] if the MSB phase cannot converge (does not
 /// happen with the default policy).
 pub fn run_table1(samples: usize) -> Result<(Vec<Vec<MsbAnalysis>>, Vec<String>), FlowError> {
+    let (history, interventions, _) = run_table1_report(samples)?;
+    Ok((history, interventions))
+}
+
+/// [`run_table1`] plus the flow's [`MetricsReport`] (span timings, event
+/// counts, simulation counters) for `--json` output.
+///
+/// # Errors
+///
+/// Propagates [`FlowError`] if the MSB phase cannot converge.
+#[allow(clippy::type_complexity)]
+pub fn run_table1_report(
+    samples: usize,
+) -> Result<(Vec<Vec<MsbAnalysis>>, Vec<String>, MetricsReport), FlowError> {
     let (d, eq) = lms_setup(&LmsConfig::default());
     let mut flow = RefinementFlow::new(d, RefinePolicy::default());
     let (history, interventions) = flow.run_msb(lms_stimulus(&eq, samples))?;
+    let report = MetricsReport::from_recorder("table1", flow.recorder());
     Ok((
         history,
         interventions.iter().map(|i| i.to_string()).collect(),
+        report,
     ))
 }
 
@@ -85,6 +104,18 @@ pub fn run_table1(samples: usize) -> Result<(Vec<Vec<MsbAnalysis>>, Vec<String>)
 ///
 /// Propagates [`FlowError`] if the LSB phase cannot converge.
 pub fn run_table2(samples: usize) -> Result<Vec<Vec<LsbAnalysis>>, FlowError> {
+    let (history, _) = run_table2_report(samples)?;
+    Ok(history)
+}
+
+/// [`run_table2`] plus the flow's [`MetricsReport`] for `--json` output.
+///
+/// # Errors
+///
+/// Propagates [`FlowError`] if the LSB phase cannot converge.
+pub fn run_table2_report(
+    samples: usize,
+) -> Result<(Vec<Vec<LsbAnalysis>>, MetricsReport), FlowError> {
     let config = LmsConfig {
         input_dtype: Some(paper_input_type()),
         ..LmsConfig::default()
@@ -92,7 +123,8 @@ pub fn run_table2(samples: usize) -> Result<Vec<Vec<LsbAnalysis>>, FlowError> {
     let (d, eq) = lms_setup(&config);
     let mut flow = RefinementFlow::new(d, RefinePolicy::default());
     let (history, _) = flow.run_lsb(lms_stimulus(&eq, samples))?;
-    Ok(history)
+    let report = MetricsReport::from_recorder("table2", flow.recorder());
+    Ok((history, report))
 }
 
 /// The §6 SQNR observation.

@@ -58,6 +58,12 @@ impl CostEstimate {
 /// (and counted in [`CostEstimate::skipped_signals`]), so the estimate is
 /// usable on partially refined designs.
 pub fn estimate_cost(design: &Design, graph: &Graph) -> CostEstimate {
+    crate::observed(design, "codegen.estimate_cost", || {
+        estimate_cost_impl(design, graph)
+    })
+}
+
+fn estimate_cost_impl(design: &Design, graph: &Graph) -> CostEstimate {
     let mut est = CostEstimate::default();
     for i in 0..design.num_signals() as u32 {
         let id = SignalId::from_raw(i);

@@ -48,6 +48,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Runs `f` inside a named span on the design's attached recorder (if
+/// any), so cost estimation and VHDL emission show up in the same
+/// metrics report as the refinement flow that produced the design.
+pub(crate) fn observed<T>(design: &fixref_sim::Design, name: &str, f: impl FnOnce() -> T) -> T {
+    match design.recorder() {
+        Some(rec) => {
+            let span = rec.span_begin(name);
+            let out = f();
+            rec.span_end(span, 0);
+            out
+        }
+        None => f(),
+    }
+}
+
 pub mod cost;
 pub mod expr;
 pub mod format;

@@ -74,6 +74,16 @@ pub fn generate_vhdl(
     outputs: &[SignalId],
     options: &VhdlOptions,
 ) -> Result<String, CodegenError> {
+    crate::observed(design, "codegen.generate_vhdl", || {
+        generate_vhdl_impl(design, outputs, options)
+    })
+}
+
+fn generate_vhdl_impl(
+    design: &Design,
+    outputs: &[SignalId],
+    options: &VhdlOptions,
+) -> Result<String, CodegenError> {
     let graph = design.graph();
 
     // Which signals are read anywhere in the dataflow?

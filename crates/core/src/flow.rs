@@ -18,8 +18,10 @@
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use fixref_fixed::{DType, Interval};
+use fixref_obs::{DefaultRecorder, Event, Phase, Recorder};
 use fixref_sim::{Design, SignalId};
 
 use crate::lsb::{analyze_lsb, LsbAnalysis, LsbStatus};
@@ -219,6 +221,11 @@ pub struct RefinementFlow {
     /// Signals auto-pinned with `range()` because their propagation
     /// exploded (decided as forced saturation).
     pinned_explosion: HashSet<SignalId>,
+    /// The flow's observability sink: every iteration span, intervention
+    /// and convergence event lands here, and the design's simulation
+    /// counters share it. The intervention lists the phase methods return
+    /// are derived from this journal.
+    recorder: Arc<DefaultRecorder>,
 }
 
 impl RefinementFlow {
@@ -226,6 +233,20 @@ impl RefinementFlow {
     /// (the "partial type definition") are locked: they are monitored and
     /// checked but their types are not re-decided.
     pub fn new(design: Design, policy: RefinePolicy) -> Self {
+        Self::with_recorder(design, policy, Arc::new(DefaultRecorder::new()))
+    }
+
+    /// Creates a flow that reports into an existing recorder (for sharing
+    /// one metrics sink across flows, or inspecting the journal after the
+    /// run). The recorder is also attached to the design, so simulation
+    /// counters (`sim.ticks`, `sim.assignments`, …) land in the same sink
+    /// as the flow's own events and spans.
+    pub fn with_recorder(
+        design: Design,
+        policy: RefinePolicy,
+        recorder: Arc<DefaultRecorder>,
+    ) -> Self {
+        design.attach_recorder(recorder.clone());
         let locked = design
             .reports()
             .into_iter()
@@ -239,12 +260,63 @@ impl RefinementFlow {
             force_saturate: HashSet::new(),
             excluded: HashSet::new(),
             pinned_explosion: HashSet::new(),
+            recorder,
         }
     }
 
     /// The policy in use.
     pub fn policy(&self) -> &RefinePolicy {
         &self.policy
+    }
+
+    /// The flow's recorder (shared with the design).
+    pub fn recorder(&self) -> &Arc<DefaultRecorder> {
+        &self.recorder
+    }
+
+    /// The structured event journal accumulated so far.
+    pub fn journal(&self) -> Vec<Event> {
+        self.recorder.events()
+    }
+
+    /// Converts `AutoRange` / `AutoError` journal events back into the
+    /// [`Intervention`] values the phase methods return (signals are
+    /// resolved by name against the design).
+    fn interventions_from(&self, events: &[Event]) -> Vec<Intervention> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                Event::AutoRange {
+                    signal,
+                    lo,
+                    hi,
+                    iteration,
+                } => Some(Intervention::AutoRange {
+                    signal: self.design.find(signal)?,
+                    name: signal.clone(),
+                    lo: *lo,
+                    hi: *hi,
+                    iteration: *iteration,
+                }),
+                Event::AutoError {
+                    signal,
+                    sigma,
+                    iteration,
+                } => Some(Intervention::AutoError {
+                    signal: self.design.find(signal)?,
+                    name: signal.clone(),
+                    sigma: *sigma,
+                    iteration: *iteration,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Interventions recorded from journal position `start` onward.
+    fn interventions_since(&self, start: usize) -> Vec<Intervention> {
+        let events = self.recorder.events();
+        self.interventions_from(&events[start.min(events.len())..])
     }
 
     /// Marks a signal for saturation regardless of the rule outcome
@@ -313,10 +385,20 @@ impl RefinementFlow {
         mut sim: impl FnMut(&Design, usize),
     ) -> Result<(Vec<Vec<MsbAnalysis>>, Vec<Intervention>), FlowError> {
         let mut history = Vec::new();
-        let mut interventions = Vec::new();
+        let journal_start = self.recorder.events().len();
         let mut feedback: HashSet<SignalId> = HashSet::new();
+        // Signals seen exploded in an earlier iteration, to journal their
+        // later resolution.
+        let mut troubled: HashSet<String> = HashSet::new();
 
         for iteration in 1..=self.policy.max_iterations.max(1) {
+            self.recorder.record_event(Event::IterationStarted {
+                phase: Phase::Msb,
+                iteration,
+            });
+            let span = self
+                .recorder
+                .span_begin(&format!("flow.msb.iter.{iteration}"));
             self.design.reset_stats();
             self.design.reset_state();
             if iteration == 1 {
@@ -344,6 +426,27 @@ impl RefinementFlow {
                     a
                 })
                 .collect();
+            self.recorder.span_end(span, self.design.cycle());
+
+            for a in &analyses {
+                if a.exploded && self.refinable(a.id) {
+                    self.recorder.record_event(Event::IntervalExploded {
+                        signal: a.name.clone(),
+                        iteration,
+                    });
+                } else if troubled.remove(&a.name) {
+                    self.recorder.record_event(Event::SignalResolved {
+                        signal: a.name.clone(),
+                        phase: Phase::Msb,
+                        iteration,
+                    });
+                }
+            }
+            for a in &analyses {
+                if a.exploded && self.refinable(a.id) {
+                    troubled.insert(a.name.clone());
+                }
+            }
 
             // Which refinable signals still need a range() pin? Exploded
             // feedback roots plus knowledge-based saturation choices. A
@@ -390,26 +493,22 @@ impl RefinementFlow {
 
             if pins.is_empty() {
                 if still_exploded.is_empty() {
-                    return Ok((history, interventions));
+                    self.recorder.record_event(Event::PhaseConverged {
+                        phase: Phase::Msb,
+                        iterations: iteration,
+                    });
+                    return Ok((history, self.interventions_since(journal_start)));
                 }
-                return Err(FlowError::NotConverged {
-                    phase: "msb",
-                    iterations: iteration,
-                    unresolved: still_exploded,
-                });
+                return Err(self.fail_phase(Phase::Msb, iteration, still_exploded));
             }
             if !self.policy.auto_range {
-                return Err(FlowError::NotConverged {
-                    phase: "msb",
-                    iterations: iteration,
-                    unresolved: pins.into_iter().map(|(_, n, _)| n).collect(),
-                });
+                let unresolved = pins.into_iter().map(|(_, n, _)| n).collect();
+                return Err(self.fail_phase(Phase::Msb, iteration, unresolved));
             }
             for (id, name, itv) in pins {
                 self.design.set_range(id, itv.lo, itv.hi);
-                interventions.push(Intervention::AutoRange {
-                    signal: id,
-                    name,
+                self.recorder.record_event(Event::AutoRange {
+                    signal: name,
                     lo: itv.lo,
                     hi: itv.hi,
                     iteration,
@@ -426,11 +525,24 @@ impl RefinementFlow {
                     .collect()
             })
             .unwrap_or_default();
-        Err(FlowError::NotConverged {
-            phase: "msb",
-            iterations: self.policy.max_iterations,
+        Err(self.fail_phase(Phase::Msb, self.policy.max_iterations, unresolved))
+    }
+
+    /// Journals a [`Event::PhaseFailed`] and builds the matching error.
+    fn fail_phase(&self, phase: Phase, iterations: usize, unresolved: Vec<String>) -> FlowError {
+        self.recorder.record_event(Event::PhaseFailed {
+            phase,
+            iterations,
+            unresolved: unresolved.join(", "),
+        });
+        FlowError::NotConverged {
+            phase: match phase {
+                Phase::Msb => "msb",
+                Phase::Lsb => "lsb",
+            },
+            iterations,
             unresolved,
-        })
+        }
     }
 
     /// Runs the LSB phase: iterate simulation + the §5.2 rule until no
@@ -445,9 +557,19 @@ impl RefinementFlow {
         mut sim: impl FnMut(&Design, usize),
     ) -> Result<(Vec<Vec<LsbAnalysis>>, Vec<Intervention>), FlowError> {
         let mut history = Vec::new();
-        let mut interventions = Vec::new();
+        let journal_start = self.recorder.events().len();
+        // Signals seen divergent in an earlier iteration, to journal their
+        // later resolution.
+        let mut troubled: HashSet<String> = HashSet::new();
 
         for iteration in 1..=self.policy.max_iterations.max(1) {
+            self.recorder.record_event(Event::IterationStarted {
+                phase: Phase::Lsb,
+                iteration,
+            });
+            let span = self
+                .recorder
+                .span_begin(&format!("flow.lsb.iter.{iteration}"));
             self.design.reset_stats();
             self.design.reset_state();
             sim(&self.design, iteration);
@@ -458,6 +580,19 @@ impl RefinementFlow {
                 .iter()
                 .map(|r| analyze_lsb(r, &self.policy))
                 .collect();
+            self.recorder.span_end(span, self.design.cycle());
+
+            for a in &analyses {
+                if a.status == LsbStatus::Diverged && self.refinable(a.id) {
+                    troubled.insert(a.name.clone());
+                } else if troubled.remove(&a.name) {
+                    self.recorder.record_event(Event::SignalResolved {
+                        signal: a.name.clone(),
+                        phase: Phase::Lsb,
+                        iteration,
+                    });
+                }
+            }
 
             // Divergence cascades downstream of its root; annotate ONE
             // signal per iteration — registers (state elements, like the
@@ -510,20 +645,20 @@ impl RefinementFlow {
             history.push(analyses);
 
             if diverged.is_empty() {
-                return Ok((history, interventions));
+                self.recorder.record_event(Event::PhaseConverged {
+                    phase: Phase::Lsb,
+                    iterations: iteration,
+                });
+                return Ok((history, self.interventions_since(journal_start)));
             }
             if !self.policy.auto_error {
-                return Err(FlowError::NotConverged {
-                    phase: "lsb",
-                    iterations: iteration,
-                    unresolved: diverged.into_iter().map(|(_, n)| n).collect(),
-                });
+                let unresolved = diverged.into_iter().map(|(_, n)| n).collect();
+                return Err(self.fail_phase(Phase::Lsb, iteration, unresolved));
             }
             for (id, name) in diverged {
                 self.design.set_error_sigma(id, sigma_guess);
-                interventions.push(Intervention::AutoError {
-                    signal: id,
-                    name,
+                self.recorder.record_event(Event::AutoError {
+                    signal: name,
                     sigma: sigma_guess,
                     iteration,
                 });
@@ -539,11 +674,7 @@ impl RefinementFlow {
                     .collect()
             })
             .unwrap_or_default();
-        Err(FlowError::NotConverged {
-            phase: "lsb",
-            iterations: self.policy.max_iterations,
-            unresolved,
-        })
+        Err(self.fail_phase(Phase::Lsb, self.policy.max_iterations, unresolved))
     }
 
     /// Combines final MSB and LSB analyses into concrete types and applies
@@ -615,6 +746,10 @@ impl RefinementFlow {
             });
             match decided {
                 Some(t) => {
+                    self.recorder.record_event(Event::TypeApplied {
+                        signal: m.name.clone(),
+                        dtype: t.to_string(),
+                    });
                     self.design.set_dtype(m.id, Some(t.clone()));
                     types.push((m.id, t));
                 }
@@ -627,10 +762,12 @@ impl RefinementFlow {
     /// Runs one monitored simulation with all decided types applied and
     /// collects overflow and precision findings.
     pub fn verify(&mut self, mut sim: impl FnMut(&Design, usize)) -> VerifyOutcome {
+        let span = self.recorder.span_begin("flow.verify");
         self.design.reset_stats();
         self.design.reset_state();
         let _ = self.design.take_overflow_events();
         sim(&self.design, 0);
+        self.recorder.span_end(span, self.design.cycle());
         let mut overflows = Vec::new();
         let mut total = 0;
         let mut saturation_events = 0;
@@ -655,6 +792,10 @@ impl RefinementFlow {
                 precision_loss.push(r.name.clone());
             }
         }
+        self.recorder.record_event(Event::VerifyCompleted {
+            overflows: total,
+            saturation_events,
+        });
         VerifyOutcome {
             overflows,
             total_overflows: total,

@@ -1,9 +1,12 @@
-//! Property-based tests of the refinement rules' safety invariants.
+//! Randomized tests of the refinement rules' safety invariants, driven
+//! by the in-tree deterministic PRNG (seeded sweeps replacing the
+//! original proptest harness; same invariants, no external deps).
 
 use fixref_core::{analyze_lsb, analyze_msb, LsbStatus, RefinePolicy};
-use fixref_fixed::{ErrorStats, Interval, OverflowMode, RangeStats};
+use fixref_fixed::{ErrorStats, Interval, OverflowMode, RangeStats, Rng64};
 use fixref_sim::{SignalId, SignalKind, SignalReport};
-use proptest::prelude::*;
+
+const CASES: usize = 200;
 
 fn report(stat_vals: &[f64], prop: Interval, errors: &[f64]) -> SignalReport {
     let mut stat = RangeStats::new();
@@ -32,58 +35,75 @@ fn report(stat_vals: &[f64], prop: Interval, errors: &[f64]) -> SignalReport {
     }
 }
 
-fn arb_interval_around(vals: &[f64]) -> Interval {
+fn interval_around(vals: &[f64]) -> Interval {
     let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     Interval::new(lo, hi)
 }
 
-proptest! {
-    /// SAFETY: whatever rule fires, the decided MSB always covers the
-    /// observed (statistic) range — no decision may allow an observed
-    /// value to overflow silently.
-    #[test]
-    fn decided_msb_covers_observed_range(
-        vals in prop::collection::vec(-100.0f64..100.0, 1..40),
-        widen in 1.0f64..1e6,
-    ) {
-        prop_assume!(vals.iter().any(|v| *v != 0.0));
-        let stat_itv = arb_interval_around(&vals);
+fn pick_vals(rng: &mut Rng64, lo_len: usize, hi_len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let len = lo_len + rng.below((hi_len - lo_len) as u64) as usize;
+    (0..len).map(|_| rng.uniform(lo, hi)).collect()
+}
+
+/// SAFETY: whatever rule fires, the decided MSB always covers the
+/// observed (statistic) range — no decision may allow an observed
+/// value to overflow silently.
+#[test]
+fn decided_msb_covers_observed_range() {
+    let mut rng = Rng64::seed_from_u64(0xC04E_0001);
+    for _ in 0..CASES {
+        let vals = pick_vals(&mut rng, 1, 40, -100.0, 100.0);
+        let widen = rng.uniform(1.0, 1e6);
+        if !vals.iter().any(|v| *v != 0.0) {
+            continue;
+        }
+        let stat_itv = interval_around(&vals);
         // Propagation is conservative: at least as wide as the statistic.
         let prop = Interval::new(stat_itv.lo * widen.min(1e4), stat_itv.hi * widen.min(1e4))
             .union(&stat_itv);
         let a = analyze_msb(&report(&vals, prop, &[]), &RefinePolicy::default());
         let m = a.decided_msb().expect("nonzero range resolves");
         let pow = (m as f64).exp2();
-        prop_assert!(
+        assert!(
             -pow <= stat_itv.lo && stat_itv.hi < pow,
             "msb {} does not cover {:?} (decision {})",
-            m, stat_itv, a.decision
+            m,
+            stat_itv,
+            a.decision
         );
     }
+}
 
-    /// Exploded propagation always resolves through saturation (never
-    /// blocks on a signal that has observations).
-    #[test]
-    fn explosion_resolves_via_saturation(vals in prop::collection::vec(-10.0f64..10.0, 1..40)) {
-        prop_assume!(vals.iter().any(|v| *v != 0.0));
+/// Exploded propagation always resolves through saturation (never
+/// blocks on a signal that has observations).
+#[test]
+fn explosion_resolves_via_saturation() {
+    let mut rng = Rng64::seed_from_u64(0xC04E_0002);
+    for _ in 0..CASES {
+        let vals = pick_vals(&mut rng, 1, 40, -10.0, 10.0);
+        if !vals.iter().any(|v| *v != 0.0) {
+            continue;
+        }
         let a = analyze_msb(
             &report(&vals, Interval::UNBOUNDED, &[]),
             &RefinePolicy::default(),
         );
-        prop_assert!(a.exploded);
-        prop_assert!(a.decision.is_forced_saturation());
-        prop_assert_eq!(a.mode, OverflowMode::Saturate);
+        assert!(a.exploded);
+        assert!(a.decision.is_forced_saturation());
+        assert_eq!(a.mode, OverflowMode::Saturate);
     }
+}
 
-    /// The decided LSB is monotone in k: a larger k never yields a finer
-    /// LSB, and the result is always inside the policy clamp.
-    #[test]
-    fn lsb_monotone_in_k(
-        sigma_exp in -20.0f64..-4.0,
-        k1 in 0.25f64..8.0,
-        k2 in 0.25f64..8.0,
-    ) {
+/// The decided LSB is monotone in k: a larger k never yields a finer
+/// LSB, and the result is always inside the policy clamp.
+#[test]
+fn lsb_monotone_in_k() {
+    let mut rng = Rng64::seed_from_u64(0xC04E_0003);
+    for _ in 0..CASES {
+        let sigma_exp = rng.uniform(-20.0, -4.0);
+        let k1 = rng.uniform(0.25, 8.0);
+        let k2 = rng.uniform(0.25, 8.0);
         let sigma = sigma_exp.exp2();
         // Synthesize a zero-mean error sequence with roughly that sigma.
         let errors: Vec<f64> = (0..2000)
@@ -96,16 +116,21 @@ proptest! {
         let la = analyze_lsb(&report(&vals, Interval::EMPTY, &errors), &pa);
         let lb = analyze_lsb(&report(&vals, Interval::EMPTY, &errors), &pb);
         let (la, lb) = (la.lsb.expect("resolved"), lb.lsb.expect("resolved"));
-        prop_assert!(la <= lb, "k {} -> {}, k {} -> {}", ka, la, kb, lb);
+        assert!(la <= lb, "k {} -> {}, k {} -> {}", ka, la, kb, lb);
         for l in [la, lb] {
-            prop_assert!((pa.min_lsb..=pa.max_lsb).contains(&l));
+            assert!((pa.min_lsb..=pa.max_lsb).contains(&l));
         }
     }
+}
 
-    /// The LSB rule is exact on synthetic uniform noise: the decided step
-    /// never exceeds k·σ (the paper's bound).
-    #[test]
-    fn lsb_respects_the_bound(sigma_exp in -18.0f64..-4.0, k in 0.5f64..4.0) {
+/// The LSB rule is exact on synthetic uniform noise: the decided step
+/// never exceeds k·σ (the paper's bound).
+#[test]
+fn lsb_respects_the_bound() {
+    let mut rng = Rng64::seed_from_u64(0xC04E_0004);
+    for _ in 0..CASES {
+        let sigma_exp = rng.uniform(-18.0, -4.0);
+        let k = rng.uniform(0.5, 4.0);
         let sigma = sigma_exp.exp2();
         let errors: Vec<f64> = (0..4000)
             .map(|i| ((i as f64 + 0.5) / 4000.0 - 0.5) * sigma * 12f64.sqrt())
@@ -114,27 +139,41 @@ proptest! {
         let a = analyze_lsb(&report(&[1.0], Interval::EMPTY, &errors), &policy);
         let l = a.lsb.expect("resolved");
         // 2^L <= k * sigma_measured (within the estimator's tolerance).
-        prop_assert!(
+        assert!(
             (l as f64).exp2() <= k * a.std * (1.0 + 1e-6),
-            "2^{} > {}*{}", l, k, a.std
+            "2^{} > {}*{}",
+            l,
+            k,
+            a.std
         );
         // And maximal: one bit coarser would break the bound.
-        prop_assert!(((l + 1) as f64).exp2() > k * a.std);
+        assert!(((l + 1) as f64).exp2() > k * a.std);
     }
+}
 
-    /// Errors comparable to the signal amplitude are always flagged
-    /// divergent, never silently resolved.
-    #[test]
-    fn huge_errors_flagged_divergent(amp in 0.1f64..10.0, ratio in 0.6f64..3.0) {
+/// Errors comparable to the signal amplitude are always flagged
+/// divergent, never silently resolved.
+#[test]
+fn huge_errors_flagged_divergent() {
+    let mut rng = Rng64::seed_from_u64(0xC04E_0005);
+    for _ in 0..CASES {
+        let amp = rng.uniform(0.1, 10.0);
+        let ratio = rng.uniform(0.6, 3.0);
         let vals = vec![amp, -amp];
         let errors: Vec<f64> = (0..100)
-            .map(|i| if i % 2 == 0 { amp * ratio } else { -amp * ratio })
+            .map(|i| {
+                if i % 2 == 0 {
+                    amp * ratio
+                } else {
+                    -amp * ratio
+                }
+            })
             .collect();
         let a = analyze_lsb(
             &report(&vals, Interval::EMPTY, &errors),
             &RefinePolicy::default(),
         );
-        prop_assert_eq!(a.status, LsbStatus::Diverged);
-        prop_assert_eq!(a.lsb, None);
+        assert_eq!(a.status, LsbStatus::Diverged);
+        assert_eq!(a.lsb, None);
     }
 }

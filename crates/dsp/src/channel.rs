@@ -1,7 +1,6 @@
 //! Channel models: static ISI (FIR) and additive white Gaussian noise.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fixref_fixed::Rng64;
 
 /// A static multipath / intersymbol-interference channel: convolution with
 /// a fixed impulse response.
@@ -77,7 +76,7 @@ impl FirChannel {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Awgn {
-    rng: StdRng,
+    rng: Rng64,
     sigma: f64,
     spare: Option<f64>,
 }
@@ -91,7 +90,7 @@ impl Awgn {
     pub fn new(seed: u64, sigma: f64) -> Self {
         assert!(sigma >= 0.0 && sigma.is_finite(), "invalid sigma {sigma}");
         Awgn {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng64::seed_from_u64(seed),
             sigma,
             spare: None,
         }
@@ -115,8 +114,8 @@ impl Awgn {
             return s * self.sigma;
         }
         // Box–Muller.
-        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let u1: f64 = self.rng.uniform(f64::MIN_POSITIVE, 1.0);
+        let u2: f64 = self.rng.uniform(0.0, 1.0);
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.spare = Some(r * theta.sin());

@@ -1,21 +1,30 @@
-//! Property-based tests of the DSP substrate blocks.
+//! Randomized tests of the DSP substrate blocks, driven by the in-tree
+//! deterministic PRNG (seeded sweeps replacing the original proptest
+//! harness; same invariants, no external deps).
 
 use fixref_dsp::cordic::{rotate, vector};
 use fixref_dsp::interp::FarrowCubic;
 use fixref_dsp::slicer::pam_slice;
 use fixref_dsp::{Biquad, Fir, FirChannel, Lfsr};
-use proptest::prelude::*;
+use fixref_fixed::Rng64;
 
-proptest! {
-    /// FIR filters are linear: F(a·x + b·y) = a·F(x) + b·F(y).
-    #[test]
-    fn fir_is_linear(
-        taps in prop::collection::vec(-2.0f64..2.0, 1..12),
-        xs in prop::collection::vec(-3.0f64..3.0, 1..40),
-        ys in prop::collection::vec(-3.0f64..3.0, 1..40),
-        a in -2.0f64..2.0,
-        b in -2.0f64..2.0,
-    ) {
+const CASES: usize = 128;
+
+fn pick_vec(rng: &mut Rng64, lo_len: usize, hi_len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let len = lo_len + rng.below((hi_len - lo_len) as u64) as usize;
+    (0..len).map(|_| rng.uniform(lo, hi)).collect()
+}
+
+/// FIR filters are linear: F(a·x + b·y) = a·F(x) + b·F(y).
+#[test]
+fn fir_is_linear() {
+    let mut rng = Rng64::seed_from_u64(0xD5B0_0001);
+    for _ in 0..CASES {
+        let taps = pick_vec(&mut rng, 1, 12, -2.0, 2.0);
+        let xs = pick_vec(&mut rng, 1, 40, -3.0, 3.0);
+        let ys = pick_vec(&mut rng, 1, 40, -3.0, 3.0);
+        let a = rng.uniform(-2.0, 2.0);
+        let b = rng.uniform(-2.0, 2.0);
         let n = xs.len().min(ys.len());
         let mut fx = Fir::new(&taps);
         let mut fy = Fir::new(&taps);
@@ -23,131 +32,155 @@ proptest! {
         for i in 0..n {
             let lhs = fc.push(a * xs[i] + b * ys[i]);
             let rhs = a * fx.push(xs[i]) + b * fy.push(ys[i]);
-            prop_assert!((lhs - rhs).abs() < 1e-9, "step {}: {} vs {}", i, lhs, rhs);
+            assert!((lhs - rhs).abs() < 1e-9, "step {}: {} vs {}", i, lhs, rhs);
         }
     }
+}
 
-    /// FIR output never exceeds the L1 bound used for worst-case analysis.
-    #[test]
-    fn fir_respects_l1_bound(
-        taps in prop::collection::vec(-2.0f64..2.0, 1..12),
-        xs in prop::collection::vec(-1.0f64..1.0, 1..60),
-    ) {
+/// FIR output never exceeds the L1 bound used for worst-case analysis.
+#[test]
+fn fir_respects_l1_bound() {
+    let mut rng = Rng64::seed_from_u64(0xD5B0_0002);
+    for _ in 0..CASES {
+        let taps = pick_vec(&mut rng, 1, 12, -2.0, 2.0);
+        let xs = pick_vec(&mut rng, 1, 60, -1.0, 1.0);
         let mut f = Fir::new(&taps);
         let bound = f.peak_output(1.0);
         for &x in &xs {
             let y = f.push(x);
-            prop_assert!(y.abs() <= bound + 1e-12, "{y} exceeds {bound}");
+            assert!(y.abs() <= bound + 1e-12, "{y} exceeds {bound}");
         }
     }
+}
 
-    /// Stable biquads stay bounded on bounded input.
-    #[test]
-    fn stable_biquad_is_bibo(
-        fc in 0.01f64..0.45,
-        q in 0.3f64..5.0,
-        xs in prop::collection::vec(-1.0f64..1.0, 10..200),
-    ) {
+/// Stable biquads stay bounded on bounded input.
+#[test]
+fn stable_biquad_is_bibo() {
+    let mut rng = Rng64::seed_from_u64(0xD5B0_0003);
+    for _ in 0..CASES {
+        let fc = rng.uniform(0.01, 0.45);
+        let q = rng.uniform(0.3, 5.0);
+        let xs = pick_vec(&mut rng, 10, 200, -1.0, 1.0);
         let mut f = Biquad::lowpass(fc, q);
-        prop_assume!(f.is_stable());
+        if !f.is_stable() {
+            continue;
+        }
         // A crude BIBO bound: |y| <= sum|b| / (1 - max|pole|) * |x|max;
         // use a generous envelope instead of the tight constant.
         for &x in &xs {
             let y = f.push(x);
-            prop_assert!(y.abs() < 100.0, "unbounded output {y}");
-            prop_assert!(y.is_finite());
+            assert!(y.abs() < 100.0, "unbounded output {y}");
+            assert!(y.is_finite());
         }
     }
+}
 
-    /// The channel model and a plain FIR with the same taps agree.
-    #[test]
-    fn channel_is_an_fir(
-        taps in prop::collection::vec(-1.0f64..1.0, 1..8),
-        xs in prop::collection::vec(-1.0f64..1.0, 1..40),
-    ) {
+/// The channel model and a plain FIR with the same taps agree.
+#[test]
+fn channel_is_an_fir() {
+    let mut rng = Rng64::seed_from_u64(0xD5B0_0004);
+    for _ in 0..CASES {
+        let taps = pick_vec(&mut rng, 1, 8, -1.0, 1.0);
+        let xs = pick_vec(&mut rng, 1, 40, -1.0, 1.0);
         let mut ch = FirChannel::new(&taps);
         let mut fir = Fir::new(&taps);
         for &x in &xs {
-            prop_assert!((ch.push(x) - fir.push(x)).abs() < 1e-12);
+            assert!((ch.push(x) - fir.push(x)).abs() < 1e-12);
         }
     }
+}
 
-    /// Farrow interpolation is exact on arbitrary cubics at any mu.
-    #[test]
-    fn farrow_exact_on_cubics(
-        c3 in -1.0f64..1.0,
-        c2 in -1.0f64..1.0,
-        c1 in -1.0f64..1.0,
-        c0 in -1.0f64..1.0,
-        mu in 0.0f64..1.0,
-    ) {
+/// Farrow interpolation is exact on arbitrary cubics at any mu.
+#[test]
+fn farrow_exact_on_cubics() {
+    let mut rng = Rng64::seed_from_u64(0xD5B0_0005);
+    for _ in 0..CASES {
+        let c3 = rng.uniform(-1.0, 1.0);
+        let c2 = rng.uniform(-1.0, 1.0);
+        let c1 = rng.uniform(-1.0, 1.0);
+        let c0 = rng.uniform(-1.0, 1.0);
+        let mu = rng.next_f64();
         let p = |t: f64| ((c3 * t + c2) * t + c1) * t + c0;
         let mut f = FarrowCubic::new();
         for t in [-1.0, 0.0, 1.0, 2.0] {
             f.push(p(t));
         }
         let scale = 1.0 + c3.abs() + c2.abs() + c1.abs() + c0.abs();
-        prop_assert!((f.interpolate(mu) - p(mu)).abs() < 1e-10 * scale);
+        assert!((f.interpolate(mu) - p(mu)).abs() < 1e-10 * scale);
     }
+}
 
-    /// The slicer returns a valid level and is idempotent for every order.
-    #[test]
-    fn slicer_level_and_idempotence(x in -3.0f64..3.0, pow in 1u32..=4) {
+/// The slicer returns a valid level and is idempotent for every order.
+#[test]
+fn slicer_level_and_idempotence() {
+    let mut rng = Rng64::seed_from_u64(0xD5B0_0006);
+    for _ in 0..CASES {
+        let x = rng.uniform(-3.0, 3.0);
+        let pow = 1 + rng.below(4) as u32;
         let levels = 1u32 << pow;
         let s = pam_slice(x, levels);
-        prop_assert!(s.abs() <= 1.0 + 1e-12);
-        prop_assert_eq!(pam_slice(s, levels), s);
+        assert!(s.abs() <= 1.0 + 1e-12);
+        assert_eq!(pam_slice(s, levels), s);
         // The slice is the nearest level (within half a level spacing).
         let spacing = 2.0 / (levels as f64 - 1.0);
         if x.abs() <= 1.0 {
-            prop_assert!((x - s).abs() <= spacing / 2.0 + 1e-12);
+            assert!((x - s).abs() <= spacing / 2.0 + 1e-12);
         }
     }
+}
 
-    /// CORDIC rotation preserves the Euclidean norm and matches sin/cos.
-    #[test]
-    fn cordic_rotation_properties(
-        x in -1.0f64..1.0,
-        y in -1.0f64..1.0,
-        angle in -1.5f64..1.5,
-    ) {
+/// CORDIC rotation preserves the Euclidean norm and matches sin/cos.
+#[test]
+fn cordic_rotation_properties() {
+    let mut rng = Rng64::seed_from_u64(0xD5B0_0007);
+    for _ in 0..CASES {
+        let x = rng.uniform(-1.0, 1.0);
+        let y = rng.uniform(-1.0, 1.0);
+        let angle = rng.uniform(-1.5, 1.5);
         let (xr, yr) = rotate(x, y, angle, 24);
         let m0 = (x * x + y * y).sqrt();
         let m1 = (xr * xr + yr * yr).sqrt();
-        prop_assert!((m0 - m1).abs() < 1e-5, "norm {m0} -> {m1}");
+        assert!((m0 - m1).abs() < 1e-5, "norm {m0} -> {m1}");
         // Against the rotation matrix.
         let ex = x * angle.cos() - y * angle.sin();
         let ey = x * angle.sin() + y * angle.cos();
-        prop_assert!((xr - ex).abs() < 1e-5);
-        prop_assert!((yr - ey).abs() < 1e-5);
+        assert!((xr - ex).abs() < 1e-5);
+        assert!((yr - ey).abs() < 1e-5);
     }
+}
 
-    /// CORDIC vectoring inverts rotation in the right half-plane.
-    #[test]
-    fn cordic_vectoring_inverts_rotation(m in 0.1f64..1.0, angle in -1.2f64..1.2) {
+/// CORDIC vectoring inverts rotation in the right half-plane.
+#[test]
+fn cordic_vectoring_inverts_rotation() {
+    let mut rng = Rng64::seed_from_u64(0xD5B0_0008);
+    for _ in 0..CASES {
+        let m = rng.uniform(0.1, 1.0);
+        let angle = rng.uniform(-1.2, 1.2);
         let (x, y) = rotate(m, 0.0, angle, 24);
         let (mag, ang) = vector(x, y, 24);
-        prop_assert!((mag - m).abs() < 1e-4);
-        prop_assert!((ang - angle).abs() < 1e-4);
+        assert!((mag - m).abs() < 1e-4);
+        assert!((ang - angle).abs() < 1e-4);
     }
+}
 
-    /// LFSR sequences are deterministic per seed and have full period for
-    /// PRBS-7.
-    #[test]
-    fn lfsr_deterministic(seed in 1u32..127) {
+/// LFSR sequences are deterministic per seed and have full period for
+/// PRBS-7.
+#[test]
+fn lfsr_deterministic() {
+    for seed in 1u32..127 {
         let mut a = Lfsr::prbs7(seed);
         let mut b = Lfsr::prbs7(seed);
         let mut seen = std::collections::HashSet::new();
         let mut window = 0u32;
         for i in 0..127 {
             let bit = a.next_bit();
-            prop_assert_eq!(bit, b.next_bit());
+            assert_eq!(bit, b.next_bit());
             window = ((window << 1) | bit as u32) & 0x7F;
             if i >= 6 {
                 seen.insert(window);
             }
         }
         // A maximal-length sequence visits every nonzero 7-bit window.
-        prop_assert_eq!(seen.len(), 121);
+        assert_eq!(seen.len(), 121);
     }
 }

@@ -56,6 +56,7 @@ pub mod error;
 pub mod fixed;
 pub mod interval;
 pub mod quantize;
+pub mod rng;
 pub mod sqnr;
 pub mod stats;
 
@@ -64,5 +65,6 @@ pub use error::{DTypeError, OverflowError, ParseDTypeError};
 pub use fixed::Fixed;
 pub use interval::Interval;
 pub use quantize::{msb_for_range, quantize, Quantized};
+pub use rng::Rng64;
 pub use sqnr::{db10, db20, SqnrMeter};
 pub use stats::{ErrorStats, RangeStats};

@@ -1,0 +1,473 @@
+//! The structured event taxonomy of the refinement flow.
+//!
+//! Every noteworthy occurrence during simulation and refinement — an
+//! overflow, a range-propagation explosion, an automatic `range()` or
+//! `error()` intervention, a signal resolving, a phase converging — is an
+//! [`Event`]. Events are plain data: the journal they accumulate in can be
+//! queried in-process (replacing ad-hoc bookkeeping vectors) and exported
+//! as JSON Lines for external tooling.
+
+use crate::json::{escape, fmt_f64, Json, JsonError};
+use std::fmt;
+
+/// Which refinement phase an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Integer-wordlength (range) refinement, paper §5.1.
+    Msb,
+    /// Fractional-wordlength (precision) refinement, paper §5.2.
+    Lsb,
+}
+
+impl Phase {
+    /// The lowercase wire name (`"msb"` / `"lsb"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Msb => "msb",
+            Phase::Lsb => "lsb",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Phase> {
+        match s {
+            "msb" => Some(Phase::Msb),
+            "lsb" => Some(Phase::Lsb),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structured occurrence in the instrumented flow.
+///
+/// The taxonomy follows the refinement loop of paper Fig. 4: simulation
+/// monitors raise [`Event::OverflowDetected`]; per-iteration analysis
+/// raises [`Event::IntervalExploded`] and [`Event::SignalResolved`];
+/// automatic interventions raise [`Event::AutoRange`] /
+/// [`Event::AutoError`]; phase ends raise [`Event::PhaseConverged`] or
+/// [`Event::PhaseFailed`]; type application raises [`Event::TypeApplied`];
+/// the final check raises [`Event::VerifyCompleted`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A value did not fit a signal's type during simulation.
+    OverflowDetected {
+        /// The overflowing signal.
+        signal: String,
+        /// The unquantized value that did not fit.
+        value: f64,
+        /// The clock cycle at which it happened.
+        cycle: u64,
+    },
+    /// One refinement iteration began (spans carry its timing; this event
+    /// anchors the journal's ordering).
+    IterationStarted {
+        /// The phase iterating.
+        phase: Phase,
+        /// 1-based iteration number.
+        iteration: usize,
+    },
+    /// A signal's propagated range exploded (unbounded or past the
+    /// explosion threshold) in an MSB iteration.
+    IntervalExploded {
+        /// The exploded signal.
+        signal: String,
+        /// 1-based iteration in which the explosion was observed.
+        iteration: usize,
+    },
+    /// The flow pinned `range(lo, hi)` on a feedback signal — the
+    /// automatic equivalent of the paper's manual `b.range(-0.2, 0.2)`.
+    AutoRange {
+        /// The annotated signal.
+        signal: String,
+        /// Lower pinned bound.
+        lo: f64,
+        /// Upper pinned bound.
+        hi: f64,
+        /// 1-based MSB iteration that inserted it.
+        iteration: usize,
+    },
+    /// The flow injected `error(σ)` on an LSB-divergent feedback signal.
+    AutoError {
+        /// The annotated signal.
+        signal: String,
+        /// Injected error standard deviation.
+        sigma: f64,
+        /// 1-based LSB iteration that inserted it.
+        iteration: usize,
+    },
+    /// A signal that was exploded (MSB) or divergent (LSB) in an earlier
+    /// iteration is now resolved.
+    SignalResolved {
+        /// The resolved signal.
+        signal: String,
+        /// The phase it resolved in.
+        phase: Phase,
+        /// 1-based iteration in which it resolved.
+        iteration: usize,
+    },
+    /// A phase finished with every refinable signal resolved.
+    PhaseConverged {
+        /// The converged phase.
+        phase: Phase,
+        /// Iterations it took.
+        iterations: usize,
+    },
+    /// A phase exhausted its iteration budget.
+    PhaseFailed {
+        /// The failed phase.
+        phase: Phase,
+        /// Iterations spent.
+        iterations: usize,
+        /// Comma-joined names of the signals still unresolved.
+        unresolved: String,
+    },
+    /// A decided type was applied to a signal.
+    TypeApplied {
+        /// The typed signal.
+        signal: String,
+        /// The decided type, in `<n,f,…>` display form.
+        dtype: String,
+    },
+    /// The final verification run completed.
+    VerifyCompleted {
+        /// Overflows on wrap/error-mode types (failures).
+        overflows: u64,
+        /// Excursions absorbed by saturating types (informational).
+        saturation_events: u64,
+    },
+}
+
+impl Event {
+    /// The event's wire tag (the JSON `"event"` member).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::OverflowDetected { .. } => "overflow_detected",
+            Event::IterationStarted { .. } => "iteration_started",
+            Event::IntervalExploded { .. } => "interval_exploded",
+            Event::AutoRange { .. } => "auto_range",
+            Event::AutoError { .. } => "auto_error",
+            Event::SignalResolved { .. } => "signal_resolved",
+            Event::PhaseConverged { .. } => "phase_converged",
+            Event::PhaseFailed { .. } => "phase_failed",
+            Event::TypeApplied { .. } => "type_applied",
+            Event::VerifyCompleted { .. } => "verify_completed",
+        }
+    }
+
+    /// Serializes the event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let kind = self.kind();
+        match self {
+            Event::OverflowDetected {
+                signal,
+                value,
+                cycle,
+            } => format!(
+                r#"{{"event":"{kind}","signal":"{}","value":{},"cycle":{cycle}}}"#,
+                escape(signal),
+                fmt_f64(*value)
+            ),
+            Event::IterationStarted { phase, iteration } => {
+                format!(r#"{{"event":"{kind}","phase":"{phase}","iteration":{iteration}}}"#)
+            }
+            Event::IntervalExploded { signal, iteration } => format!(
+                r#"{{"event":"{kind}","signal":"{}","iteration":{iteration}}}"#,
+                escape(signal)
+            ),
+            Event::AutoRange {
+                signal,
+                lo,
+                hi,
+                iteration,
+            } => format!(
+                r#"{{"event":"{kind}","signal":"{}","lo":{},"hi":{},"iteration":{iteration}}}"#,
+                escape(signal),
+                fmt_f64(*lo),
+                fmt_f64(*hi)
+            ),
+            Event::AutoError {
+                signal,
+                sigma,
+                iteration,
+            } => format!(
+                r#"{{"event":"{kind}","signal":"{}","sigma":{},"iteration":{iteration}}}"#,
+                escape(signal),
+                fmt_f64(*sigma)
+            ),
+            Event::SignalResolved {
+                signal,
+                phase,
+                iteration,
+            } => format!(
+                r#"{{"event":"{kind}","signal":"{}","phase":"{phase}","iteration":{iteration}}}"#,
+                escape(signal)
+            ),
+            Event::PhaseConverged { phase, iterations } => {
+                format!(r#"{{"event":"{kind}","phase":"{phase}","iterations":{iterations}}}"#)
+            }
+            Event::PhaseFailed {
+                phase,
+                iterations,
+                unresolved,
+            } => format!(
+                r#"{{"event":"{kind}","phase":"{phase}","iterations":{iterations},"unresolved":"{}"}}"#,
+                escape(unresolved)
+            ),
+            Event::TypeApplied { signal, dtype } => format!(
+                r#"{{"event":"{kind}","signal":"{}","dtype":"{}"}}"#,
+                escape(signal),
+                escape(dtype)
+            ),
+            Event::VerifyCompleted {
+                overflows,
+                saturation_events,
+            } => format!(
+                r#"{{"event":"{kind}","overflows":{overflows},"saturation_events":{saturation_events}}}"#
+            ),
+        }
+    }
+
+    /// Deserializes an event from one JSON object (one journal line).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on malformed JSON, an unknown `"event"`
+    /// tag, or missing/mistyped members.
+    pub fn from_json(line: &str) -> Result<Event, JsonError> {
+        let v = Json::parse(line)?;
+        let field_err = |name: &str| JsonError {
+            message: format!("missing or mistyped member {name:?}"),
+            offset: 0,
+        };
+        let s = |name: &str| -> Result<String, JsonError> {
+            v.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| field_err(name))
+        };
+        let f = |name: &str| -> Result<f64, JsonError> {
+            v.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| field_err(name))
+        };
+        let u = |name: &str| -> Result<u64, JsonError> {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| field_err(name))
+        };
+        let phase = |name: &str| -> Result<Phase, JsonError> {
+            v.get(name)
+                .and_then(Json::as_str)
+                .and_then(Phase::parse)
+                .ok_or_else(|| field_err(name))
+        };
+        let kind = s("event")?;
+        match kind.as_str() {
+            "overflow_detected" => Ok(Event::OverflowDetected {
+                signal: s("signal")?,
+                value: f("value")?,
+                cycle: u("cycle")?,
+            }),
+            "iteration_started" => Ok(Event::IterationStarted {
+                phase: phase("phase")?,
+                iteration: u("iteration")? as usize,
+            }),
+            "interval_exploded" => Ok(Event::IntervalExploded {
+                signal: s("signal")?,
+                iteration: u("iteration")? as usize,
+            }),
+            "auto_range" => Ok(Event::AutoRange {
+                signal: s("signal")?,
+                lo: f("lo")?,
+                hi: f("hi")?,
+                iteration: u("iteration")? as usize,
+            }),
+            "auto_error" => Ok(Event::AutoError {
+                signal: s("signal")?,
+                sigma: f("sigma")?,
+                iteration: u("iteration")? as usize,
+            }),
+            "signal_resolved" => Ok(Event::SignalResolved {
+                signal: s("signal")?,
+                phase: phase("phase")?,
+                iteration: u("iteration")? as usize,
+            }),
+            "phase_converged" => Ok(Event::PhaseConverged {
+                phase: phase("phase")?,
+                iterations: u("iterations")? as usize,
+            }),
+            "phase_failed" => Ok(Event::PhaseFailed {
+                phase: phase("phase")?,
+                iterations: u("iterations")? as usize,
+                unresolved: s("unresolved")?,
+            }),
+            "type_applied" => Ok(Event::TypeApplied {
+                signal: s("signal")?,
+                dtype: s("dtype")?,
+            }),
+            "verify_completed" => Ok(Event::VerifyCompleted {
+                overflows: u("overflows")?,
+                saturation_events: u("saturation_events")?,
+            }),
+            other => Err(JsonError {
+                message: format!("unknown event tag {other:?}"),
+                offset: 0,
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    /// Human-readable one-liner (the journal's text rendering).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::OverflowDetected {
+                signal,
+                value,
+                cycle,
+            } => write!(f, "overflow on {signal}: value {value} at cycle {cycle}"),
+            Event::IterationStarted { phase, iteration } => {
+                write!(f, "{phase} iteration {iteration} started")
+            }
+            Event::IntervalExploded { signal, iteration } => {
+                write!(f, "iter {iteration}: interval of {signal} exploded")
+            }
+            Event::AutoRange {
+                signal,
+                lo,
+                hi,
+                iteration,
+            } => write!(f, "iter {iteration}: {signal}.range({lo}, {hi})"),
+            Event::AutoError {
+                signal,
+                sigma,
+                iteration,
+            } => write!(f, "iter {iteration}: {signal}.error(sigma={sigma:.3e})"),
+            Event::SignalResolved {
+                signal,
+                phase,
+                iteration,
+            } => write!(f, "iter {iteration}: {signal} resolved ({phase})"),
+            Event::PhaseConverged { phase, iterations } => {
+                write!(f, "{phase} phase converged after {iterations} iteration(s)")
+            }
+            Event::PhaseFailed {
+                phase,
+                iterations,
+                unresolved,
+            } => write!(
+                f,
+                "{phase} phase failed after {iterations} iteration(s): {unresolved}"
+            ),
+            Event::TypeApplied { signal, dtype } => write!(f, "{signal} := {dtype}"),
+            Event::VerifyCompleted {
+                overflows,
+                saturation_events,
+            } => write!(
+                f,
+                "verification: {overflows} overflows, {saturation_events} saturation events"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::OverflowDetected {
+                signal: "acc".into(),
+                value: 3.75,
+                cycle: 17,
+            },
+            Event::IterationStarted {
+                phase: Phase::Msb,
+                iteration: 1,
+            },
+            Event::IntervalExploded {
+                signal: "w".into(),
+                iteration: 1,
+            },
+            Event::AutoRange {
+                signal: "b".into(),
+                lo: -0.355,
+                hi: 0.189,
+                iteration: 1,
+            },
+            Event::AutoError {
+                signal: "nco".into(),
+                sigma: 2.26e-4,
+                iteration: 1,
+            },
+            Event::SignalResolved {
+                signal: "w".into(),
+                phase: Phase::Msb,
+                iteration: 2,
+            },
+            Event::PhaseConverged {
+                phase: Phase::Lsb,
+                iterations: 2,
+            },
+            Event::PhaseFailed {
+                phase: Phase::Msb,
+                iterations: 8,
+                unresolved: "a, b".into(),
+            },
+            Event::TypeApplied {
+                signal: "y\"q\\".into(),
+                dtype: "<8,6,tc,st,rd>".into(),
+            },
+            Event::VerifyCompleted {
+                overflows: 0,
+                saturation_events: 12,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        for e in sample_events() {
+            let line = e.to_json();
+            let back = Event::from_json(&line).unwrap_or_else(|err| {
+                panic!("{line}: {err}");
+            });
+            assert_eq!(back, e, "line {line}");
+        }
+    }
+
+    #[test]
+    fn non_finite_payloads_survive() {
+        let e = Event::OverflowDetected {
+            signal: "x".into(),
+            value: f64::INFINITY,
+            cycle: 0,
+        };
+        let back = Event::from_json(&e.to_json()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn unknown_tags_and_missing_members_are_rejected() {
+        assert!(Event::from_json(r#"{"event":"nope"}"#).is_err());
+        assert!(Event::from_json(r#"{"event":"auto_range","signal":"b"}"#).is_err());
+        assert!(Event::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn display_is_compact_and_named() {
+        let e = Event::AutoRange {
+            signal: "b".into(),
+            lo: -0.2,
+            hi: 0.2,
+            iteration: 1,
+        };
+        assert_eq!(e.to_string(), "iter 1: b.range(-0.2, 0.2)");
+    }
+}

@@ -1,0 +1,447 @@
+//! The [`Recorder`] trait and its thread-safe default implementation.
+//!
+//! A recorder is the sink every instrumented layer writes into: monotonic
+//! counters (ticks, assignments, overflows), min/max/mean histograms
+//! (observed values, error magnitudes), phase-scoped spans with wall-clock
+//! and cycle-accurate timing, and the structured [`Event`] journal.
+//!
+//! [`DefaultRecorder`] keeps everything behind one mutex, so a single
+//! `Arc<DefaultRecorder>` can be attached to a `Design`, a refinement
+//! flow and a code generator at once, and snapshotted from any thread.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::event::Event;
+
+/// Opaque token pairing a [`Recorder::span_begin`] with its
+/// [`Recorder::span_end`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+/// Summary of one min/max/mean histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    /// The mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One completed span: a named scope with wall-clock duration and an
+/// optional cycle count supplied by the instrumented layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// The span's name (e.g. `"flow.msb.iter"`).
+    pub name: String,
+    /// Wall-clock duration in nanoseconds.
+    pub wall_ns: u64,
+    /// Simulation cycles spent inside the span (0 when not applicable).
+    pub cycles: u64,
+    /// Completion order (0-based) — spans are reported in this order.
+    pub seq: u64,
+}
+
+/// The instrumentation sink interface.
+///
+/// Object-safe and thread-safe so `Arc<dyn Recorder>` can be shared
+/// across layers. All methods take `&self`; implementations synchronize
+/// internally.
+pub trait Recorder: Send + Sync {
+    /// Adds `by` to the monotonic counter `name` (created at 0).
+    fn inc(&self, name: &str, by: u64);
+
+    /// Records one observation into the histogram `name`.
+    fn observe(&self, name: &str, value: f64);
+
+    /// Appends an event to the journal.
+    fn record_event(&self, event: Event);
+
+    /// Opens a timed span; the returned id must be passed to
+    /// [`Recorder::span_end`].
+    fn span_begin(&self, name: &str) -> SpanId;
+
+    /// Closes a span, attributing `cycles` simulation cycles to it (pass
+    /// 0 when cycles are meaningless for the scope).
+    fn span_end(&self, id: SpanId, cycles: u64);
+}
+
+/// RAII guard that closes its span on drop.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use fixref_obs::{DefaultRecorder, Span};
+///
+/// let rec = Arc::new(DefaultRecorder::new());
+/// {
+///     let mut span = Span::enter(rec.clone(), "work");
+///     span.set_cycles(128);
+/// } // span recorded here
+/// assert_eq!(rec.spans().len(), 1);
+/// assert_eq!(rec.spans()[0].cycles, 128);
+/// ```
+pub struct Span {
+    recorder: Arc<dyn Recorder>,
+    id: SpanId,
+    cycles: u64,
+}
+
+impl Span {
+    /// Opens a span on `recorder` that closes when the guard drops.
+    pub fn enter(recorder: Arc<dyn Recorder>, name: &str) -> Span {
+        let id = recorder.span_begin(name);
+        Span {
+            recorder,
+            id,
+            cycles: 0,
+        }
+    }
+
+    /// Attributes simulation cycles to the span (latest call wins).
+    pub fn set_cycles(&mut self, cycles: u64) {
+        self.cycles = cycles;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.recorder.span_end(self.id, self.cycles);
+    }
+}
+
+#[derive(Debug, Default)]
+struct Hist {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: HashMap<String, u64>,
+    hists: HashMap<String, Hist>,
+    events: Vec<Event>,
+    spans: Vec<SpanRecord>,
+    pending: HashMap<u64, (String, Instant)>,
+    next_span: u64,
+}
+
+/// The standard mutex-protected recorder.
+///
+/// # Example
+///
+/// ```
+/// use fixref_obs::{DefaultRecorder, Recorder};
+///
+/// let rec = DefaultRecorder::new();
+/// rec.inc("sim.ticks", 3);
+/// rec.observe("err", 0.25);
+/// rec.observe("err", -0.75);
+/// assert_eq!(rec.counter("sim.ticks"), 3);
+/// let h = rec.histogram("err").unwrap();
+/// assert_eq!(h.count, 2);
+/// assert_eq!(h.min, -0.75);
+/// assert_eq!(h.mean(), -0.25);
+/// ```
+#[derive(Default)]
+pub struct DefaultRecorder {
+    inner: Mutex<Inner>,
+}
+
+impl DefaultRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        DefaultRecorder::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Instrumentation must not take the process down with it: on a
+        // poisoned mutex, keep recording into the (still consistent
+        // enough) state.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A name-sorted snapshot of every counter.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let inner = self.lock();
+        let mut out: Vec<_> = inner
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// The summary of one histogram, if it has observations.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        self.lock().hists.get(name).map(|h| HistogramSummary {
+            count: h.count,
+            sum: h.sum,
+            min: h.min,
+            max: h.max,
+        })
+    }
+
+    /// A name-sorted snapshot of every histogram.
+    pub fn histograms(&self) -> Vec<(String, HistogramSummary)> {
+        let inner = self.lock();
+        let mut out: Vec<_> = inner
+            .hists
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    HistogramSummary {
+                        count: h.count,
+                        sum: h.sum,
+                        min: h.min,
+                        max: h.max,
+                    },
+                )
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// A snapshot of the event journal, in recording order.
+    pub fn events(&self) -> Vec<Event> {
+        self.lock().events.clone()
+    }
+
+    /// The journal entries matching a predicate — the query interface the
+    /// flow uses instead of ad-hoc bookkeeping vectors.
+    pub fn query<F: FnMut(&Event) -> bool>(&self, mut pred: F) -> Vec<Event> {
+        self.lock()
+            .events
+            .iter()
+            .filter(|e| pred(e))
+            .cloned()
+            .collect()
+    }
+
+    /// Completed spans in completion order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.lock().spans.clone()
+    }
+
+    /// Discards all recorded data (counters, histograms, events, spans).
+    /// Pending (unclosed) spans survive so a reset during a phase does
+    /// not orphan its guard.
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.counters.clear();
+        inner.hists.clear();
+        inner.events.clear();
+        inner.spans.clear();
+    }
+}
+
+impl Recorder for DefaultRecorder {
+    fn inc(&self, name: &str, by: u64) {
+        let mut inner = self.lock();
+        match inner.counters.get_mut(name) {
+            Some(v) => *v = v.saturating_add(by),
+            None => {
+                inner.counters.insert(name.to_string(), by);
+            }
+        }
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        let mut inner = self.lock();
+        match inner.hists.get_mut(name) {
+            Some(h) => {
+                h.count += 1;
+                h.sum += value;
+                h.min = h.min.min(value);
+                h.max = h.max.max(value);
+            }
+            None => {
+                inner.hists.insert(
+                    name.to_string(),
+                    Hist {
+                        count: 1,
+                        sum: value,
+                        min: value,
+                        max: value,
+                    },
+                );
+            }
+        }
+    }
+
+    fn record_event(&self, event: Event) {
+        self.lock().events.push(event);
+    }
+
+    fn span_begin(&self, name: &str) -> SpanId {
+        let mut inner = self.lock();
+        let id = inner.next_span;
+        inner.next_span += 1;
+        inner.pending.insert(id, (name.to_string(), Instant::now()));
+        SpanId(id)
+    }
+
+    fn span_end(&self, id: SpanId, cycles: u64) {
+        let mut inner = self.lock();
+        if let Some((name, start)) = inner.pending.remove(&id.0) {
+            let wall_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            let seq = inner.spans.len() as u64;
+            inner.spans.push(SpanRecord {
+                name,
+                wall_ns,
+                cycles,
+                seq,
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for DefaultRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("DefaultRecorder")
+            .field("counters", &inner.counters.len())
+            .field("histograms", &inner.hists.len())
+            .field("events", &inner.events.len())
+            .field("spans", &inner.spans.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let r = DefaultRecorder::new();
+        r.inc("a", 1);
+        r.inc("a", 2);
+        r.inc("b", u64::MAX);
+        r.inc("b", 5);
+        assert_eq!(r.counter("a"), 3);
+        assert_eq!(r.counter("b"), u64::MAX);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(
+            r.counters(),
+            vec![("a".to_string(), 3), ("b".to_string(), u64::MAX)]
+        );
+    }
+
+    #[test]
+    fn histograms_track_min_max_mean() {
+        let r = DefaultRecorder::new();
+        for v in [1.0, -3.0, 2.0] {
+            r.observe("h", v);
+        }
+        let h = r.histogram("h").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, -3.0);
+        assert_eq!(h.max, 2.0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(r.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn spans_capture_order_and_cycles() {
+        let r = Arc::new(DefaultRecorder::new());
+        {
+            let mut outer = Span::enter(r.clone(), "outer");
+            outer.set_cycles(10);
+            let _inner = Span::enter(r.clone(), "inner");
+        }
+        let spans = r.spans();
+        assert_eq!(spans.len(), 2);
+        // Inner guard drops first.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[1].cycles, 10);
+        assert_eq!(spans[0].seq, 0);
+        assert_eq!(spans[1].seq, 1);
+    }
+
+    #[test]
+    fn journal_queries_filter_by_kind() {
+        let r = DefaultRecorder::new();
+        r.record_event(Event::PhaseConverged {
+            phase: Phase::Msb,
+            iterations: 2,
+        });
+        r.record_event(Event::AutoRange {
+            signal: "b".into(),
+            lo: -0.2,
+            hi: 0.2,
+            iteration: 1,
+        });
+        let ranges = r.query(|e| matches!(e, Event::AutoRange { .. }));
+        assert_eq!(ranges.len(), 1);
+        assert_eq!(r.events().len(), 2);
+    }
+
+    #[test]
+    fn clear_resets_everything_recorded() {
+        let r = DefaultRecorder::new();
+        r.inc("a", 1);
+        r.observe("h", 1.0);
+        r.record_event(Event::VerifyCompleted {
+            overflows: 0,
+            saturation_events: 0,
+        });
+        let id = r.span_begin("open");
+        r.clear();
+        assert_eq!(r.counter("a"), 0);
+        assert!(r.histogram("h").is_none());
+        assert!(r.events().is_empty());
+        // The pending span survives the clear and still closes cleanly.
+        r.span_end(id, 7);
+        assert_eq!(r.spans().len(), 1);
+        assert_eq!(r.spans()[0].cycles, 7);
+    }
+
+    #[test]
+    fn recorder_is_shareable_across_threads() {
+        let r = Arc::new(DefaultRecorder::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        r.inc("n", 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.counter("n"), 4000);
+    }
+}

@@ -15,11 +15,10 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use fixref_fixed::{quantize, DType, ErrorStats, Interval, OverflowMode, RangeStats};
+use fixref_fixed::{quantize, DType, ErrorStats, Interval, OverflowMode, RangeStats, Rng64};
+use fixref_obs::{Event, Recorder};
 
 use crate::graph::Graph;
 use crate::report::SignalReport;
@@ -167,11 +166,10 @@ fn initial_prop(dtype: &Option<DType>) -> Interval {
         .unwrap_or(Interval::EMPTY)
 }
 
-#[derive(Debug)]
 struct DesignInner {
     signals: Vec<SignalState>,
     names: HashMap<String, SignalId>,
-    rng: StdRng,
+    rng: Rng64,
     seed: u64,
     cycle: u64,
     recording: bool,
@@ -179,6 +177,10 @@ struct DesignInner {
     overflow_events: Vec<OverflowEvent>,
     /// Cap on retained overflow events; further overflows only count.
     overflow_event_cap: usize,
+    /// Optional observability sink: ticks, assignments, overflow and
+    /// saturation counters, per-signal quantization-error histograms and
+    /// `OverflowDetected` events all land here when attached.
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 /// The signal registry and simulation clock of one processor description.
@@ -235,15 +237,39 @@ impl Design {
             inner: Rc::new(RefCell::new(DesignInner {
                 signals: Vec::new(),
                 names: HashMap::new(),
-                rng: StdRng::seed_from_u64(seed),
+                rng: Rng64::seed_from_u64(seed),
                 seed,
                 cycle: 0,
                 recording: false,
                 graph: Graph::new(),
                 overflow_events: Vec::new(),
                 overflow_event_cap: 1024,
+                recorder: None,
             })),
         }
+    }
+
+    /// Attaches an observability recorder. Once attached, every
+    /// [`Design::tick`] increments `sim.ticks`, every assignment
+    /// increments `sim.assignments`, overflow and saturation events
+    /// increment `sim.overflows` / `sim.saturations`, per-signal
+    /// quantization error lands in a `sim.quant_error.<name>` histogram,
+    /// and overflows on [`OverflowMode::Error`] types are journaled as
+    /// [`Event::OverflowDetected`]. Detach by attaching a fresh recorder
+    /// or with [`Design::detach_recorder`]; simulation behavior is
+    /// unchanged either way.
+    pub fn attach_recorder(&self, recorder: Arc<dyn Recorder>) {
+        self.inner.borrow_mut().recorder = Some(recorder);
+    }
+
+    /// Removes the attached recorder, if any.
+    pub fn detach_recorder(&self) {
+        self.inner.borrow_mut().recorder = None;
+    }
+
+    /// The currently attached recorder, if any.
+    pub fn recorder(&self) -> Option<Arc<dyn Recorder>> {
+        self.inner.borrow().recorder.clone()
     }
 
     fn add_signal(&self, name: &str, kind: SignalKind, dtype: Option<DType>) -> SignalId {
@@ -373,6 +399,9 @@ impl Design {
             }
         }
         inner.cycle += 1;
+        if let Some(rec) = &inner.recorder {
+            rec.inc("sim.ticks", 1);
+        }
     }
 
     /// The current cycle (number of [`Design::tick`] calls).
@@ -541,7 +570,7 @@ impl Design {
             st.next = None;
         }
         inner.cycle = 0;
-        inner.rng = StdRng::seed_from_u64(inner.seed);
+        inner.rng = Rng64::seed_from_u64(inner.seed);
     }
 
     /// The monitoring report of one signal.
@@ -666,21 +695,41 @@ impl Design {
         st.stat.record(value.fix());
         st.consumed.record(value.flt() - value.fix());
 
+        if let Some(rec) = &inner.recorder {
+            rec.inc("sim.assignments", 1);
+        }
+
         // LSB+MSB: quantize the fixed path through the signal's type.
         let mut new_fix = value.fix();
         if let Some(dt) = &st.dtype {
             let q = quantize(value.fix(), dt);
+            if let Some(rec) = &inner.recorder {
+                rec.observe(&format!("sim.quant_error.{}", st.name), q.rounding_error);
+            }
             if q.overflowed {
                 st.overflows += 1;
-                if dt.overflow() == OverflowMode::Error
-                    && inner.overflow_events.len() < inner.overflow_event_cap
-                {
-                    inner.overflow_events.push(OverflowEvent {
-                        signal: id,
-                        name: st.name.clone(),
-                        value: value.fix(),
-                        cycle: inner.cycle,
-                    });
+                if let Some(rec) = &inner.recorder {
+                    match dt.overflow() {
+                        OverflowMode::Saturate => rec.inc("sim.saturations", 1),
+                        _ => rec.inc("sim.overflows", 1),
+                    }
+                }
+                if dt.overflow() == OverflowMode::Error {
+                    if let Some(rec) = &inner.recorder {
+                        rec.record_event(Event::OverflowDetected {
+                            signal: st.name.clone(),
+                            value: value.fix(),
+                            cycle: inner.cycle,
+                        });
+                    }
+                    if inner.overflow_events.len() < inner.overflow_event_cap {
+                        inner.overflow_events.push(OverflowEvent {
+                            signal: id,
+                            name: st.name.clone(),
+                            value: value.fix(),
+                            cycle: inner.cycle,
+                        });
+                    }
                 }
             }
             new_fix = q.value;
@@ -691,7 +740,7 @@ impl Design {
         let new_flt = match st.error_override {
             Some(sigma) if sigma > 0.0 => {
                 let half = sigma * 3f64.sqrt();
-                new_fix + inner.rng.gen_range(-half..=half)
+                new_fix + inner.rng.symmetric(half)
             }
             Some(_) => new_fix,
             None => value.flt(),

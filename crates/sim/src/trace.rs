@@ -126,15 +126,22 @@ fn code(mut i: usize) -> String {
     s
 }
 
-/// VCD identifiers may not contain whitespace or brackets; map them away.
+/// VCD variable names must be non-empty printable ASCII with no
+/// whitespace; `$` starts VCD keywords and brackets denote bit selects,
+/// so both would corrupt the header. Map every offender to `_`.
 fn sanitize(name: &str) -> String {
-    name.chars()
+    let mut out: String = name
+        .chars()
         .map(|c| match c {
-            '[' | ']' => '_',
-            c if c.is_whitespace() => '_',
-            c => c,
+            '[' | ']' | '$' | '\\' => '_',
+            c if c.is_ascii_graphic() => c,
+            _ => '_', // whitespace, control chars, non-ASCII
         })
-        .collect()
+        .collect();
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -156,6 +163,21 @@ mod tests {
         assert_eq!(sanitize("v[3]"), "v_3_");
         assert_eq!(sanitize("a b"), "a_b");
         assert_eq!(sanitize("plain"), "plain");
+    }
+
+    #[test]
+    fn sanitize_keywords_controls_and_non_ascii() {
+        assert_eq!(sanitize("clk$end"), "clk_end");
+        assert_eq!(sanitize("a\tb\nc"), "a_b_c");
+        assert_eq!(sanitize("path\\sig"), "path_sig");
+        assert_eq!(sanitize("t\u{e4}u"), "t_u"); // non-ASCII mapped away
+        assert_eq!(sanitize(""), "_");
+        for bad in ["x y", "q$", "t\u{7f}", "caf\u{e9}"] {
+            let clean = sanitize(bad);
+            assert!(!clean.is_empty());
+            assert!(clean.chars().all(|c| c.is_ascii_graphic()));
+            assert!(!clean.contains('$') && !clean.contains('\\'));
+        }
     }
 
     #[test]

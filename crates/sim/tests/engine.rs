@@ -492,3 +492,51 @@ fn granularity_tracks_finest_lsb() {
     y.set(0.1);
     assert_eq!(d.report_for(&y).finest_lsb, Some(-55));
 }
+
+#[test]
+fn vcd_sanitizes_hostile_signal_names() {
+    // Signal names with spaces, `$` (VCD keyword lead), backslashes,
+    // control characters and non-ASCII must still yield a parseable VCD
+    // header: every `$var` name non-empty, printable-ASCII, no whitespace.
+    let d = Design::new();
+    let hostile = [
+        "a b",
+        "clk$end",
+        "path\\sig",
+        "tab\there",
+        "caf\u{e9}",
+        "v[3]",
+    ];
+    for name in hostile {
+        d.sig(name).set(0.5);
+    }
+    let mut tr = fixref_sim::Trace::all(&d);
+    tr.sample(&d);
+    d.tick();
+    tr.sample(&d);
+
+    let mut out = Vec::new();
+    tr.write_vcd(&mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+
+    let mut vars = 0;
+    for line in text.lines().take_while(|l| !l.contains("$enddefinitions")) {
+        let Some(rest) = line.strip_prefix("$var real 64 ") else {
+            continue;
+        };
+        vars += 1;
+        // "$var real 64 <code> <name> $end": exactly three fields left.
+        let fields: Vec<&str> = rest.split(' ').collect();
+        assert_eq!(fields.len(), 3, "malformed var line: {line:?}");
+        let name = fields[1];
+        assert!(!name.is_empty());
+        assert!(
+            name.chars().all(|c| c.is_ascii_graphic()),
+            "unprintable identifier in {line:?}"
+        );
+        assert!(!name.contains('$'), "keyword lead survived in {line:?}");
+        assert!(fields[2] == "$end", "header line not terminated: {line:?}");
+    }
+    // Two vars (flt + fix) per hostile signal.
+    assert_eq!(vars, 2 * hostile.len());
+}

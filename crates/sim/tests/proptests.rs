@@ -1,30 +1,29 @@
-//! Property-based tests of the dual-path simulation engine's invariants.
+//! Randomized tests of the dual-path simulation engine's invariants,
+//! driven by the in-tree deterministic PRNG (seeded sweeps replacing the
+//! original proptest harness; same invariants, no external deps).
 
-use fixref_fixed::{DType, OverflowMode, RoundingMode, Signedness};
+use fixref_fixed::{DType, OverflowMode, Rng64, RoundingMode, Signedness};
 use fixref_sim::{Design, SignalRef, Value};
-use proptest::prelude::*;
 
-fn arb_dtype() -> impl Strategy<Value = DType> {
-    (
-        2i32..=20,
-        -4i32..=16,
-        prop_oneof![
-            Just(OverflowMode::Wrap),
-            Just(OverflowMode::Saturate),
-            Just(OverflowMode::Error)
-        ],
+const CASES: usize = 96;
+
+fn pick_dtype(rng: &mut Rng64) -> DType {
+    let n = 2 + rng.below(19) as i32;
+    let f = -4 + rng.below(21) as i32;
+    let o = match rng.below(3) {
+        0 => OverflowMode::Wrap,
+        1 => OverflowMode::Saturate,
+        _ => OverflowMode::Error,
+    };
+    DType::new(
+        "p",
+        n,
+        f,
+        Signedness::TwosComplement,
+        o,
+        RoundingMode::Round,
     )
-        .prop_map(|(n, f, o)| {
-            DType::new(
-                "p",
-                n,
-                f,
-                Signedness::TwosComplement,
-                o,
-                RoundingMode::Round,
-            )
-            .expect("valid dtype")
-        })
+    .expect("valid dtype")
 }
 
 /// A tiny arithmetic program over three signals, as data.
@@ -37,14 +36,25 @@ enum Step {
     Select,
 }
 
-fn arb_step() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (-2.0f64..2.0).prop_map(Step::SetInput),
-        ((-1.5f64..1.5), (-1.0f64..1.0)).prop_map(|(k, c)| Step::AddMul { k, c }),
-        Just(Step::NegAbs),
-        ((-1.0f64..0.0), (0.0f64..1.0)).prop_map(|(lo, hi)| Step::MinMax { lo, hi }),
-        Just(Step::Select),
-    ]
+fn pick_step(rng: &mut Rng64) -> Step {
+    match rng.below(5) {
+        0 => Step::SetInput(rng.uniform(-2.0, 2.0)),
+        1 => Step::AddMul {
+            k: rng.uniform(-1.5, 1.5),
+            c: rng.uniform(-1.0, 1.0),
+        },
+        2 => Step::NegAbs,
+        3 => Step::MinMax {
+            lo: rng.uniform(-1.0, 0.0),
+            hi: rng.uniform(0.0, 1.0),
+        },
+        _ => Step::Select,
+    }
+}
+
+fn pick_steps(rng: &mut Rng64, lo: usize, hi: usize) -> Vec<Step> {
+    let len = lo + rng.below((hi - lo) as u64) as usize;
+    (0..len).map(|_| pick_step(rng)).collect()
 }
 
 fn run_program(steps: &[Step], dtype: Option<DType>) -> Design {
@@ -66,81 +76,107 @@ fn run_program(steps: &[Step], dtype: Option<DType>) -> Design {
     d
 }
 
-proptest! {
-    /// With no types anywhere, the two paths are identical everywhere.
-    #[test]
-    fn untyped_paths_never_diverge(steps in prop::collection::vec(arb_step(), 1..60)) {
+/// With no types anywhere, the two paths are identical everywhere.
+#[test]
+fn untyped_paths_never_diverge() {
+    let mut rng = Rng64::seed_from_u64(0x51D0_0001);
+    for _ in 0..CASES {
+        let steps = pick_steps(&mut rng, 1, 60);
         let d = run_program(&steps, None);
         for r in d.reports() {
-            prop_assert_eq!(r.consumed.max_abs(), 0.0, "{} consumed", r.name);
-            prop_assert_eq!(r.produced.max_abs(), 0.0, "{} produced", r.name);
+            assert_eq!(r.consumed.max_abs(), 0.0, "{} consumed", r.name);
+            assert_eq!(r.produced.max_abs(), 0.0, "{} produced", r.name);
         }
     }
+}
 
-    /// The fixed path of a typed signal always sits on its grid and
-    /// inside its range (any overflow mode).
-    #[test]
-    fn typed_fixed_path_stays_on_grid(
-        steps in prop::collection::vec(arb_step(), 1..60),
-        t in arb_dtype(),
-    ) {
+/// The fixed path of a typed signal always sits on its grid and
+/// inside its range (any overflow mode).
+#[test]
+fn typed_fixed_path_stays_on_grid() {
+    let mut rng = Rng64::seed_from_u64(0x51D0_0002);
+    for _ in 0..CASES {
+        let steps = pick_steps(&mut rng, 1, 60);
+        let t = pick_dtype(&mut rng);
         let d = run_program(&steps, Some(t.clone()));
         let id = d.find("x").expect("declared");
         let (_, fix) = d.peek(id);
-        prop_assert!(t.is_representable(fix), "{fix} not representable in {t}");
+        assert!(t.is_representable(fix), "{fix} not representable in {t}");
     }
+}
 
-    /// The statistic range always covers the propagated-interval
-    /// *intersection* with reality: every observed value lies inside the
-    /// union of statistic and is below the propagated bound when that
-    /// bound is finite and no annotation overrides it.
-    #[test]
-    fn prop_interval_covers_observations(steps in prop::collection::vec(arb_step(), 1..60)) {
+/// The statistic range always covers the propagated-interval
+/// *intersection* with reality: every observed value lies inside the
+/// union of statistic and is below the propagated bound when that
+/// bound is finite and no annotation overrides it.
+#[test]
+fn prop_interval_covers_observations() {
+    let mut rng = Rng64::seed_from_u64(0x51D0_0003);
+    for _ in 0..CASES {
+        let steps = pick_steps(&mut rng, 1, 60);
         let d = run_program(&steps, None);
         for r in d.reports() {
             if let Some(stat) = r.stat.interval() {
                 if r.range_override.is_none() && r.prop.is_bounded() {
-                    prop_assert!(
+                    assert!(
                         r.prop.contains_interval(&stat),
                         "{}: prop {} misses stat {:?}",
-                        r.name, r.prop, stat
+                        r.name,
+                        r.prop,
+                        stat
                     );
                 }
             }
         }
     }
+}
 
-    /// Counters are exact: writes equals the number of set calls issued
-    /// to that signal.
-    #[test]
-    fn write_counters_exact(steps in prop::collection::vec(arb_step(), 1..60)) {
+/// Counters are exact: writes equals the number of set calls issued
+/// to that signal.
+#[test]
+fn write_counters_exact() {
+    let mut rng = Rng64::seed_from_u64(0x51D0_0004);
+    for _ in 0..CASES {
+        let steps = pick_steps(&mut rng, 1, 60);
         let d = run_program(&steps, None);
-        let sets_x = steps.iter().filter(|s| matches!(s, Step::SetInput(_))).count() as u64;
+        let sets_x = steps
+            .iter()
+            .filter(|s| matches!(s, Step::SetInput(_)))
+            .count() as u64;
         let sets_y = steps.len() as u64 - sets_x;
-        prop_assert_eq!(d.report_by_id(d.find("x").expect("x")).writes, sets_x);
-        prop_assert_eq!(d.report_by_id(d.find("y").expect("y")).writes, sets_y);
+        assert_eq!(d.report_by_id(d.find("x").expect("x")).writes, sets_x);
+        assert_eq!(d.report_by_id(d.find("y").expect("y")).writes, sets_y);
     }
+}
 
-    /// reset_stats clears everything observable while values persist.
-    #[test]
-    fn reset_stats_is_complete(steps in prop::collection::vec(arb_step(), 1..40)) {
+/// reset_stats clears everything observable while values persist.
+#[test]
+fn reset_stats_is_complete() {
+    let mut rng = Rng64::seed_from_u64(0x51D0_0005);
+    for _ in 0..CASES {
+        let steps = pick_steps(&mut rng, 1, 40);
         let d = run_program(&steps, None);
         let id = d.find("y").expect("y");
         let before = d.peek(id);
         d.reset_stats();
         let r = d.report_by_id(id);
-        prop_assert_eq!(r.writes, 0);
-        prop_assert_eq!(r.reads, 0);
-        prop_assert!(r.stat.is_empty());
-        prop_assert_eq!(r.produced.count(), 0);
-        prop_assert_eq!(r.overflows, 0);
-        prop_assert_eq!(d.peek(id), before);
+        assert_eq!(r.writes, 0);
+        assert_eq!(r.reads, 0);
+        assert!(r.stat.is_empty());
+        assert_eq!(r.produced.count(), 0);
+        assert_eq!(r.overflows, 0);
+        assert_eq!(d.peek(id), before);
     }
+}
 
-    /// Register semantics: a chain of registers is an exact delay line
-    /// under any input sequence.
-    #[test]
-    fn register_chain_is_exact_delay(inputs in prop::collection::vec(-2.0f64..2.0, 4..40)) {
+/// Register semantics: a chain of registers is an exact delay line
+/// under any input sequence.
+#[test]
+fn register_chain_is_exact_delay() {
+    let mut rng = Rng64::seed_from_u64(0x51D0_0006);
+    for _ in 0..CASES {
+        let len = 4 + rng.below(36) as usize;
+        let inputs: Vec<f64> = (0..len).map(|_| rng.uniform(-2.0, 2.0)).collect();
         let d = Design::new();
         let regs = d.reg_array("r", 3);
         let mut history = Vec::new();
@@ -154,17 +190,19 @@ proptest! {
             let n = history.len();
             for k in 0..3usize {
                 let expect = if n > k { history[n - 1 - k] } else { 0.0 };
-                prop_assert_eq!(regs.at(k).get().flt(), expect, "tap {} at step {}", k, n);
+                assert_eq!(regs.at(k).get().flt(), expect, "tap {} at step {}", k, n);
             }
         }
     }
+}
 
-    /// Graph recording never changes simulated values.
-    #[test]
-    fn recording_is_observationally_transparent(
-        steps in prop::collection::vec(arb_step(), 1..40),
-        t in arb_dtype(),
-    ) {
+/// Graph recording never changes simulated values.
+#[test]
+fn recording_is_observationally_transparent() {
+    let mut rng = Rng64::seed_from_u64(0x51D0_0007);
+    for _ in 0..CASES {
+        let steps = pick_steps(&mut rng, 1, 40);
+        let t = pick_dtype(&mut rng);
         let a = run_program(&steps, Some(t.clone()));
         let b = {
             let d = Design::with_seed(99);
@@ -176,56 +214,70 @@ proptest! {
                     Step::SetInput(v) => x.set(*v),
                     Step::AddMul { k, c } => y.set(x.get() * *k + *c),
                     Step::NegAbs => y.set((-x.get()).abs()),
-                    Step::MinMax { lo, hi } =>
-                        y.set(x.get().max(Value::from(*lo)).min(Value::from(*hi))),
-                    Step::Select =>
-                        y.set(x.get().select_positive(1.0.into(), (-1.0).into())),
+                    Step::MinMax { lo, hi } => {
+                        y.set(x.get().max(Value::from(*lo)).min(Value::from(*hi)))
+                    }
+                    Step::Select => y.set(x.get().select_positive(1.0.into(), (-1.0).into())),
                 }
             }
             d
         };
         for (ra, rb) in a.reports().into_iter().zip(b.reports()) {
-            prop_assert_eq!(a.peek(ra.id), b.peek(rb.id));
-            prop_assert_eq!(ra.writes, rb.writes);
-            prop_assert_eq!(ra.prop, rb.prop);
+            assert_eq!(a.peek(ra.id), b.peek(rb.id));
+            assert_eq!(ra.writes, rb.writes);
+            assert_eq!(ra.prop, rb.prop);
         }
-        prop_assert!(!b.graph().is_empty() || steps.iter().all(|s| matches!(s, Step::SetInput(_))));
+        assert!(!b.graph().is_empty() || steps.iter().all(|s| matches!(s, Step::SetInput(_))));
     }
+}
 
-    /// Saturating input types absorb any input: the fixed path is always
-    /// within range and overflow events are only counted, never panic.
-    #[test]
-    fn saturating_input_absorbs_everything(vals in prop::collection::vec(-100.0f64..100.0, 1..50)) {
+/// Saturating input types absorb any input: the fixed path is always
+/// within range and overflow events are only counted, never panic.
+#[test]
+fn saturating_input_absorbs_everything() {
+    let mut rng = Rng64::seed_from_u64(0x51D0_0008);
+    for _ in 0..CASES {
+        let len = 1 + rng.below(49) as usize;
+        let vals: Vec<f64> = (0..len).map(|_| rng.uniform(-100.0, 100.0)).collect();
         let d = Design::new();
         let t = DType::tc("t", 8, 4).expect("valid");
         let x = d.sig_typed("x", t.clone());
         for &v in &vals {
             x.set(v);
             let fix = x.get().fix();
-            prop_assert!(fix >= t.min_value() && fix <= t.max_value());
+            assert!(fix >= t.min_value() && fix <= t.max_value());
         }
         let expected_overflows = vals
             .iter()
-            .filter(|v| **v > t.max_value() + t.resolution() / 2.0 || **v < t.min_value() - t.resolution() / 2.0)
+            .filter(|v| {
+                **v > t.max_value() + t.resolution() / 2.0
+                    || **v < t.min_value() - t.resolution() / 2.0
+            })
             .count() as u64;
-        prop_assert_eq!(d.report_for(&x).overflows, expected_overflows);
+        assert_eq!(d.report_for(&x).overflows, expected_overflows);
     }
+}
 
-    /// Error injection honors the requested sigma regardless of the data.
-    #[test]
-    fn error_injection_bounded_by_sqrt3_sigma(
-        sigma in 0.001f64..0.5,
-        vals in prop::collection::vec(-1.0f64..1.0, 10..100),
-    ) {
+/// Error injection honors the requested sigma regardless of the data.
+#[test]
+fn error_injection_bounded_by_sqrt3_sigma() {
+    let mut rng = Rng64::seed_from_u64(0x51D0_0009);
+    for _ in 0..CASES {
+        let sigma = rng.uniform(0.001, 0.5);
+        let len = 10 + rng.below(90) as usize;
+        let vals: Vec<f64> = (0..len).map(|_| rng.uniform(-1.0, 1.0)).collect();
         let d = Design::with_seed(5);
         let a = d.sig("a");
         a.error_sigma(sigma);
         for &v in &vals {
             a.set(v);
             let err = a.get().flt() - a.get().fix();
-            prop_assert!(err.abs() <= sigma * 3f64.sqrt() + 1e-12, "err {err} sigma {sigma}");
+            assert!(
+                err.abs() <= sigma * 3f64.sqrt() + 1e-12,
+                "err {err} sigma {sigma}"
+            );
         }
         let r = d.report_for(&a);
-        prop_assert!(r.produced.max_abs() <= sigma * 3f64.sqrt() + 1e-12);
+        assert!(r.produced.max_abs() <= sigma * 3f64.sqrt() + 1e-12);
     }
 }

@@ -12,7 +12,9 @@
 //!   engine, flow driver and baseline strategies;
 //! * [`dsp`] — the evaluation workloads: LMS equalizer, PAM timing-recovery
 //!   loop and the DSP blocks they are built from;
-//! * [`codegen`] — the VHDL back-end.
+//! * [`codegen`] — the VHDL back-end;
+//! * [`obs`] — observability: recorders, the structured event journal and
+//!   metrics reports every layer above feeds.
 //!
 //! See the repository `README.md` for a tour, `DESIGN.md` for the system
 //! inventory, and `examples/` for runnable end-to-end flows.
@@ -35,6 +37,7 @@ pub use fixref_codegen as codegen;
 pub use fixref_core as refine;
 pub use fixref_dsp as dsp;
 pub use fixref_fixed as fixed;
+pub use fixref_obs as obs;
 pub use fixref_sim as sim;
 
 /// The common imports for describing and refining a design:

@@ -1,0 +1,112 @@
+//! Flow-level observability tests: the paper's §6 LMS claims expressed as
+//! journal queries, and the metrics-report JSON round trip behind the
+//! `table1 --json` / `table2 --json` bins.
+
+use fixref::dsp::lms::equalizer_stimulus;
+use fixref::dsp::{LmsConfig, LmsEqualizer};
+use fixref::obs::{parse_journal, to_jsonl, Event, MetricsReport, Phase};
+use fixref::refine::{RefinePolicy, RefinementFlow};
+use fixref::sim::Design;
+use fixref_bench::{run_table1_report, LMS_SAMPLES};
+
+/// Runs the full refinement flow on the paper's LMS equalizer and returns
+/// the flow (journal + recorder attached).
+fn refined_lms() -> RefinementFlow {
+    let design = Design::with_seed(0xDA7E_1999);
+    let config = LmsConfig {
+        input_dtype: Some("<7,5,tc,st,rd>".parse().expect("valid")),
+        ..LmsConfig::default()
+    };
+    let eq = LmsEqualizer::new(&design, &config);
+    let mut flow = RefinementFlow::new(design, RefinePolicy::default());
+    flow.run(move |_, _| {
+        eq.init();
+        for &x in &equalizer_stimulus(7, 28.0, 4000) {
+            eq.step(x);
+        }
+    })
+    .expect("the LMS flow converges");
+    flow
+}
+
+#[test]
+fn lms_journal_contains_the_papers_single_auto_range() {
+    let flow = refined_lms();
+    let pins = flow
+        .recorder()
+        .query(|e| matches!(e, Event::AutoRange { .. }));
+    assert_eq!(pins.len(), 1, "exactly one automatic range pin: {pins:?}");
+    let Event::AutoRange {
+        signal,
+        lo,
+        hi,
+        iteration,
+    } = &pins[0]
+    else {
+        unreachable!()
+    };
+    // The paper pins b.range(-0.2, 0.2) by hand; the flow derives the pin
+    // from b's observed excursion on this stimulus.
+    assert_eq!(signal, "b");
+    assert_eq!(*iteration, 1);
+    assert!((-0.5..-0.2).contains(lo), "lo = {lo}");
+    assert!((0.1..0.3).contains(hi), "hi = {hi}");
+}
+
+#[test]
+fn lms_journal_proves_the_iteration_counts() {
+    let flow = refined_lms();
+    let rec = flow.recorder();
+    let converged: Vec<(Phase, usize)> = rec
+        .query(|e| matches!(e, Event::PhaseConverged { .. }))
+        .into_iter()
+        .map(|e| match e {
+            Event::PhaseConverged { phase, iterations } => (phase, iterations),
+            _ => unreachable!(),
+        })
+        .collect();
+    // Paper §6: the explosion on b costs one extra MSB iteration; a
+    // single LSB pass then resolves every fractional wordlength.
+    assert_eq!(converged, vec![(Phase::Msb, 2), (Phase::Lsb, 1)]);
+
+    // The same counts are visible as per-iteration spans with cycles.
+    let spans = rec.spans();
+    let iters = |prefix: &str| {
+        spans
+            .iter()
+            .filter(|s| s.name.starts_with(prefix))
+            .inspect(|s| assert!(s.cycles > 0, "{} has no cycles", s.name))
+            .count()
+    };
+    assert_eq!(iters("flow.msb.iter."), 2);
+    assert_eq!(iters("flow.lsb.iter."), 1);
+}
+
+#[test]
+fn lms_journal_round_trips_through_jsonl() {
+    let flow = refined_lms();
+    let journal = flow.journal();
+    assert!(!journal.is_empty());
+    let text = to_jsonl(&journal);
+    let back = parse_journal(&text).expect("flow journal is valid JSONL");
+    assert_eq!(back, journal);
+}
+
+#[test]
+fn table1_report_json_round_trips() {
+    // The exact JSON the `table1 --json` bin prints and writes to
+    // BENCH_flow.json must parse back into an equal report.
+    let (_, _, report) = run_table1_report(LMS_SAMPLES).expect("table1 converges");
+    let rendered = report.render_json();
+    let back = MetricsReport::parse_json(&rendered).expect("bin output is valid JSON");
+    assert_eq!(back, report);
+    assert_eq!(back.name, "table1");
+    assert!(back
+        .spans
+        .iter()
+        .any(|s| s.name.starts_with("flow.msb.iter.")));
+    assert!(back
+        .event_counts
+        .iter()
+        .any(|(k, n)| k == "auto_range" && *n == 1));
+}
