@@ -10,8 +10,7 @@
 //! With `--json`, prints the flow's [`MetricsReport`] as JSON instead and
 //! writes it to `BENCH_flow.json` for downstream tooling.
 
-use fixref_bench::{run_table1_report, LMS_SAMPLES};
-use fixref_core::render_msb_table;
+use fixref_bench::{run_table1_report, table1_text, LMS_SAMPLES};
 use fixref_obs::MetricsReport;
 
 /// Renders the report as JSON to stdout and `BENCH_flow.json`.
@@ -33,42 +32,5 @@ fn main() {
         return;
     }
 
-    println!("Table 1 — MSB analysis of the LMS equalizer (paper Fig. 1)");
-    println!("===========================================================");
-    for (i, analyses) in history.iter().enumerate() {
-        println!();
-        println!("--- iteration {} ---", i + 1);
-        print!("{}", render_msb_table(analyses));
-        let exploded: Vec<&str> = analyses
-            .iter()
-            .filter(|a| a.exploded)
-            .map(|a| a.name.as_str())
-            .collect();
-        let no_info: Vec<&str> = analyses
-            .iter()
-            .filter(|a| !a.exploded && !a.decision.is_resolved())
-            .map(|a| a.name.as_str())
-            .collect();
-        if exploded.is_empty() {
-            println!("no range explosions left");
-        } else {
-            println!("range explosion: {}", exploded.join(", "));
-        }
-        if !no_info.is_empty() {
-            println!(
-                "no range information (constant zero, left floating): {}",
-                no_info.join(", ")
-            );
-        }
-    }
-    println!();
-    println!("automatic interventions (the paper's manual range() step):");
-    for iv in &interventions {
-        println!("  {iv}");
-    }
-    println!();
-    println!(
-        "iterations to resolve all MSB weights: {} (paper: 2)",
-        history.len()
-    );
+    print!("{}", table1_text(&history, &interventions));
 }

@@ -8,8 +8,7 @@
 //! With `--json`, prints the flow's [`MetricsReport`] as JSON instead and
 //! writes it to `BENCH_flow.json` for downstream tooling.
 
-use fixref_bench::{run_table2_report, LMS_SAMPLES};
-use fixref_core::render_lsb_table;
+use fixref_bench::{run_table2_report, table2_text, LMS_SAMPLES};
 use fixref_obs::MetricsReport;
 
 /// Renders the report as JSON to stdout and `BENCH_flow.json`.
@@ -31,16 +30,5 @@ fn main() {
         return;
     }
 
-    println!("Table 2 — LSB analysis of the LMS equalizer (input <7,5,tc>, k = 1)");
-    println!("====================================================================");
-    for (i, analyses) in history.iter().enumerate() {
-        println!();
-        println!("--- iteration {} ---", i + 1);
-        print!("{}", render_lsb_table(analyses));
-    }
-    println!();
-    println!(
-        "iterations to resolve all LSB weights: {} (paper: 1)",
-        history.len()
-    );
+    print!("{}", table2_text(&history));
 }

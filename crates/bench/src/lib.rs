@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod microbench;
+pub mod sweep;
 
 use std::collections::HashMap;
 
@@ -24,13 +25,21 @@ use fixref_core::baseline::{
     analytic_refine, sim_search_refine, AnalyticOptions, SimSearchOptions,
 };
 use fixref_core::compare::StrategyResult;
-use fixref_core::{FlowError, FlowOutcome, LsbAnalysis, MsbAnalysis, RefinePolicy, RefinementFlow};
+use fixref_core::{
+    render_lsb_table, render_msb_table, FlowError, FlowOutcome, LsbAnalysis, MsbAnalysis,
+    RefinePolicy, RefinementFlow,
+};
 use fixref_dsp::lms::equalizer_stimulus;
 use fixref_dsp::source::ShapedPamSource;
 use fixref_dsp::{Awgn, LmsConfig, LmsEqualizer, TimingConfig, TimingRecovery};
 use fixref_fixed::{DType, Interval, SqnrMeter};
 use fixref_obs::MetricsReport;
 use fixref_sim::{Design, SignalRef};
+
+pub use sweep::{
+    lms_paper_scenario, lms_scenario_stimulus, lms_seed_grid, lms_shard_builder, run_sweep_bench,
+    run_table1_swept, run_table2_swept, timing_shard_builder, ShardRow, SweepBenchResult,
+};
 
 /// The paper's input type `<7,5,tc>` with saturation and rounding.
 pub fn paper_input_type() -> DType {
@@ -49,7 +58,7 @@ pub const LMS_SNR_DB: f64 = 28.0;
 pub const TIMING_SNR_DB: f64 = 20.0;
 
 /// Builds an equalizer + flow and returns (design, model).
-fn lms_setup(config: &LmsConfig) -> (Design, LmsEqualizer) {
+pub(crate) fn lms_setup(config: &LmsConfig) -> (Design, LmsEqualizer) {
     let d = Design::with_seed(0xDA7E_1999);
     let eq = LmsEqualizer::new(&d, config);
     (d, eq)
@@ -125,6 +134,89 @@ pub fn run_table2_report(
     let (history, _) = flow.run_lsb(lms_stimulus(&eq, samples))?;
     let report = MetricsReport::from_recorder("table2", flow.recorder());
     Ok((history, report))
+}
+
+/// Renders the Table 1 report exactly as `--bin table1` prints it, so the
+/// binary, the swept runs and the golden-file tests share one formatter.
+pub fn table1_text(history: &[Vec<MsbAnalysis>], interventions: &[String]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1 — MSB analysis of the LMS equalizer (paper Fig. 1)"
+    );
+    let _ = writeln!(
+        out,
+        "==========================================================="
+    );
+    for (i, analyses) in history.iter().enumerate() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "--- iteration {} ---", i + 1);
+        let _ = write!(out, "{}", render_msb_table(analyses));
+        let exploded: Vec<&str> = analyses
+            .iter()
+            .filter(|a| a.exploded)
+            .map(|a| a.name.as_str())
+            .collect();
+        let no_info: Vec<&str> = analyses
+            .iter()
+            .filter(|a| !a.exploded && !a.decision.is_resolved())
+            .map(|a| a.name.as_str())
+            .collect();
+        if exploded.is_empty() {
+            let _ = writeln!(out, "no range explosions left");
+        } else {
+            let _ = writeln!(out, "range explosion: {}", exploded.join(", "));
+        }
+        if !no_info.is_empty() {
+            let _ = writeln!(
+                out,
+                "no range information (constant zero, left floating): {}",
+                no_info.join(", ")
+            );
+        }
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "automatic interventions (the paper's manual range() step):"
+    );
+    for iv in interventions {
+        let _ = writeln!(out, "  {iv}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "iterations to resolve all MSB weights: {} (paper: 2)",
+        history.len()
+    );
+    out
+}
+
+/// Renders the Table 2 report exactly as `--bin table2` prints it.
+pub fn table2_text(history: &[Vec<LsbAnalysis>]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 2 — LSB analysis of the LMS equalizer (input <7,5,tc>, k = 1)"
+    );
+    let _ = writeln!(
+        out,
+        "===================================================================="
+    );
+    for (i, analyses) in history.iter().enumerate() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "--- iteration {} ---", i + 1);
+        let _ = write!(out, "{}", render_lsb_table(analyses));
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "iterations to resolve all LSB weights: {} (paper: 1)",
+        history.len()
+    );
+    out
 }
 
 /// The §6 SQNR observation.

@@ -16,4 +16,6 @@ pub mod analytic;
 pub mod sim_search;
 
 pub use analytic::{analytic_refine, AnalyticOptions, AnalyticOutcome};
-pub use sim_search::{sim_search_refine, SimSearchOptions, SimSearchOutcome};
+pub use sim_search::{
+    sim_search_refine, sim_search_refine_swept, ShardEval, SimSearchOptions, SimSearchOutcome,
+};

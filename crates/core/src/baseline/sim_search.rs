@@ -12,7 +12,7 @@
 //! the case of slow convergence" of the paper's introduction.
 
 use fixref_fixed::{msb_for_range, DType, OverflowMode, RoundingMode, Signedness};
-use fixref_sim::{Design, SignalId};
+use fixref_sim::{run_shards, Design, Scenario, ScenarioSet, SignalId};
 
 /// Options for [`sim_search_refine`].
 #[derive(Debug, Clone)]
@@ -69,31 +69,104 @@ pub fn sim_search_refine(
     target: f64,
     options: &SimSearchOptions,
 ) -> SimSearchOutcome {
+    search_core(
+        design,
+        signals,
+        &mut |design: &Design| {
+            design.reset_stats();
+            design.reset_state();
+            eval(design)
+        },
+        target,
+        options,
+    )
+}
+
+/// One shard of a swept wordlength probe: a freshly built design plus the
+/// evaluator that simulates its scenario on it and returns the quality
+/// metric (higher = better).
+pub struct ShardEval {
+    /// The shard's private design — must declare the master's signals.
+    pub design: Design,
+    /// Simulates the scenario and returns the quality metric.
+    pub eval: Box<dyn FnMut(&Design) -> f64>,
+}
+
+/// The Sung-&-Kum-style search with every wordlength probe evaluated
+/// across a scenario sweep: each probe builds one fresh design per
+/// scenario on the worker pool, applies the candidate types by name, and
+/// scores the configuration by its **worst** (minimum) quality over all
+/// scenarios — a multi-condition robustness criterion the sequential
+/// search cannot express. Observed ranges are merged over all scenarios
+/// before MSBs are chosen. With a single scenario whose evaluator matches
+/// the sequential `eval`, the outcome is identical to
+/// [`sim_search_refine`].
+///
+/// # Panics
+///
+/// Panics if `builder`'s shard designs do not declare the master
+/// design's signals (a builder contract violation).
+pub fn sim_search_refine_swept(
+    design: &Design,
+    signals: &[SignalId],
+    scenarios: &ScenarioSet,
+    workers: usize,
+    builder: &(dyn Fn(&Scenario) -> ShardEval + Send + Sync),
+    target: f64,
+    options: &SimSearchOptions,
+) -> SimSearchOutcome {
+    search_core(
+        design,
+        signals,
+        &mut |design: &Design| {
+            design.reset_stats();
+            design.reset_state();
+            let annotations = design.annotations();
+            let results = run_shards(scenarios.as_slice(), workers, |scenario| {
+                let ShardEval {
+                    design: shard,
+                    mut eval,
+                } = builder(scenario);
+                shard
+                    .apply_annotations(&annotations)
+                    .unwrap_or_else(|e| panic!("shard builder contract violation: {e}"));
+                let quality = eval(&shard);
+                (quality, shard.export_stats())
+            });
+            let mut quality = f64::INFINITY;
+            for (q, stats) in results {
+                design
+                    .absorb_stats(&stats)
+                    .unwrap_or_else(|e| panic!("shard builder contract violation: {e}"));
+                quality = quality.min(q);
+            }
+            if scenarios.is_empty() {
+                f64::NEG_INFINITY
+            } else {
+                quality
+            }
+        },
+        target,
+        options,
+    )
+}
+
+fn search_core(
+    design: &Design,
+    signals: &[SignalId],
+    probe: &mut dyn FnMut(&Design) -> f64,
+    target: f64,
+    options: &SimSearchOptions,
+) -> SimSearchOutcome {
     let mut probes = 0;
     let mut run = |design: &Design| -> f64 {
-        design.reset_stats();
-        design.reset_state();
         probes += 1;
-        eval(design)
+        probe(design)
     };
 
-    // Probe 1: monitored float run for observed ranges -> MSBs.
-    let _ = run(design);
-    let mut skipped = Vec::new();
-    let mut plan: Vec<(SignalId, i32)> = Vec::new();
-    for &id in signals {
-        let r = design.report_by_id(id);
-        let msb = r
-            .stat
-            .interval()
-            .and_then(|i| msb_for_range(i.lo, i.hi, Signedness::TwosComplement))
-            .map(|m| m + options.msb_margin);
-        match msb {
-            Some(m) => plan.push((id, m)),
-            None => skipped.push(id),
-        }
-    }
-
+    // A probe type, or `None` when the positions are unrepresentable
+    // (e.g. an astronomical observed range would need more than the
+    // supported 63 bits) — such candidates are skipped, never panicked on.
     let mk = |name: &str, msb: i32, lsb: i32, overflow: OverflowMode| {
         DType::from_positions(
             format!("{name}_ss"),
@@ -103,16 +176,35 @@ pub fn sim_search_refine(
             overflow,
             RoundingMode::Round,
         )
-        .expect("positions derived from valid ranges")
+        .ok()
     };
+
+    // Probe 1: monitored float run for observed ranges -> MSBs. Signals
+    // with no observed range, or whose range cannot be held by any
+    // representable type at the starting precision, are skipped.
+    let _ = run(design);
+    let mut skipped = Vec::new();
+    let mut plan: Vec<(SignalId, i32)> = Vec::new();
+    for &id in signals {
+        let r = design.report_by_id(id);
+        let msb = r
+            .stat
+            .interval()
+            .and_then(|i| msb_for_range(i.lo, i.hi, Signedness::TwosComplement))
+            .map(|m| m + options.msb_margin)
+            .filter(|&m| mk(&design.name_of(id), m, options.start_lsb, options.overflow).is_some());
+        match msb {
+            Some(m) => plan.push((id, m)),
+            None => skipped.push(id),
+        }
+    }
 
     // Everything at the finest precision first.
     let mut lsbs: Vec<i32> = vec![options.start_lsb; plan.len()];
     for (i, &(id, msb)) in plan.iter().enumerate() {
-        design.set_dtype(
-            id,
-            Some(mk(&design.name_of(id), msb, lsbs[i], options.overflow)),
-        );
+        if let Some(t) = mk(&design.name_of(id), msb, lsbs[i], options.overflow) {
+            design.set_dtype(id, Some(t));
+        }
     }
     let baseline_quality = run(design);
 
@@ -120,10 +212,10 @@ pub fn sim_search_refine(
     for (i, &(id, msb)) in plan.iter().enumerate() {
         let mut best = lsbs[i];
         for lsb in (options.start_lsb + 1)..=options.max_lsb.min(msb) {
-            design.set_dtype(
-                id,
-                Some(mk(&design.name_of(id), msb, lsb, options.overflow)),
-            );
+            let Some(t) = mk(&design.name_of(id), msb, lsb, options.overflow) else {
+                continue;
+            };
+            design.set_dtype(id, Some(t));
             let q = run(design);
             if q < target {
                 break;
@@ -131,17 +223,18 @@ pub fn sim_search_refine(
             best = lsb;
         }
         lsbs[i] = best;
-        design.set_dtype(
-            id,
-            Some(mk(&design.name_of(id), msb, best, options.overflow)),
-        );
+        if let Some(t) = mk(&design.name_of(id), msb, best, options.overflow) {
+            design.set_dtype(id, Some(t));
+        }
     }
 
     let final_quality = run(design);
     let types = plan
         .iter()
         .enumerate()
-        .map(|(i, &(id, msb))| (id, mk(&design.name_of(id), msb, lsbs[i], options.overflow)))
+        .filter_map(|(i, &(id, msb))| {
+            mk(&design.name_of(id), msb, lsbs[i], options.overflow).map(|t| (id, t))
+        })
         .collect();
 
     SimSearchOutcome {
@@ -225,6 +318,140 @@ mod tests {
         );
         assert_eq!(out.skipped, vec![dead.id()]);
         assert_eq!(out.types.len(), 1);
+    }
+
+    #[test]
+    fn astronomical_ranges_are_skipped_not_panicked_on() {
+        // Regression: a signal whose observed range needs more than the
+        // representable 63 bits used to blow up in `mk`'s `.expect`.
+        let d = Design::new();
+        let huge = d.sig("huge");
+        let ok = d.sig("ok");
+        let mut eval = |d: &Design| {
+            let h = d.sig_handle(d.find("huge").expect("declared"));
+            let o = d.sig_handle(d.find("ok").expect("declared"));
+            for i in 0..50 {
+                h.set(1.0e300 * (1.0 + i as f64));
+                o.set((i as f64 * 0.2).sin());
+            }
+            1000.0
+        };
+        let out = sim_search_refine(
+            &d,
+            &[huge.id(), ok.id()],
+            &mut eval,
+            10.0,
+            &SimSearchOptions::default(),
+        );
+        assert_eq!(out.skipped, vec![huge.id()]);
+        assert_eq!(out.types.len(), 1);
+        assert_eq!(out.types[0].0, ok.id());
+    }
+
+    #[test]
+    fn swept_search_with_one_scenario_matches_sequential() {
+        use fixref_sim::ScenarioSet;
+
+        let (d, xid, yid) = toy();
+        let mut eval = eval_factory(xid, yid);
+        let seq = sim_search_refine(
+            &d,
+            &[xid, yid],
+            &mut eval,
+            40.0,
+            &SimSearchOptions::default(),
+        );
+
+        let build = || {
+            let d = Design::new();
+            let x = d.sig("x");
+            d.sig("y");
+            x.range(-1.0, 1.0);
+            d
+        };
+        let master = build();
+        let (mx, my) = (
+            master.find("x").expect("declared"),
+            master.find("y").expect("declared"),
+        );
+        let swept = sim_search_refine_swept(
+            &master,
+            &[mx, my],
+            &ScenarioSet::single(7, 28.0, 400),
+            1,
+            &move |_s| {
+                let shard = build();
+                let (xid, yid) = (
+                    shard.find("x").expect("declared"),
+                    shard.find("y").expect("declared"),
+                );
+                ShardEval {
+                    design: shard,
+                    eval: Box::new(eval_factory(xid, yid)),
+                }
+            },
+            40.0,
+            &SimSearchOptions::default(),
+        );
+
+        assert_eq!(seq.probes, swept.probes);
+        assert_eq!(seq.final_quality, swept.final_quality);
+        assert_eq!(seq.types.len(), swept.types.len());
+        for ((ida, ta), (idb, tb)) in seq.types.iter().zip(&swept.types) {
+            assert_eq!(d.name_of(*ida), master.name_of(*idb));
+            assert_eq!(ta.to_string(), tb.to_string());
+        }
+    }
+
+    #[test]
+    fn swept_search_scores_the_worst_scenario() {
+        use fixref_sim::ScenarioSet;
+
+        // Scenario seed 1 sees a clean signal, seed 2 a much noisier one;
+        // the search must budget bits for the noisy case.
+        let build = || {
+            let d = Design::new();
+            let x = d.sig("x");
+            d.sig("y");
+            x.range(-1.0, 1.0);
+            d
+        };
+        let master = build();
+        let ids = [
+            master.find("x").expect("declared"),
+            master.find("y").expect("declared"),
+        ];
+        let quality_for = |seed: u64| if seed == 1 { 200.0 } else { 35.0 };
+        let out = sim_search_refine_swept(
+            &master,
+            &ids,
+            &ScenarioSet::grid(&[1, 2], &[20.0], &[], &[100]),
+            2,
+            &move |s| {
+                let shard = build();
+                let q = quality_for(s.seed);
+                ShardEval {
+                    design: shard,
+                    eval: Box::new(move |d: &Design| {
+                        let xh = d.sig_handle(d.find("x").expect("declared"));
+                        let yh = d.sig_handle(d.find("y").expect("declared"));
+                        for i in 0..100 {
+                            xh.set((i as f64 * 0.1).sin());
+                            yh.set(xh.get() * 0.75);
+                        }
+                        q
+                    }),
+                }
+            },
+            40.0,
+            &SimSearchOptions::default(),
+        );
+        // The worst scenario (35 dB) never meets the 40 dB target, so the
+        // search cannot coarsen anything past its first probe.
+        assert!(out.final_quality <= 35.0 + 1e-9);
+        for (_, t) in &out.types {
+            assert_eq!(-t.lsb(), 16, "must stay at the finest LSB: {t}");
+        }
     }
 
     #[test]

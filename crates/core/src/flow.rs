@@ -202,6 +202,60 @@ impl FlowOutcome {
     }
 }
 
+/// How the flow obtains one monitored simulation of its design.
+///
+/// The refinement rules only consume the design's *monitors* (range and
+/// error statistics, propagated intervals, the signal-flow graph), so the
+/// flow is agnostic about how a simulation was produced. The built-in
+/// sequential driver runs the stimulus closure on the flow's own design;
+/// the scenario-sweep driver ([`crate::sweep::SweepDriver`]) fans the
+/// stimulus out over a worker pool of per-scenario designs and folds the
+/// shard statistics back into the flow's design. With a single scenario
+/// the two are bit-identical.
+pub trait SimDriver {
+    /// Runs one full monitored simulation for `iteration` and leaves the
+    /// resulting statistics on `design`. Responsible for resetting stats
+    /// and state first, and — when `record_graph` is set — for leaving a
+    /// freshly recorded signal-flow graph on the design. Journals and
+    /// counters go to `recorder`. Returns the number of cycles simulated
+    /// (summed over shards for a swept run).
+    fn simulate(
+        &mut self,
+        design: &Design,
+        recorder: &Arc<DefaultRecorder>,
+        iteration: usize,
+        record_graph: bool,
+    ) -> u64;
+}
+
+/// The built-in driver: one sequential simulation of the flow's design,
+/// exactly as the paper's engine runs it.
+struct SequentialDriver<F> {
+    sim: F,
+}
+
+impl<F: FnMut(&Design, usize)> SimDriver for SequentialDriver<F> {
+    fn simulate(
+        &mut self,
+        design: &Design,
+        _recorder: &Arc<DefaultRecorder>,
+        iteration: usize,
+        record_graph: bool,
+    ) -> u64 {
+        design.reset_stats();
+        design.reset_state();
+        if record_graph {
+            design.clear_graph();
+            design.record_graph(true);
+        }
+        (self.sim)(design, iteration);
+        if record_graph {
+            design.record_graph(false);
+        }
+        design.cycle()
+    }
+}
+
 /// The refinement flow driver.
 ///
 /// See the crate-level example; the typical call is [`RefinementFlow::run`]
@@ -382,7 +436,20 @@ impl RefinementFlow {
     /// adversarial stimulus).
     pub fn run_msb(
         &mut self,
-        mut sim: impl FnMut(&Design, usize),
+        sim: impl FnMut(&Design, usize),
+    ) -> Result<(Vec<Vec<MsbAnalysis>>, Vec<Intervention>), FlowError> {
+        self.run_msb_with(&mut SequentialDriver { sim })
+    }
+
+    /// [`RefinementFlow::run_msb`] over an explicit [`SimDriver`] — the
+    /// entry point the scenario-sweep engine uses.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RefinementFlow::run_msb`].
+    pub fn run_msb_with(
+        &mut self,
+        driver: &mut dyn SimDriver,
     ) -> Result<(Vec<Vec<MsbAnalysis>>, Vec<Intervention>), FlowError> {
         let mut history = Vec::new();
         let journal_start = self.recorder.events().len();
@@ -399,15 +466,9 @@ impl RefinementFlow {
             let span = self
                 .recorder
                 .span_begin(&format!("flow.msb.iter.{iteration}"));
-            self.design.reset_stats();
-            self.design.reset_state();
-            if iteration == 1 {
-                self.design.clear_graph();
-                self.design.record_graph(true);
-            }
-            sim(&self.design, iteration);
-            if iteration == 1 {
-                self.design.record_graph(false);
+            let record = iteration == 1;
+            let cycles = driver.simulate(&self.design, &self.recorder, iteration, record);
+            if record {
                 let graph = self.design.graph();
                 for sig in graph.defined_signals() {
                     if graph.fan_in(sig).contains(&sig) {
@@ -426,7 +487,7 @@ impl RefinementFlow {
                     a
                 })
                 .collect();
-            self.recorder.span_end(span, self.design.cycle());
+            self.recorder.span_end(span, cycles);
 
             for a in &analyses {
                 if a.exploded && self.refinable(a.id) {
@@ -554,7 +615,20 @@ impl RefinementFlow {
     /// iteration budget.
     pub fn run_lsb(
         &mut self,
-        mut sim: impl FnMut(&Design, usize),
+        sim: impl FnMut(&Design, usize),
+    ) -> Result<(Vec<Vec<LsbAnalysis>>, Vec<Intervention>), FlowError> {
+        self.run_lsb_with(&mut SequentialDriver { sim })
+    }
+
+    /// [`RefinementFlow::run_lsb`] over an explicit [`SimDriver`] — the
+    /// entry point the scenario-sweep engine uses.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RefinementFlow::run_lsb`].
+    pub fn run_lsb_with(
+        &mut self,
+        driver: &mut dyn SimDriver,
     ) -> Result<(Vec<Vec<LsbAnalysis>>, Vec<Intervention>), FlowError> {
         let mut history = Vec::new();
         let journal_start = self.recorder.events().len();
@@ -570,9 +644,7 @@ impl RefinementFlow {
             let span = self
                 .recorder
                 .span_begin(&format!("flow.lsb.iter.{iteration}"));
-            self.design.reset_stats();
-            self.design.reset_state();
-            sim(&self.design, iteration);
+            let cycles = driver.simulate(&self.design, &self.recorder, iteration, false);
 
             let analyses: Vec<LsbAnalysis> = self
                 .design
@@ -580,7 +652,7 @@ impl RefinementFlow {
                 .iter()
                 .map(|r| analyze_lsb(r, &self.policy))
                 .collect();
-            self.recorder.span_end(span, self.design.cycle());
+            self.recorder.span_end(span, cycles);
 
             for a in &analyses {
                 if a.status == LsbStatus::Diverged && self.refinable(a.id) {
@@ -615,10 +687,7 @@ impl RefinementFlow {
                     (a.id, a.name.clone(), is_reg, a.std / amplitude)
                 })
                 .collect();
-            diverged.sort_by(|a, b| {
-                b.2.cmp(&a.2)
-                    .then(b.3.partial_cmp(&a.3).expect("finite ratios"))
-            });
+            diverged.sort_by(|a, b| b.2.cmp(&a.2).then(b.3.total_cmp(&a.3)));
             let diverged: Vec<(SignalId, String)> = diverged
                 .into_iter()
                 .take(1)
@@ -634,7 +703,7 @@ impl RefinementFlow {
                     .map(|a| a.std)
                     .filter(|s| s.is_finite() && *s > 0.0)
                     .collect();
-                sigmas.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                sigmas.sort_by(|a, b| a.total_cmp(b));
                 if sigmas.is_empty() {
                     (self.policy.fallback_error_lsb as f64).exp2() / 12f64.sqrt()
                 } else {
@@ -761,13 +830,17 @@ impl RefinementFlow {
 
     /// Runs one monitored simulation with all decided types applied and
     /// collects overflow and precision findings.
-    pub fn verify(&mut self, mut sim: impl FnMut(&Design, usize)) -> VerifyOutcome {
+    pub fn verify(&mut self, sim: impl FnMut(&Design, usize)) -> VerifyOutcome {
+        self.verify_with(&mut SequentialDriver { sim })
+    }
+
+    /// [`RefinementFlow::verify`] over an explicit [`SimDriver`] — the
+    /// entry point the scenario-sweep engine uses.
+    pub fn verify_with(&mut self, driver: &mut dyn SimDriver) -> VerifyOutcome {
         let span = self.recorder.span_begin("flow.verify");
-        self.design.reset_stats();
-        self.design.reset_state();
         let _ = self.design.take_overflow_events();
-        sim(&self.design, 0);
-        self.recorder.span_end(span, self.design.cycle());
+        let cycles = driver.simulate(&self.design, &self.recorder, 0, false);
+        self.recorder.span_end(span, cycles);
         let mut overflows = Vec::new();
         let mut total = 0;
         let mut saturation_events = 0;
@@ -810,9 +883,18 @@ impl RefinementFlow {
     /// # Errors
     ///
     /// Propagates [`FlowError::NotConverged`] from either phase.
-    pub fn run(&mut self, mut sim: impl FnMut(&Design, usize)) -> Result<FlowOutcome, FlowError> {
-        let (msb_history, mut interventions) = self.run_msb(&mut sim)?;
-        let (lsb_history, lsb_iv) = self.run_lsb(&mut sim)?;
+    pub fn run(&mut self, sim: impl FnMut(&Design, usize)) -> Result<FlowOutcome, FlowError> {
+        self.run_with(&mut SequentialDriver { sim })
+    }
+
+    /// The full flow over an explicit [`SimDriver`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FlowError::NotConverged`] from either phase.
+    pub fn run_with(&mut self, driver: &mut dyn SimDriver) -> Result<FlowOutcome, FlowError> {
+        let (msb_history, mut interventions) = self.run_msb_with(driver)?;
+        let (lsb_history, lsb_iv) = self.run_lsb_with(driver)?;
         interventions.extend(lsb_iv);
 
         let empty_msb = Vec::new();
@@ -820,7 +902,7 @@ impl RefinementFlow {
         let final_msb = msb_history.last().unwrap_or(&empty_msb);
         let final_lsb = lsb_history.last().unwrap_or(&empty_lsb);
         let (types, unrefined) = self.apply_types(final_msb, final_lsb);
-        let verify = self.verify(&mut sim);
+        let verify = self.verify_with(driver);
 
         Ok(FlowOutcome {
             msb_iterations: msb_history.len(),
@@ -832,6 +914,47 @@ impl RefinementFlow {
             unrefined,
             verify,
         })
+    }
+
+    /// The full flow driven by the scenario-sweep engine: every
+    /// simulation fans out over the sweep's worker pool (one independent
+    /// design per scenario) and the refinement rules run on the merged
+    /// statistics. With a single scenario whose stimulus matches the
+    /// sequential closure, the outcome is bit-identical to
+    /// [`RefinementFlow::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FlowError::NotConverged`] from either phase.
+    pub fn run_swept(
+        &mut self,
+        sweep: &mut crate::sweep::SweepDriver,
+    ) -> Result<FlowOutcome, FlowError> {
+        self.run_with(sweep)
+    }
+
+    /// The MSB phase driven by the scenario-sweep engine.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RefinementFlow::run_msb`].
+    pub fn run_msb_swept(
+        &mut self,
+        sweep: &mut crate::sweep::SweepDriver,
+    ) -> Result<(Vec<Vec<MsbAnalysis>>, Vec<Intervention>), FlowError> {
+        self.run_msb_with(sweep)
+    }
+
+    /// The LSB phase driven by the scenario-sweep engine.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RefinementFlow::run_lsb`].
+    pub fn run_lsb_swept(
+        &mut self,
+        sweep: &mut crate::sweep::SweepDriver,
+    ) -> Result<(Vec<Vec<LsbAnalysis>>, Vec<Intervention>), FlowError> {
+        self.run_lsb_with(sweep)
     }
 }
 

@@ -64,10 +64,12 @@ pub mod msb;
 pub mod policy;
 pub mod precision;
 pub mod report;
+pub mod sweep;
 
-pub use flow::{FlowError, FlowOutcome, Intervention, RefinementFlow, VerifyOutcome};
+pub use flow::{FlowError, FlowOutcome, Intervention, RefinementFlow, SimDriver, VerifyOutcome};
 pub use lsb::{analyze_lsb, LsbAnalysis, LsbStatus};
 pub use msb::{analyze_msb, MsbAnalysis, MsbDecision};
 pub use policy::RefinePolicy;
 pub use precision::{analyze_precision, render_precision_table, PrecisionCheck, PrecisionStatus};
 pub use report::{lsb_table_csv, msb_table_csv, render_lsb_table, render_msb_table};
+pub use sweep::{ShardBuilder, ShardSim, ShardStimulus, ShardSummary, SweepDriver};

@@ -53,7 +53,7 @@ impl fmt::Display for LsbStatus {
 
 /// The complete LSB analysis of one signal — one row of the paper's
 /// Table 2.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LsbAnalysis {
     /// The analyzed signal.
     pub id: SignalId,

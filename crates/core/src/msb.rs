@@ -121,7 +121,7 @@ impl fmt::Display for MsbDecision {
 
 /// The complete MSB analysis of one signal — one row of the paper's
 /// Table 1.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MsbAnalysis {
     /// The analyzed signal.
     pub id: SignalId,

@@ -1,0 +1,345 @@
+//! The scenario-sweep simulation driver.
+//!
+//! [`SweepDriver`] implements [`SimDriver`](crate::flow::SimDriver) by
+//! fanning each refinement-iteration simulation out over a
+//! [`ScenarioSet`]: every scenario gets a **freshly built, private**
+//! [`Design`] on a worker thread (designs are deliberately not `Send`, so
+//! they never cross threads — only their plain-data statistic snapshots
+//! do), and the per-shard monitors are folded back into the flow's master
+//! design **in scenario order**. The refinement rules then run on the
+//! merged statistics exactly as if one sequential simulation had seen the
+//! concatenated stimuli.
+//!
+//! # Determinism
+//!
+//! Three properties make the sweep reproducible and conformant:
+//!
+//! 1. the pool returns shard results in scenario order regardless of the
+//!    worker count, and the fold (statistics merge, journal
+//!    concatenation, recorder absorption) follows that order — so the
+//!    merged state is a pure function of the scenario set;
+//! 2. the statistics merge has an exact empty identity
+//!    (`merge(empty, x) == x` bitwise), so with a single scenario the
+//!    master ends up with *exactly* the shard's monitors — bit-identical
+//!    to having simulated sequentially;
+//! 3. each shard design is rebuilt from scratch every iteration and
+//!    re-annotated from the master's current refinement state, so shard
+//!    RNG streams and quantization behavior match what the sequential
+//!    flow would have produced after its own `reset_state`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use fixref_obs::{DefaultRecorder, Event, Recorder};
+use fixref_sim::{run_shards, Design, Graph, OverflowEvent, Scenario, ScenarioSet, SignalStats};
+
+use crate::flow::SimDriver;
+
+/// The stimulus closure driving one shard, called as
+/// `stimulus(&design, iteration)`.
+pub type ShardStimulus = Box<dyn FnMut(&Design, usize)>;
+
+/// One shard's simulation bundle: a freshly built design plus the
+/// stimulus closure that drives it for its scenario.
+pub struct ShardSim {
+    /// The shard's private design — must declare (at least) every signal
+    /// of the flow's master design, with identical names and seeds.
+    pub design: Design,
+    /// The stimulus, called as `stimulus(&design, iteration)`.
+    pub stimulus: ShardStimulus,
+}
+
+/// Builds one [`ShardSim`] per scenario, on the worker thread that runs
+/// it. Must be `Send + Sync` (shared across workers); the designs it
+/// builds are not.
+pub type ShardBuilder = dyn Fn(&Scenario) -> ShardSim + Send + Sync;
+
+/// Wall-clock and cycle accounting for one shard of the last sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSummary {
+    /// The scenario this shard simulated.
+    pub scenario: Scenario,
+    /// Clock cycles the shard's design ticked.
+    pub cycles: u64,
+    /// Wall-clock nanoseconds spent building, annotating and simulating
+    /// the shard (as measured on its worker thread).
+    pub wall_ns: u128,
+}
+
+/// What a worker hands back across the thread boundary: plain data only.
+struct ShardResult {
+    stats: Vec<SignalStats>,
+    overflow_events: Vec<OverflowEvent>,
+    graph: Option<Graph>,
+    recorder: Arc<DefaultRecorder>,
+    cycles: u64,
+    wall_ns: u128,
+}
+
+/// A [`SimDriver`](crate::flow::SimDriver) that runs every simulation as
+/// a parallel scenario sweep. See the module docs for the determinism
+/// contract; see [`RefinementFlow::run_swept`](crate::RefinementFlow::run_swept)
+/// for the typical entry point.
+pub struct SweepDriver {
+    scenarios: ScenarioSet,
+    workers: usize,
+    builder: Box<ShardBuilder>,
+    last_shards: Vec<ShardSummary>,
+}
+
+impl std::fmt::Debug for SweepDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepDriver")
+            .field("scenarios", &self.scenarios.len())
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl SweepDriver {
+    /// Creates a sweep over `scenarios` with at most `workers` threads
+    /// (`1` = run shards sequentially on the calling thread).
+    pub fn new(scenarios: ScenarioSet, workers: usize, builder: Box<ShardBuilder>) -> Self {
+        SweepDriver {
+            scenarios,
+            workers: workers.max(1),
+            builder,
+            last_shards: Vec::new(),
+        }
+    }
+
+    /// The scenario set.
+    pub fn scenarios(&self) -> &ScenarioSet {
+        &self.scenarios
+    }
+
+    /// The worker budget.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Changes the worker budget; the merged results are unaffected.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// Per-shard accounting of the most recent simulation (empty before
+    /// the first run).
+    pub fn shard_summaries(&self) -> &[ShardSummary] {
+        &self.last_shards
+    }
+}
+
+impl SimDriver for SweepDriver {
+    /// Fans the simulation out and folds the shards back in scenario
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder's shard designs do not declare the master
+    /// design's signals (a builder contract violation), or if a shard's
+    /// stimulus panics.
+    fn simulate(
+        &mut self,
+        design: &Design,
+        recorder: &Arc<DefaultRecorder>,
+        iteration: usize,
+        record_graph: bool,
+    ) -> u64 {
+        design.reset_stats();
+        design.reset_state();
+        if record_graph {
+            design.clear_graph();
+        }
+        // Snapshot the master's refinement state once; every shard
+        // re-applies it to its fresh design.
+        let annotations = design.annotations();
+        let builder = &self.builder;
+
+        let results = run_shards(self.scenarios.as_slice(), self.workers, |scenario| {
+            let started = Instant::now();
+            let shard_recorder = Arc::new(DefaultRecorder::new());
+            let ShardSim {
+                design: shard,
+                mut stimulus,
+            } = builder(scenario);
+            shard.attach_recorder(shard_recorder.clone());
+            shard
+                .apply_annotations(&annotations)
+                .unwrap_or_else(|e| panic!("shard builder contract violation: {e}"));
+            // Only shard 0 records a graph — all shards execute the same
+            // description, so one structural recording suffices and the
+            // master inherits it below.
+            let record_here = record_graph && scenario.index == 0;
+            if record_here {
+                shard.clear_graph();
+                shard.record_graph(true);
+            }
+            stimulus(&shard, iteration);
+            if record_here {
+                shard.record_graph(false);
+            }
+            ShardResult {
+                stats: shard.export_stats(),
+                overflow_events: shard.take_overflow_events(),
+                graph: record_here.then(|| shard.graph()),
+                recorder: shard_recorder,
+                cycles: shard.cycle(),
+                wall_ns: started.elapsed().as_nanos(),
+            }
+        });
+
+        // Deterministic merge: strict scenario order, each shard
+        // bracketed by ShardStarted / ShardMerged in the journal.
+        self.last_shards.clear();
+        let mut total_cycles = 0u64;
+        for (scenario, result) in self.scenarios.iter().zip(results) {
+            recorder.record_event(Event::ShardStarted {
+                shard: scenario.index,
+                seed: scenario.seed,
+                snr_db: scenario.snr_db,
+                samples: scenario.samples,
+            });
+            recorder.absorb(&result.recorder);
+            let signals = result.stats.len();
+            design
+                .absorb_stats(&result.stats)
+                .unwrap_or_else(|e| panic!("shard builder contract violation: {e}"));
+            design.absorb_overflow_events(result.overflow_events);
+            if let Some(graph) = result.graph {
+                design.install_graph(graph);
+            }
+            recorder.record_event(Event::ShardMerged {
+                shard: scenario.index,
+                cycles: result.cycles,
+                signals,
+            });
+            total_cycles = total_cycles.saturating_add(result.cycles);
+            self.last_shards.push(ShardSummary {
+                scenario: scenario.clone(),
+                cycles: result.cycles,
+                wall_ns: result.wall_ns,
+            });
+        }
+        total_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RefinePolicy, RefinementFlow};
+
+    /// A tiny first-order IIR smoother. The design seed is fixed (it
+    /// drives `error()` injection, which must match the master's); the
+    /// *scenario* seed varies the stimulus noise instead.
+    fn build_design() -> Design {
+        let d = Design::with_seed(0xD0_5EED);
+        d.sig("x");
+        d.reg("acc");
+        d.sig("y");
+        d
+    }
+
+    fn drive(d: &Design, seed: u64, samples: usize) {
+        let x = d.sig_handle(d.find("x").unwrap());
+        let acc = d.reg_handle(d.find("acc").unwrap());
+        let y = d.sig_handle(d.find("y").unwrap());
+        let mut rng = fixref_fixed::Rng64::seed_from_u64(seed);
+        for i in 0..samples {
+            x.set((i as f64 * 0.11).sin() * 0.8 + rng.symmetric(0.05));
+            acc.set(acc.get() * 0.9 + x.get() * 0.1);
+            y.set(acc.get() * 0.5);
+            d.tick();
+        }
+    }
+
+    fn sweep(scenarios: ScenarioSet, workers: usize) -> SweepDriver {
+        SweepDriver::new(
+            scenarios,
+            workers,
+            Box::new(|s: &Scenario| {
+                let d = build_design();
+                let (seed, samples) = (s.seed, s.samples);
+                ShardSim {
+                    stimulus: Box::new(move |d: &Design, _| drive(d, seed, samples)),
+                    design: d,
+                }
+            }),
+        )
+    }
+
+    fn run_flow(driver: &mut SweepDriver) -> (Vec<(String, String)>, Vec<Event>) {
+        let master = build_design();
+        let mut flow = RefinementFlow::new(master.clone(), RefinePolicy::default());
+        let outcome = flow.run_swept(driver).expect("converges");
+        let types = outcome
+            .types
+            .iter()
+            .map(|(id, t)| (master.name_of(*id), t.to_string()))
+            .collect();
+        (types, flow.journal())
+    }
+
+    #[test]
+    fn single_scenario_sweep_matches_sequential_flow_bit_identically() {
+        // Sequential reference.
+        let master = build_design();
+        let mut flow = RefinementFlow::new(master.clone(), RefinePolicy::default());
+        let seq = flow
+            .run(|d: &Design, _| drive(d, 7, 400))
+            .expect("converges");
+
+        // One-scenario sweep.
+        let mut driver = sweep(ScenarioSet::single(7, 28.0, 400), 1);
+        let swept_master = build_design();
+        let mut swept_flow = RefinementFlow::new(swept_master.clone(), RefinePolicy::default());
+        let swept = swept_flow.run_swept(&mut driver).expect("converges");
+
+        assert_eq!(seq.types.len(), swept.types.len());
+        for ((ida, ta), (idb, tb)) in seq.types.iter().zip(&swept.types) {
+            assert_eq!(master.name_of(*ida), swept_master.name_of(*idb));
+            assert_eq!(ta.to_string(), tb.to_string());
+        }
+        // The merged monitors themselves are bit-identical.
+        for (a, b) in master.reports().iter().zip(swept_master.reports()) {
+            assert_eq!(a.stat, b.stat, "stat of {}", a.name);
+            assert_eq!(a.prop, b.prop, "prop of {}", a.name);
+            assert_eq!(a.consumed, b.consumed, "consumed of {}", a.name);
+            assert_eq!(a.produced, b.produced, "produced of {}", a.name);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_merged_outcome() {
+        let scenarios = ScenarioSet::grid(&[3, 5, 11, 17], &[24.0], &[], &[300]);
+        let (types1, journal1) = run_flow(&mut sweep(scenarios.clone(), 1));
+        let (types4, journal4) = run_flow(&mut sweep(scenarios, 4));
+        assert_eq!(types1, types4);
+        assert_eq!(journal1, journal4);
+    }
+
+    #[test]
+    fn shard_events_bracket_every_scenario_in_order() {
+        let scenarios = ScenarioSet::grid(&[1, 2, 3], &[20.0], &[], &[200]);
+        let n = scenarios.len();
+        let mut driver = sweep(scenarios, 2);
+        let (_, journal) = run_flow(&mut driver);
+        let started: Vec<usize> = journal
+            .iter()
+            .filter_map(|e| match e {
+                Event::ShardStarted { shard, .. } => Some(*shard),
+                _ => None,
+            })
+            .collect();
+        // Every simulation (MSB iters + LSB iters + verify) brackets all
+        // scenarios in 0..n order.
+        assert!(started.len() >= n);
+        assert_eq!(started.len() % n, 0);
+        for chunk in started.chunks(n) {
+            assert_eq!(chunk, (0..n).collect::<Vec<_>>());
+        }
+        assert_eq!(driver.shard_summaries().len(), n);
+        assert!(driver.shard_summaries().iter().all(|s| s.cycles > 0));
+    }
+}

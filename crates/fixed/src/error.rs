@@ -73,6 +73,77 @@ impl fmt::Display for OverflowError {
 
 impl Error for OverflowError {}
 
+/// Unified error for fallible refinement-facing operations.
+///
+/// The original API surface asserted on bad designer input (inverted
+/// ranges, NaN bounds, negative sigmas, unrepresentable bit positions).
+/// Those panics are fine for programming errors but not for values that
+/// arrive from stimuli or annotation files, so the fallible entry points
+/// (`Interval::try_new`, `Design::try_set_range`, …) return this type
+/// instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FixError {
+    /// A range annotation with `lo > hi` or a NaN bound.
+    InvalidRange {
+        /// The rejected lower bound.
+        lo: f64,
+        /// The rejected upper bound.
+        hi: f64,
+    },
+    /// An `error()` annotation with a negative, NaN or infinite sigma.
+    InvalidSigma {
+        /// The rejected standard deviation.
+        sigma: f64,
+    },
+    /// Bit positions that do not form a representable type.
+    Unrepresentable(DTypeError),
+    /// Overflow under [`OverflowMode::Error`](crate::OverflowMode::Error).
+    Overflow(OverflowError),
+}
+
+impl fmt::Display for FixError {
+    fn fmt(&self, fm: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixError::InvalidRange { lo, hi } => {
+                write!(
+                    fm,
+                    "invalid range [{lo}, {hi}]: bounds must be ordered and not NaN"
+                )
+            }
+            FixError::InvalidSigma { sigma } => {
+                write!(
+                    fm,
+                    "invalid error sigma {sigma}: must be finite and non-negative"
+                )
+            }
+            FixError::Unrepresentable(e) => write!(fm, "unrepresentable type: {e}"),
+            FixError::Overflow(e) => write!(fm, "{e}"),
+        }
+    }
+}
+
+impl Error for FixError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FixError::Unrepresentable(e) => Some(e),
+            FixError::Overflow(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DTypeError> for FixError {
+    fn from(e: DTypeError) -> Self {
+        FixError::Unrepresentable(e)
+    }
+}
+
+impl From<OverflowError> for FixError {
+    fn from(e: OverflowError) -> Self {
+        FixError::Overflow(e)
+    }
+}
+
 /// Error parsing a [`DType`](crate::DType) from its textual form.
 ///
 /// The textual form is the paper's constructor notation
@@ -167,5 +238,26 @@ mod tests {
         assert_send_sync::<DTypeError>();
         assert_send_sync::<OverflowError>();
         assert_send_sync::<ParseDTypeError>();
+        assert_send_sync::<FixError>();
+    }
+
+    #[test]
+    fn fix_error_display_and_sources() {
+        let e = FixError::InvalidRange { lo: 1.0, hi: 0.0 };
+        assert!(e.to_string().contains("[1, 0]"));
+        assert!(Error::source(&e).is_none());
+        let e = FixError::InvalidSigma { sigma: -0.5 };
+        assert!(e.to_string().contains("-0.5"));
+        let e = FixError::from(DTypeError::InvalidWordlength { n: 99 });
+        assert!(e.to_string().contains("99"));
+        assert!(Error::source(&e).is_some());
+        let e = FixError::from(OverflowError {
+            value: 3.0,
+            min: -2.0,
+            max: 1.96875,
+            dtype: "T1".into(),
+        });
+        assert!(e.to_string().contains("overflows"));
+        assert!(Error::source(&e).is_some());
     }
 }

@@ -20,6 +20,7 @@ use std::fmt;
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
 use crate::dtype::DType;
+use crate::error::FixError;
 
 /// A closed interval `[lo, hi]` over `f64`.
 ///
@@ -62,6 +63,22 @@ impl Interval {
             "interval lower bound {lo} exceeds upper bound {hi}"
         );
         Interval { lo, hi }
+    }
+
+    /// Fallible counterpart of [`Interval::new`] for bounds that arrive
+    /// from user input (annotation files, CLI arguments): returns
+    /// [`FixError::InvalidRange`] instead of panicking on inverted or NaN
+    /// bounds.
+    ///
+    /// # Errors
+    ///
+    /// [`FixError::InvalidRange`] when `lo > hi` or either bound is NaN.
+    pub fn try_new(lo: f64, hi: f64) -> Result<Self, FixError> {
+        if lo.is_nan() || hi.is_nan() || lo > hi {
+            Err(FixError::InvalidRange { lo, hi })
+        } else {
+            Ok(Interval { lo, hi })
+        }
     }
 
     /// The degenerate interval `[x, x]`.
@@ -229,16 +246,25 @@ impl fmt::Display for Interval {
     }
 }
 
+/// `∞ − ∞` (opposing infinite bounds, which arise when exploded feedback
+/// ranges meet in `Add`/`Sub`) yields NaN under IEEE-754. A NaN bound is
+/// poison: it later panics in `Interval::new` via `abs`/`min`/`max`. Map
+/// each NaN bound to the conservative infinity of its side instead — the
+/// result stays "exploded", which is what range propagation reports anyway.
+fn denan(lo: f64, hi: f64) -> Interval {
+    Interval {
+        lo: if lo.is_nan() { f64::NEG_INFINITY } else { lo },
+        hi: if hi.is_nan() { f64::INFINITY } else { hi },
+    }
+}
+
 impl Add for Interval {
     type Output = Interval;
     fn add(self, rhs: Interval) -> Interval {
         if self.is_empty() || rhs.is_empty() {
             return Interval::EMPTY;
         }
-        Interval {
-            lo: self.lo + rhs.lo,
-            hi: self.hi + rhs.hi,
-        }
+        denan(self.lo + rhs.lo, self.hi + rhs.hi)
     }
 }
 
@@ -248,10 +274,7 @@ impl Sub for Interval {
         if self.is_empty() || rhs.is_empty() {
             return Interval::EMPTY;
         }
-        Interval {
-            lo: self.lo - rhs.hi,
-            hi: self.hi - rhs.lo,
-        }
+        denan(self.lo - rhs.hi, self.hi - rhs.lo)
     }
 }
 
@@ -456,6 +479,42 @@ mod tests {
         // Clamping an already-tight range is a no-op.
         let tight = Interval::new(-0.1, 0.05);
         assert_eq!(tight.clamp_to(&Interval::new(-0.2, 0.2)), tight);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_bounds_without_panicking() {
+        assert_eq!(Interval::try_new(-1.0, 2.0), Ok(Interval::new(-1.0, 2.0)));
+        assert_eq!(
+            Interval::try_new(1.0, 0.0),
+            Err(FixError::InvalidRange { lo: 1.0, hi: 0.0 })
+        );
+        assert!(Interval::try_new(f64::NAN, 0.0).is_err());
+        assert!(Interval::try_new(0.0, f64::NAN).is_err());
+        // Infinite (exploded) bounds are legal — explosion is a state the
+        // flow handles, not an input error.
+        assert!(Interval::try_new(f64::NEG_INFINITY, f64::INFINITY).is_ok());
+    }
+
+    #[test]
+    fn opposing_infinities_explode_instead_of_poisoning() {
+        // Regression: UNBOUNDED - UNBOUNDED used to produce [NaN, NaN],
+        // which then panicked inside abs()/min()/max() via Interval::new.
+        let u = Interval::UNBOUNDED;
+        let d = u - u;
+        assert!(!d.lo.is_nan() && !d.hi.is_nan());
+        assert!(d.is_exploded());
+        let s = u + u;
+        assert!(!s.lo.is_nan() && !s.hi.is_nan());
+        // The previously-panicking downstream operations now stay total.
+        assert!(d.abs().hi.is_infinite());
+        assert!(!d.min(&Interval::point(1.0)).lo.is_nan());
+        assert!(!d.max(&Interval::point(1.0)).hi.is_nan());
+        // Half-exploded operands too: [0, inf] - [0, inf] hits inf - inf
+        // on both ends.
+        let h = Interval::new(0.0, f64::INFINITY);
+        let hd = h - h;
+        assert!(!hd.lo.is_nan() && !hd.hi.is_nan());
+        assert!(hd.contains(0.0));
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub mod sqnr;
 pub mod stats;
 
 pub use dtype::{DType, DTypeBuilder, OverflowMode, RoundingMode, Signedness};
-pub use error::{DTypeError, OverflowError, ParseDTypeError};
+pub use error::{DTypeError, FixError, OverflowError, ParseDTypeError};
 pub use fixed::Fixed;
 pub use interval::Interval;
 pub use quantize::{msb_for_range, quantize, Quantized};

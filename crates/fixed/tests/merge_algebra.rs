@@ -1,0 +1,197 @@
+//! Seeded-sweep property tests for the parallel merge algebra.
+//!
+//! The scenario-sweep engine folds per-shard `RangeStats` / `ErrorStats`
+//! into one merged accumulator, so the refinement rules see *one* virtual
+//! simulation regardless of how many shards produced it. That is only
+//! sound if the merge is a faithful homomorphism of streaming:
+//!
+//! * `merge(a, b)` must equal recording the concatenated stream `a ++ b`
+//!   (min/max/count exact; mean/std within 1e-12 — Welford's parallel
+//!   combination is numerically stable but not bit-identical to the
+//!   streaming order for arbitrary splits);
+//! * merge must be associative (shard fold order must not matter);
+//! * the empty accumulator must be a (left and right) identity — and
+//!   *exactly* so, since bit-identity of the 1-shard sweep against the
+//!   sequential flow rides on `merge(empty, x) == x`.
+
+use fixref_fixed::{ErrorStats, RangeStats, Rng64};
+
+const MEAN_STD_TOL: f64 = 1e-12;
+
+/// Deterministic error-like stream: mixture of smooth quantization noise,
+/// occasional large excursions, exact zeros and sign flips.
+fn stream(seed: u64, len: usize) -> Vec<f64> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    (0..len)
+        .map(|i| {
+            let base = rng.symmetric(0.015625); // ~LSB -6 noise
+            match i % 17 {
+                0 => 0.0,           // exact samples
+                5 => base * 1000.0, // excursion
+                11 => -base.abs(),  // sign bias
+                _ => base,
+            }
+        })
+        .collect()
+}
+
+fn range_of(xs: &[f64]) -> RangeStats {
+    let mut r = RangeStats::new();
+    for &x in xs {
+        r.record(x);
+    }
+    r
+}
+
+fn errors_of(xs: &[f64]) -> ErrorStats {
+    let mut e = ErrorStats::new();
+    for &x in xs {
+        e.record(x);
+    }
+    e
+}
+
+fn assert_range_eq(got: &RangeStats, want: &RangeStats, ctx: &str) {
+    assert_eq!(got.count(), want.count(), "{ctx}: count");
+    assert_eq!(got.try_min(), want.try_min(), "{ctx}: min must be exact");
+    assert_eq!(got.try_max(), want.try_max(), "{ctx}: max must be exact");
+}
+
+fn assert_error_close(got: &ErrorStats, want: &ErrorStats, ctx: &str) {
+    assert_eq!(got.count(), want.count(), "{ctx}: count");
+    assert_eq!(
+        got.max_abs(),
+        want.max_abs(),
+        "{ctx}: max_abs must be exact"
+    );
+    assert!(
+        (got.mean() - want.mean()).abs() <= MEAN_STD_TOL,
+        "{ctx}: mean {} vs {}",
+        got.mean(),
+        want.mean()
+    );
+    assert!(
+        (got.std() - want.std()).abs() <= MEAN_STD_TOL,
+        "{ctx}: std {} vs {}",
+        got.std(),
+        want.std()
+    );
+}
+
+#[test]
+fn merge_equals_streaming_concatenation_across_seeds_and_splits() {
+    for seed in 0..32u64 {
+        let xs = stream(seed.wrapping_mul(0x9E37_79B9) + 1, 700);
+        // Sweep split points including degenerate ones (empty halves).
+        for split in [0usize, 1, 7, 350, 699, 700] {
+            let (lhs, rhs) = xs.split_at(split);
+            let whole_r = range_of(&xs);
+            let whole_e = errors_of(&xs);
+
+            let mut merged_r = range_of(lhs);
+            merged_r.merge(&range_of(rhs));
+            assert_range_eq(&merged_r, &whole_r, &format!("seed {seed} split {split}"));
+
+            let mut merged_e = errors_of(lhs);
+            merged_e.merge(&errors_of(rhs));
+            assert_error_close(&merged_e, &whole_e, &format!("seed {seed} split {split}"));
+        }
+    }
+}
+
+#[test]
+fn merge_is_associative_over_shard_partitions() {
+    for seed in 0..16u64 {
+        let xs = stream(seed + 41, 600);
+        let parts: Vec<&[f64]> = xs.chunks(xs.len() / 3 + 1).collect();
+        assert_eq!(parts.len(), 3);
+
+        // ((a . b) . c)
+        let mut left_r = range_of(parts[0]);
+        left_r.merge(&range_of(parts[1]));
+        left_r.merge(&range_of(parts[2]));
+        let mut left_e = errors_of(parts[0]);
+        left_e.merge(&errors_of(parts[1]));
+        left_e.merge(&errors_of(parts[2]));
+
+        // (a . (b . c))
+        let mut tail_r = range_of(parts[1]);
+        tail_r.merge(&range_of(parts[2]));
+        let mut right_r = range_of(parts[0]);
+        right_r.merge(&tail_r);
+        let mut tail_e = errors_of(parts[1]);
+        tail_e.merge(&errors_of(parts[2]));
+        let mut right_e = errors_of(parts[0]);
+        right_e.merge(&tail_e);
+
+        assert_range_eq(&left_r, &right_r, &format!("seed {seed} assoc"));
+        assert_error_close(&left_e, &right_e, &format!("seed {seed} assoc"));
+    }
+}
+
+#[test]
+fn empty_is_an_exact_identity() {
+    for seed in 0..16u64 {
+        let xs = stream(seed * 3 + 5, 250);
+        let x_r = range_of(&xs);
+        let x_e = errors_of(&xs);
+
+        // merge(x, empty) == x, bitwise.
+        let mut right_r = x_r;
+        right_r.merge(&RangeStats::new());
+        assert_eq!(right_r, x_r, "seed {seed}: range right identity");
+        let mut right_e = x_e;
+        right_e.merge(&ErrorStats::new());
+        assert_eq!(right_e, x_e, "seed {seed}: error right identity");
+
+        // merge(empty, x) == x, bitwise — this is what makes the 1-shard
+        // sweep bit-identical to the sequential flow.
+        let mut left_r = RangeStats::new();
+        left_r.merge(&x_r);
+        assert_eq!(left_r, x_r, "seed {seed}: range left identity");
+        let mut left_e = ErrorStats::new();
+        left_e.merge(&x_e);
+        assert_eq!(left_e, x_e, "seed {seed}: error left identity");
+    }
+}
+
+#[test]
+fn shard_fold_in_scenario_order_is_split_invariant() {
+    // The pool guarantees fold order == scenario order; the *number of
+    // workers* only changes which thread computed each shard. The merged
+    // result must therefore be bit-identical however the same shards were
+    // computed — model that by folding the identical shard list twice.
+    let shards: Vec<Vec<f64>> = (0..8).map(|s| stream(900 + s, 300)).collect();
+    let fold = || {
+        let mut r = RangeStats::new();
+        let mut e = ErrorStats::new();
+        for sh in &shards {
+            r.merge(&range_of(sh));
+            e.merge(&errors_of(sh));
+        }
+        (r, e)
+    };
+    let (r1, e1) = fold();
+    let (r2, e2) = fold();
+    assert_eq!(r1, r2);
+    assert_eq!(e1, e2);
+}
+
+#[test]
+fn nan_observations_merge_like_they_stream() {
+    // RangeStats counts NaN without moving extremes; the merge must keep
+    // that bookkeeping consistent with streaming.
+    let mut whole = RangeStats::new();
+    for &x in &[1.0, f64::NAN, -2.0] {
+        whole.record(x);
+    }
+    let mut a = RangeStats::new();
+    a.record(1.0);
+    let mut b = RangeStats::new();
+    b.record(f64::NAN);
+    b.record(-2.0);
+    a.merge(&b);
+    assert_eq!(a.count(), whole.count());
+    assert_eq!(a.try_min(), whole.try_min());
+    assert_eq!(a.try_max(), whole.try_max());
+}

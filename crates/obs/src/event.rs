@@ -140,6 +140,29 @@ pub enum Event {
         /// Excursions absorbed by saturating types (informational).
         saturation_events: u64,
     },
+    /// A scenario shard of a parallel sweep began merging into the master
+    /// journal. Shard journals are concatenated in shard (scenario) order,
+    /// bracketed by this event and [`Event::ShardMerged`].
+    ShardStarted {
+        /// 0-based scenario index of the shard.
+        shard: usize,
+        /// Stimulus seed the shard simulated with.
+        seed: u64,
+        /// Stimulus SNR of the shard (dB).
+        snr_db: f64,
+        /// Samples the shard simulated.
+        samples: usize,
+    },
+    /// A scenario shard's statistics finished merging into the master
+    /// design.
+    ShardMerged {
+        /// 0-based scenario index of the shard.
+        shard: usize,
+        /// Simulation cycles the shard ran.
+        cycles: u64,
+        /// Signals whose monitors were merged.
+        signals: usize,
+    },
 }
 
 impl Event {
@@ -156,6 +179,8 @@ impl Event {
             Event::PhaseFailed { .. } => "phase_failed",
             Event::TypeApplied { .. } => "type_applied",
             Event::VerifyCompleted { .. } => "verify_completed",
+            Event::ShardStarted { .. } => "shard_started",
+            Event::ShardMerged { .. } => "shard_merged",
         }
     }
 
@@ -228,6 +253,22 @@ impl Event {
                 saturation_events,
             } => format!(
                 r#"{{"event":"{kind}","overflows":{overflows},"saturation_events":{saturation_events}}}"#
+            ),
+            Event::ShardStarted {
+                shard,
+                seed,
+                snr_db,
+                samples,
+            } => format!(
+                r#"{{"event":"{kind}","shard":{shard},"seed":{seed},"snr_db":{},"samples":{samples}}}"#,
+                fmt_f64(*snr_db)
+            ),
+            Event::ShardMerged {
+                shard,
+                cycles,
+                signals,
+            } => format!(
+                r#"{{"event":"{kind}","shard":{shard},"cycles":{cycles},"signals":{signals}}}"#
             ),
         }
     }
@@ -314,6 +355,17 @@ impl Event {
                 overflows: u("overflows")?,
                 saturation_events: u("saturation_events")?,
             }),
+            "shard_started" => Ok(Event::ShardStarted {
+                shard: u("shard")? as usize,
+                seed: u("seed")?,
+                snr_db: f("snr_db")?,
+                samples: u("samples")? as usize,
+            }),
+            "shard_merged" => Ok(Event::ShardMerged {
+                shard: u("shard")? as usize,
+                cycles: u("cycles")?,
+                signals: u("signals")? as usize,
+            }),
             other => Err(JsonError {
                 message: format!("unknown event tag {other:?}"),
                 offset: 0,
@@ -372,6 +424,23 @@ impl fmt::Display for Event {
                 f,
                 "verification: {overflows} overflows, {saturation_events} saturation events"
             ),
+            Event::ShardStarted {
+                shard,
+                seed,
+                snr_db,
+                samples,
+            } => write!(
+                f,
+                "shard {shard}: seed {seed}, {snr_db} dB, {samples} samples"
+            ),
+            Event::ShardMerged {
+                shard,
+                cycles,
+                signals,
+            } => write!(
+                f,
+                "shard {shard}: merged {signals} signals, {cycles} cycles"
+            ),
         }
     }
 }
@@ -427,6 +496,17 @@ mod tests {
             Event::VerifyCompleted {
                 overflows: 0,
                 saturation_events: 12,
+            },
+            Event::ShardStarted {
+                shard: 3,
+                seed: 0xDA7E_1999,
+                snr_db: 28.0,
+                samples: 4000,
+            },
+            Event::ShardMerged {
+                shard: 3,
+                cycles: 4000,
+                signals: 14,
             },
         ]
     }

@@ -250,6 +250,71 @@ impl DefaultRecorder {
         self.lock().spans.clone()
     }
 
+    /// Merges everything another recorder collected into this one:
+    /// counters add, histograms combine (count/sum add, min/max extend),
+    /// events append in the other's journal order, and completed spans
+    /// append with their completion sequence renumbered to continue this
+    /// recorder's. The other recorder is left untouched; its pending
+    /// (unclosed) spans are not transferred.
+    ///
+    /// This is the merge layer of the scenario-sweep engine: each shard
+    /// simulates into a private recorder, and the master absorbs them in
+    /// shard order so the merged journal is deterministic regardless of
+    /// worker scheduling.
+    pub fn absorb(&self, other: &DefaultRecorder) {
+        if std::ptr::eq(self, other) {
+            return;
+        }
+        // Snapshot the source first so the two mutexes are never held at
+        // once (no lock-order deadlock risk however callers pair them).
+        let (counters, hists, events, spans) = {
+            let o = other.lock();
+            let hists: Vec<(String, Hist)> = o
+                .hists
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        Hist {
+                            count: h.count,
+                            sum: h.sum,
+                            min: h.min,
+                            max: h.max,
+                        },
+                    )
+                })
+                .collect();
+            (o.counters.clone(), hists, o.events.clone(), o.spans.clone())
+        };
+        let mut inner = self.lock();
+        for (name, by) in counters {
+            match inner.counters.get_mut(&name) {
+                Some(v) => *v = v.saturating_add(by),
+                None => {
+                    inner.counters.insert(name, by);
+                }
+            }
+        }
+        for (name, h) in hists {
+            match inner.hists.get_mut(&name) {
+                Some(mine) => {
+                    mine.count += h.count;
+                    mine.sum += h.sum;
+                    mine.min = mine.min.min(h.min);
+                    mine.max = mine.max.max(h.max);
+                }
+                None => {
+                    inner.hists.insert(name, h);
+                }
+            }
+        }
+        inner.events.extend(events);
+        for mut span in spans {
+            span.seq = inner.spans.len() as u64;
+            inner.spans.push(span);
+        }
+    }
+
     /// Discards all recorded data (counters, histograms, events, spans).
     /// Pending (unclosed) spans survive so a reset during a phase does
     /// not orphan its guard.
@@ -424,6 +489,83 @@ mod tests {
         r.span_end(id, 7);
         assert_eq!(r.spans().len(), 1);
         assert_eq!(r.spans()[0].cycles, 7);
+    }
+
+    #[test]
+    fn absorb_merges_counters_histograms_events_and_spans() {
+        let master = DefaultRecorder::new();
+        master.inc("sim.samples", 10);
+        master.observe("h", 1.0);
+        master.record_event(Event::PhaseConverged {
+            phase: Phase::Msb,
+            iterations: 1,
+        });
+        let id = master.span_begin("master.iter");
+        master.span_end(id, 3);
+
+        let shard = DefaultRecorder::new();
+        shard.inc("sim.samples", 32);
+        shard.inc("sim.overflows", 2);
+        shard.observe("h", -4.0);
+        shard.observe("h", 9.0);
+        shard.observe("g", 0.5);
+        shard.record_event(Event::AutoRange {
+            signal: "x".into(),
+            lo: -1.0,
+            hi: 1.0,
+            iteration: 2,
+        });
+        let sid = shard.span_begin("shard.sim");
+        shard.span_end(sid, 100);
+
+        master.absorb(&shard);
+
+        assert_eq!(master.counter("sim.samples"), 42);
+        assert_eq!(master.counter("sim.overflows"), 2);
+        let h = master.histogram("h").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, -4.0);
+        assert_eq!(h.max, 9.0);
+        assert_eq!(master.histogram("g").unwrap().count, 1);
+        let events = master.events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], Event::PhaseConverged { .. }));
+        assert!(matches!(events[1], Event::AutoRange { .. }));
+        let spans = master.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "master.iter");
+        assert_eq!(spans[1].name, "shard.sim");
+        // Absorbed span sequence continues the master's numbering.
+        assert_eq!(spans[1].seq, 1);
+        assert_eq!(spans[1].cycles, 100);
+        // The shard is untouched.
+        assert_eq!(shard.counter("sim.samples"), 32);
+        assert_eq!(shard.spans()[0].seq, 0);
+    }
+
+    #[test]
+    fn absorb_is_deterministic_over_fold_order_and_self_safe() {
+        let mk = |n: u64| {
+            let r = DefaultRecorder::new();
+            r.inc("c", n);
+            r.observe("h", n as f64);
+            r
+        };
+        let a = DefaultRecorder::new();
+        for r in [mk(1), mk(2), mk(3)] {
+            a.absorb(&r);
+        }
+        let b = DefaultRecorder::new();
+        for r in [mk(1), mk(2), mk(3)] {
+            b.absorb(&r);
+        }
+        assert_eq!(a.counter("c"), b.counter("c"));
+        assert_eq!(a.histogram("h"), b.histogram("h"));
+
+        // Self-absorb is a no-op, not a deadlock or a double-count.
+        a.absorb(&a);
+        assert_eq!(a.counter("c"), 6);
+        assert_eq!(a.histogram("h").unwrap().count, 3);
     }
 
     #[test]

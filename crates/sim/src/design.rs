@@ -17,7 +17,9 @@ use std::fmt;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use fixref_fixed::{quantize, DType, ErrorStats, Interval, OverflowMode, RangeStats, Rng64};
+use fixref_fixed::{
+    quantize, DType, ErrorStats, FixError, Interval, OverflowMode, RangeStats, Rng64,
+};
 use fixref_obs::{Event, Recorder};
 
 use crate::graph::Graph;
@@ -155,6 +157,67 @@ fn dyadic_lsb(v: f64) -> Option<i32> {
         Some(l)
     }
 }
+
+/// Plain-data snapshot of one signal's monitoring state — everything the
+/// refinement analyses consume. Unlike [`Design`] (which is deliberately
+/// not `Send`), a `SignalStats` is `Send + Sync`, so shard threads can
+/// hand their results back to the master for merging.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalStats {
+    /// Signal name — the merge key across shard designs.
+    pub name: String,
+    /// Statistic range monitor (fixed path).
+    pub stat: RangeStats,
+    /// Quasi-analytical propagated range.
+    pub prop: Interval,
+    /// Consumed (pre-assignment) float−fix error statistics.
+    pub consumed: ErrorStats,
+    /// Produced (post-assignment) float−fix error statistics.
+    pub produced: ErrorStats,
+    /// Number of quantization overflows observed.
+    pub overflows: u64,
+    /// Read count.
+    pub reads: u64,
+    /// Write count.
+    pub writes: u64,
+    /// Finest dyadic LSB any assigned value used, when all were dyadic.
+    pub granularity: Option<i32>,
+    /// Whether a value fell below the dyadic tracking window.
+    pub non_dyadic: bool,
+}
+
+/// Plain-data snapshot of one signal's refinement annotations (type,
+/// range pin, error model). The sweep engine snapshots the master
+/// design's annotations each iteration and re-applies them by name to
+/// every freshly built shard design, so all shards simulate the same
+/// intermediate refinement state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalAnnotation {
+    /// Signal name — the application key.
+    pub name: String,
+    /// Fixed-point type, if decided.
+    pub dtype: Option<DType>,
+    /// Explicit range annotation, if pinned.
+    pub range: Option<Interval>,
+    /// Explicit produced-error sigma, if modeled.
+    pub error_sigma: Option<f64>,
+}
+
+/// A name in a shard snapshot did not resolve in the receiving design —
+/// the two designs were not built from the same description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownSignalError {
+    /// The unresolved signal name.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownSignalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown signal {:?} in this design", self.name)
+    }
+}
+
+impl std::error::Error for UnknownSignalError {}
 
 /// A typed signal's propagated range starts from its type's representable
 /// range ("when declaring signals with type information their range is
@@ -483,6 +546,20 @@ impl Design {
         self.inner.borrow_mut().signals[id.0 as usize].range_override = Some(Interval::new(lo, hi));
     }
 
+    /// Fallible form of [`Design::set_range`] for bounds that come from
+    /// user input or search heuristics rather than trusted code: rejects
+    /// NaN and inverted bounds with [`FixError::InvalidRange`] instead of
+    /// panicking. The annotation is untouched on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a signal of this design.
+    pub fn try_set_range(&self, id: SignalId, lo: f64, hi: f64) -> Result<(), FixError> {
+        let itv = Interval::try_new(lo, hi)?;
+        self.inner.borrow_mut().signals[id.0 as usize].range_override = Some(itv);
+        Ok(())
+    }
+
     /// Removes the explicit range annotation.
     ///
     /// # Panics
@@ -514,6 +591,21 @@ impl Design {
     pub fn set_error_sigma(&self, id: SignalId, sigma: f64) {
         assert!(sigma >= 0.0 && sigma.is_finite(), "invalid sigma {sigma}");
         self.inner.borrow_mut().signals[id.0 as usize].error_override = Some(sigma);
+    }
+
+    /// Fallible form of [`Design::set_error_sigma`]: rejects negative or
+    /// non-finite sigmas with [`FixError::InvalidSigma`] instead of
+    /// panicking. The annotation is untouched on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a signal of this design.
+    pub fn try_set_error_sigma(&self, id: SignalId, sigma: f64) -> Result<(), FixError> {
+        if !(sigma >= 0.0 && sigma.is_finite()) {
+            return Err(FixError::InvalidSigma { sigma });
+        }
+        self.inner.borrow_mut().signals[id.0 as usize].error_override = Some(sigma);
+        Ok(())
     }
 
     /// Removes the explicit produced-error annotation.
@@ -571,6 +663,145 @@ impl Design {
         }
         inner.cycle = 0;
         inner.rng = Rng64::seed_from_u64(inner.seed);
+    }
+
+    /// Exports every signal's monitoring state as plain `Send` data, in
+    /// declaration order — the shard side of the scenario-sweep merge.
+    pub fn export_stats(&self) -> Vec<SignalStats> {
+        let inner = self.inner.borrow();
+        inner
+            .signals
+            .iter()
+            .map(|st| SignalStats {
+                name: st.name.clone(),
+                stat: st.stat,
+                prop: st.prop,
+                consumed: st.consumed,
+                produced: st.produced,
+                overflows: st.overflows,
+                reads: st.reads,
+                writes: st.writes,
+                granularity: st.granularity,
+                non_dyadic: st.non_dyadic,
+            })
+            .collect()
+    }
+
+    /// Folds a shard's exported statistics into this design's monitors,
+    /// matching signals by name: range/error statistics merge (Welford
+    /// combination), propagated ranges union, counters add, and the
+    /// dyadic-granularity tracker keeps the finest LSB (with `non_dyadic`
+    /// sticky). Folding shard exports in scenario order over a freshly
+    /// [`Design::reset_stats`] master yields exactly the monitors one
+    /// sequential simulation of the concatenated scenarios would produce.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownSignalError`] if a snapshot name does not exist here; the
+    /// design is left unchanged in that case.
+    pub fn absorb_stats(&self, stats: &[SignalStats]) -> Result<(), UnknownSignalError> {
+        let mut inner = self.inner.borrow_mut();
+        let ids: Vec<usize> = stats
+            .iter()
+            .map(|s| {
+                inner
+                    .names
+                    .get(&s.name)
+                    .map(|id| id.0 as usize)
+                    .ok_or_else(|| UnknownSignalError {
+                        name: s.name.clone(),
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        for (s, idx) in stats.iter().zip(ids) {
+            let st = &mut inner.signals[idx];
+            st.stat.merge(&s.stat);
+            st.consumed.merge(&s.consumed);
+            st.produced.merge(&s.produced);
+            st.prop = st.prop.union(&s.prop);
+            st.overflows += s.overflows;
+            st.reads += s.reads;
+            st.writes += s.writes;
+            if s.non_dyadic {
+                st.non_dyadic = true;
+            }
+            if st.non_dyadic {
+                st.granularity = None;
+            } else if let Some(l) = s.granularity {
+                st.granularity = Some(st.granularity.map_or(l, |g| g.min(l)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends a shard's drained overflow events to this design's queue
+    /// (subject to the retention cap). Ids are preserved, which is sound
+    /// when both designs were built from the same description.
+    pub fn absorb_overflow_events(&self, events: Vec<OverflowEvent>) {
+        let mut inner = self.inner.borrow_mut();
+        let room = inner
+            .overflow_event_cap
+            .saturating_sub(inner.overflow_events.len());
+        inner.overflow_events.extend(events.into_iter().take(room));
+    }
+
+    /// Snapshots every signal's refinement annotations (type, range pin,
+    /// error sigma) as plain `Send` data, in declaration order.
+    pub fn annotations(&self) -> Vec<SignalAnnotation> {
+        let inner = self.inner.borrow();
+        inner
+            .signals
+            .iter()
+            .map(|st| SignalAnnotation {
+                name: st.name.clone(),
+                dtype: st.dtype.clone(),
+                range: st.range_override,
+                error_sigma: st.error_override,
+            })
+            .collect()
+    }
+
+    /// Applies an annotation snapshot by name. Only `Some` fields are
+    /// applied — the refinement flow never *clears* an annotation, so a
+    /// freshly built shard design plus the master's `Some` annotations
+    /// reproduces the master's pre-simulation state exactly. Returns the
+    /// number of annotations applied.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownSignalError`] on the first unresolved name; annotations
+    /// before it have already been applied.
+    pub fn apply_annotations(
+        &self,
+        annotations: &[SignalAnnotation],
+    ) -> Result<usize, UnknownSignalError> {
+        let mut applied = 0;
+        for a in annotations {
+            let id = self.find(&a.name).ok_or_else(|| UnknownSignalError {
+                name: a.name.clone(),
+            })?;
+            if let Some(dt) = &a.dtype {
+                self.set_dtype(id, Some(dt.clone()));
+                applied += 1;
+            }
+            if let Some(r) = a.range {
+                self.inner.borrow_mut().signals[id.0 as usize].range_override = Some(r);
+                applied += 1;
+            }
+            if let Some(sigma) = a.error_sigma {
+                // Exported from a design that already validated it.
+                self.inner.borrow_mut().signals[id.0 as usize].error_override = Some(sigma);
+                applied += 1;
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Replaces the recorded signal-flow graph — how the sweep engine
+    /// installs the graph recorded by shard 0 on the master design, since
+    /// the master never simulates itself in swept mode.
+    pub fn install_graph(&self, graph: Graph) {
+        self.inner.borrow_mut().graph = graph;
     }
 
     /// The monitoring report of one signal.
@@ -1008,6 +1239,188 @@ impl std::ops::Index<usize> for RegArray {
     /// Indexes the element handles (`&arr[i]` ≡ `arr.at(i)`).
     fn index(&self, i: usize) -> &Reg {
         self.at(i)
+    }
+}
+
+#[cfg(test)]
+mod sweep_snapshot_tests {
+    use super::*;
+    use fixref_fixed::{RoundingMode, Signedness};
+
+    fn t(n: i32, f: i32) -> DType {
+        DType::new(
+            "t",
+            n,
+            f,
+            Signedness::TwosComplement,
+            OverflowMode::Saturate,
+            RoundingMode::Round,
+        )
+        .unwrap()
+    }
+
+    fn drive(d: &Design, values: &[f64]) {
+        let id = d.find("x").unwrap();
+        let x = d.sig_handle(id);
+        for &v in values {
+            x.set(v);
+            let _ = x.get();
+        }
+    }
+
+    #[test]
+    fn absorbing_shard_stats_equals_streaming_the_concatenation() {
+        let a = [0.25, -0.5, 0.75, 0.125];
+        let b = [1.5, -1.25, 0.0625];
+
+        // Reference: one design sees both stimuli back to back.
+        let whole = Design::new();
+        whole.sig_typed("x", t(8, 4));
+        drive(&whole, &a);
+        drive(&whole, &b);
+        let want = whole.report_by_id(whole.find("x").unwrap());
+
+        // Sweep: master sees `a`, a shard sees `b`, master absorbs.
+        let master = Design::new();
+        master.sig_typed("x", t(8, 4));
+        drive(&master, &a);
+        let shard = Design::new();
+        shard.sig_typed("x", t(8, 4));
+        drive(&shard, &b);
+        master.absorb_stats(&shard.export_stats()).unwrap();
+        let got = master.report_by_id(master.find("x").unwrap());
+
+        assert_eq!(got.stat, want.stat);
+        assert_eq!(got.prop, want.prop);
+        assert_eq!(got.consumed, want.consumed);
+        assert_eq!(got.produced, want.produced);
+        assert_eq!(got.reads, want.reads);
+        assert_eq!(got.writes, want.writes);
+        assert_eq!(got.finest_lsb, want.finest_lsb);
+    }
+
+    #[test]
+    fn absorb_rejects_unknown_signals_without_side_effects() {
+        let master = Design::new();
+        master.sig("x");
+        let other = Design::new();
+        other.sig("x");
+        other.sig("intruder");
+        let stranger = other.sig_handle(other.find("intruder").unwrap());
+        stranger.set(9.0);
+        let x = other.sig_handle(other.find("x").unwrap());
+        x.set(1.0);
+
+        let err = master.absorb_stats(&other.export_stats()).unwrap_err();
+        assert_eq!(err.name, "intruder");
+        // Nothing was merged, not even the signals that did resolve.
+        let rep = master.report_by_id(master.find("x").unwrap());
+        assert_eq!(rep.stat.count(), 0);
+    }
+
+    #[test]
+    fn annotations_round_trip_onto_a_fresh_design() {
+        let build = || {
+            let d = Design::new();
+            d.sig("a");
+            d.reg("b");
+            d
+        };
+        let master = build();
+        let a = master.find("a").unwrap();
+        let b = master.find("b").unwrap();
+        master.set_dtype(a, Some(t(6, 3)));
+        master.set_range(a, -2.0, 2.0);
+        master.set_error_sigma(b, 0.01);
+
+        let fresh = build();
+        let applied = fresh.apply_annotations(&master.annotations()).unwrap();
+        assert_eq!(applied, 3);
+        assert_eq!(fresh.annotations(), master.annotations());
+        // dtype application re-seeded the propagated range like the
+        // master's own reset would.
+        assert_eq!(
+            fresh.report_by_id(fresh.find("a").unwrap()).prop,
+            Interval::from_dtype(&t(6, 3))
+        );
+
+        let orphan = Design::new();
+        orphan.sig("a"); // no "b"
+        assert_eq!(
+            orphan.apply_annotations(&master.annotations()).unwrap_err(),
+            UnknownSignalError { name: "b".into() }
+        );
+    }
+
+    #[test]
+    fn try_setters_reject_bad_input_instead_of_panicking() {
+        let d = Design::new();
+        let x = d.sig("x");
+        let id = x.id();
+        assert!(matches!(
+            d.try_set_range(id, 1.0, -1.0),
+            Err(FixError::InvalidRange { .. })
+        ));
+        assert!(matches!(
+            d.try_set_range(id, f64::NAN, 1.0),
+            Err(FixError::InvalidRange { .. })
+        ));
+        assert_eq!(d.range_of(id), None);
+        d.try_set_range(id, -1.0, 1.0).unwrap();
+        assert_eq!(d.range_of(id), Some(Interval::new(-1.0, 1.0)));
+
+        assert!(matches!(
+            d.try_set_error_sigma(id, -0.5),
+            Err(FixError::InvalidSigma { .. })
+        ));
+        assert!(matches!(
+            d.try_set_error_sigma(id, f64::INFINITY),
+            Err(FixError::InvalidSigma { .. })
+        ));
+        assert_eq!(d.error_of(id), None);
+        d.try_set_error_sigma(id, 0.25).unwrap();
+        assert_eq!(d.error_of(id), Some(0.25));
+    }
+
+    #[test]
+    fn overflow_events_absorb_in_order_up_to_the_cap() {
+        let et = DType::new(
+            "e",
+            4,
+            2,
+            Signedness::TwosComplement,
+            OverflowMode::Error,
+            RoundingMode::Round,
+        )
+        .unwrap();
+        let master = Design::new();
+        master.sig_typed("x", et.clone());
+        let shard = Design::new();
+        let x = shard.sig_typed("x", et);
+        x.set(100.0); // overflows a <4,2,tc> type
+        let events = shard.take_overflow_events();
+        assert_eq!(events.len(), 1);
+        master.absorb_overflow_events(events);
+        let merged = master.take_overflow_events();
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].name, "x");
+    }
+
+    #[test]
+    fn install_graph_replaces_the_recorded_graph() {
+        let src = Design::new();
+        let a = src.sig("a");
+        src.record_graph(true);
+        a.set(a.get() + 1.0);
+        src.record_graph(false);
+        let g = src.graph();
+        assert!(!g.is_empty());
+
+        let dst = Design::new();
+        dst.sig("a");
+        assert_eq!(dst.graph().len(), 0);
+        dst.install_graph(g.clone());
+        assert_eq!(dst.graph().len(), g.len());
     }
 }
 

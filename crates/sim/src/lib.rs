@@ -70,15 +70,20 @@
 pub mod analyze;
 pub mod design;
 pub mod graph;
+pub mod pool;
 pub mod report;
+pub mod scenario;
 pub mod trace;
 pub mod value;
 
 pub use analyze::{analyze_ranges, RangeAnalysis};
 pub use design::{
-    Design, OverflowEvent, Reg, RegArray, Sig, SigArray, SignalId, SignalKind, SignalRef,
+    Design, OverflowEvent, Reg, RegArray, Sig, SigArray, SignalAnnotation, SignalId, SignalKind,
+    SignalRef, SignalStats, UnknownSignalError,
 };
 pub use graph::{Graph, NodeId, Op};
+pub use pool::{run_shards, shard_count_from_env};
 pub use report::SignalReport;
+pub use scenario::{Scenario, ScenarioSet};
 pub use trace::Trace;
 pub use value::Value;

@@ -20,7 +20,7 @@ use std::fmt;
 use std::ops::{Add, Div, Mul, Neg, Sub};
 use std::rc::Rc;
 
-use fixref_fixed::{quantize, DType, Interval};
+use fixref_fixed::{quantize, DType, FixError, Interval, OverflowError, OverflowMode};
 
 use crate::design::SignalId;
 
@@ -217,6 +217,26 @@ impl Value {
             itv,
             expr: Expr::node(ExprOp::Cast, vec![(self.expr, fix_in)], Some(dtype.clone())),
         }
+    }
+
+    /// Fallible form of [`Value::cast`] for types in
+    /// [`OverflowMode::Error`]: instead of silently clamping and letting
+    /// the monitoring layer count the overflow, it returns
+    /// [`FixError::Overflow`] so the caller can reject bad user input at
+    /// the expression level. Types in wrap or saturate mode never fail.
+    pub fn try_cast(self, dtype: &DType) -> Result<Value, FixError> {
+        if dtype.overflow() == OverflowMode::Error {
+            let q = quantize(self.fix, dtype);
+            if q.overflowed {
+                return Err(FixError::Overflow(OverflowError {
+                    value: self.fix,
+                    min: dtype.min_value(),
+                    max: dtype.max_value(),
+                    dtype: dtype.name().to_string(),
+                }));
+            }
+        }
+        Ok(self.cast(dtype))
     }
 
     /// Absolute value on both paths.
@@ -495,6 +515,47 @@ mod tests {
         let c = a.cast(&t);
         assert_eq!(c.flt(), 0.7);
         assert_eq!(c.fix(), 22.0 / 32.0);
+    }
+
+    #[test]
+    fn try_cast_rejects_overflow_in_error_mode() {
+        let t = DType::new(
+            "t_err",
+            4,
+            2,
+            Signedness::TwosComplement,
+            OverflowMode::Error,
+            RoundingMode::Round,
+        )
+        .unwrap();
+        // In range: behaves exactly like cast.
+        let ok = v(0.5, 0.5).try_cast(&t).unwrap();
+        assert_eq!(ok.fix(), 0.5);
+        // Out of range: a FixError instead of a silent clamp.
+        let err = v(100.0, 100.0).try_cast(&t).unwrap_err();
+        match err {
+            fixref_fixed::FixError::Overflow(o) => {
+                assert_eq!(o.value, 100.0);
+                assert_eq!(o.dtype, "t_err");
+            }
+            other => panic!("expected overflow, got {other}"),
+        }
+        // Saturate mode never fails, even far out of range.
+        let sat = t.with_overflow(OverflowMode::Saturate);
+        assert!(v(100.0, 100.0).try_cast(&sat).is_ok());
+    }
+
+    #[test]
+    fn exploded_interval_arithmetic_does_not_poison_values() {
+        // Regression: subtracting two range-exploded values produces the
+        // indeterminate ∞−∞ on both interval bounds; that used to panic
+        // deep in Interval::new. It must instead stay conservatively
+        // unbounded so range explosion is reported, not crashed on.
+        let a = Value::with_paths(1.0, 1.0, Interval::UNBOUNDED);
+        let b = Value::with_paths(2.0, 2.0, Interval::UNBOUNDED);
+        let d = a - b;
+        assert_eq!(d.interval(), Interval::UNBOUNDED);
+        assert!(d.interval().abs().hi.is_infinite());
     }
 
     #[test]

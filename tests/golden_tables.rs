@@ -1,0 +1,63 @@
+//! Golden-file tests locking the exact stdout of the Table 1/2 printers.
+//!
+//! The binaries, the swept runs and these tests all render through
+//! [`fixref_bench::table1_text`] / [`fixref_bench::table2_text`], so a
+//! formatting or numeric drift anywhere in the pipeline shows up as a
+//! diff against `tests/golden/*.txt`.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! cargo run -q -p fixref-bench --bin table1 > tests/golden/table1.txt
+//! cargo run -q -p fixref-bench --bin table2 > tests/golden/table2.txt
+//! ```
+
+use fixref_bench::{
+    lms_paper_scenario, run_table1, run_table1_swept, run_table2, run_table2_swept, table1_text,
+    table2_text, LMS_SAMPLES,
+};
+
+/// Diffs `actual` against a golden file with a line-numbered report.
+fn assert_matches_golden(actual: &str, golden_path: &str) {
+    let path = format!("{}/tests/golden/{golden_path}", env!("CARGO_MANIFEST_DIR"));
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("golden file {path} unreadable: {e}"));
+    if actual == expected {
+        return;
+    }
+    for (i, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+        assert_eq!(a, e, "first divergence at {golden_path}:{}", i + 1);
+    }
+    assert_eq!(
+        actual.lines().count(),
+        expected.lines().count(),
+        "{golden_path}: same prefix but different line counts"
+    );
+    panic!("{golden_path}: outputs differ only in trailing whitespace");
+}
+
+#[test]
+fn table1_stdout_matches_golden_file() {
+    let (history, interventions) = run_table1(LMS_SAMPLES).expect("converges");
+    assert_matches_golden(&table1_text(&history, &interventions), "table1.txt");
+}
+
+#[test]
+fn table2_stdout_matches_golden_file() {
+    let history = run_table2(LMS_SAMPLES).expect("converges");
+    assert_matches_golden(&table2_text(&history), "table2.txt");
+}
+
+#[test]
+fn swept_table1_renders_the_same_golden_text() {
+    let (history, interventions, _report) =
+        run_table1_swept(&lms_paper_scenario(LMS_SAMPLES), 4).expect("converges");
+    assert_matches_golden(&table1_text(&history, &interventions), "table1.txt");
+}
+
+#[test]
+fn swept_table2_renders_the_same_golden_text() {
+    let (history, _report) =
+        run_table2_swept(&lms_paper_scenario(LMS_SAMPLES), 4).expect("converges");
+    assert_matches_golden(&table2_text(&history), "table2.txt");
+}
