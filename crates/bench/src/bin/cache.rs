@@ -1,0 +1,73 @@
+//! Evaluation-cache benchmark: times one cold LMS simulation against a
+//! warm monitor replay, and the full refinement flow with the cache off
+//! and on, then writes the result to `BENCH_cache.json`.
+//!
+//! ```text
+//! cargo run --release -p fixref-bench --bin cache -- [--samples N] [--json]
+//! ```
+//!
+//! Defaults: `LMS_SAMPLES` samples. `--json` prints the JSON document to
+//! stdout instead of the human summary (the file is written either way).
+
+use fixref_bench::{run_cache_bench, LMS_SAMPLES};
+
+fn parse_flag(args: &[String], name: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let samples = parse_flag(&args, "--samples", LMS_SAMPLES);
+
+    let result = run_cache_bench(samples).expect("refinement converges on the equalizer");
+
+    let rendered = result.render_json();
+    if let Err(e) = std::fs::write("BENCH_cache.json", rendered.as_bytes()) {
+        eprintln!("warning: could not write BENCH_cache.json: {e}");
+    }
+
+    if json {
+        println!("{rendered}");
+    } else {
+        println!("Evaluation cache — LMS equalizer, {samples} samples");
+        println!("===================================================");
+        println!(
+            "driver: cold {:.2} ms   warm replay {:.3} ms   speedup {:.1}x   ({} cycles)",
+            result.cold_ns as f64 / 1e6,
+            result.warm_ns as f64 / 1e6,
+            result.warm_speedup,
+            result.cycles
+        );
+        println!(
+            "driver cache: {} hit(s), {} miss(es)",
+            result.driver_hits, result.driver_misses
+        );
+        println!(
+            "flow: uncached {:.1} ms   cached {:.1} ms   speedup {:.2}x",
+            result.flow_uncached_ns as f64 / 1e6,
+            result.flow_cached_ns as f64 / 1e6,
+            result.flow_speedup
+        );
+        println!(
+            "flow cache: {} hit(s), {} miss(es)   outcomes match: {}",
+            result.flow_hits, result.flow_misses, result.outcomes_match
+        );
+    }
+
+    if !result.outcomes_match {
+        eprintln!("error: cached and uncached refinements disagree");
+        std::process::exit(1);
+    }
+    if result.warm_speedup < 1.5 {
+        eprintln!(
+            "error: warm replay speedup {:.2}x below the 1.5x floor",
+            result.warm_speedup
+        );
+        std::process::exit(1);
+    }
+}

@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cachebench;
 pub mod microbench;
 pub mod sweep;
 
@@ -36,6 +37,7 @@ use fixref_fixed::{DType, Interval, SqnrMeter};
 use fixref_obs::MetricsReport;
 use fixref_sim::{Design, SignalRef};
 
+pub use cachebench::{run_cache_bench, CacheBenchResult};
 pub use sweep::{
     lms_paper_scenario, lms_scenario_stimulus, lms_seed_grid, lms_shard_builder, run_sweep_bench,
     run_table1_swept, run_table2_swept, timing_shard_builder, ShardRow, SweepBenchResult,

@@ -149,25 +149,14 @@ fn generate_vhdl_impl(
     let mut registers: Vec<(SignalId, String, Fmt)> = Vec::new();
     for i in 0..design.num_signals() as u32 {
         let id = SignalId::from_raw(i);
-        let entry = match classes[&id] {
+        let bucket = match classes[&id] {
             Class::Skip => continue,
-            ref c => {
-                let (name, fmt, _) = gen.signal_fmt(id)?;
-                match c {
-                    Class::Input => {
-                        inputs.push((id, name, fmt));
-                        continue;
-                    }
-                    Class::Wire => (id, name, fmt),
-                    Class::Register => {
-                        registers.push((id, name, fmt));
-                        continue;
-                    }
-                    Class::Skip => unreachable!(),
-                }
-            }
+            Class::Input => &mut inputs,
+            Class::Wire => &mut wires,
+            Class::Register => &mut registers,
         };
-        wires.push(entry);
+        let (name, fmt, _) = gen.signal_fmt(id)?;
+        bucket.push((id, name, fmt));
     }
 
     let has_registers = !registers.is_empty();

@@ -1,0 +1,312 @@
+//! Incremental evaluation cache for refinement iterations.
+//!
+//! Every refinement iteration of [`RefinementFlow`](crate::RefinementFlow)
+//! re-simulates the whole design, yet most iterations change only a
+//! handful of annotations (one `range()` pin, one `error()` injection).
+//! The cache exploits that: the [`Design`] tracks which signals' behavior
+//! an annotation change may have altered (its *dirty set*), and before
+//! each simulation the driver builds a [`CachePlan`]:
+//!
+//! * **Replay** — nothing is dirty: the previous run would repeat
+//!   bit-identically (all stimuli are functions of the iteration-stable
+//!   scenario, and the error-injection RNG restarts from the design seed
+//!   on every `reset_state`), so the cached monitors are spliced back and
+//!   the stimulus is skipped entirely. This is always sound.
+//! * **Partial** — some signals are dirty and the design has declared a
+//!   *static schedule* ([`Design::declare_static_schedule`]): the dirty
+//!   fan-out cone is computed from the recorded signal-flow graph
+//!   ([`Graph::affected_cone`](fixref_sim::Graph::affected_cone)); cone
+//!   signals simulate live while the clean remainder runs *passive*
+//!   (values, quantization and RNG draws still execute — so live signals
+//!   see bit-identical inputs — but the clean signals' own monitors are
+//!   skipped and their cached statistics spliced back afterwards).
+//! * **Cold** — no usable cache: a graph recording was requested, the
+//!   cache is empty, the design has no recorded graph, or dirty signals
+//!   exist without a static-schedule declaration (data-dependent control
+//!   flow makes dataflow cones unsound — the timing-recovery loop's
+//!   strobe is the canonical example).
+//!
+//! Invalidation granularity: `range()`/`dtype` changes dirty one signal;
+//! `error()` sigma changes dirty *all* signals, because error injection
+//! consumes a design-wide shared RNG stream — inserting draws shifts
+//! every subsequent draw.
+
+use std::collections::HashSet;
+
+use fixref_obs::{Event, Recorder};
+use fixref_sim::{Design, OverflowEvent, SignalId, SignalStats};
+
+/// How the next simulation may reuse cached monitors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CachePlan {
+    /// Run everything live.
+    Cold,
+    /// Nothing is dirty: splice every cached monitor and skip the
+    /// stimulus.
+    Replay,
+    /// Re-simulate with the listed clean signals passive and splice
+    /// their cached monitors afterwards.
+    Partial {
+        /// Signals outside the dirty fan-out cone.
+        clean: Vec<SignalId>,
+    },
+}
+
+/// Decides how a simulation over `design` may reuse a warm cache, and
+/// drains the design's dirty set (the decision consumes it).
+///
+/// Emits [`Event::CacheInvalidated`] when annotation changes dirtied a
+/// warm cache.
+pub(crate) fn plan_for(
+    design: &Design,
+    record_graph: bool,
+    warm: bool,
+    recorder: &dyn Recorder,
+) -> CachePlan {
+    let dirty = design.take_dirty();
+    if warm && !dirty.is_empty() {
+        recorder.record_event(Event::CacheInvalidated {
+            reason: "annotations".into(),
+            dirty: dirty.len(),
+        });
+    }
+    if record_graph || !warm {
+        return CachePlan::Cold;
+    }
+    if dirty.is_empty() {
+        return CachePlan::Replay;
+    }
+    let graph = design.graph();
+    if graph.is_empty() || !design.has_static_schedule() {
+        return CachePlan::Cold;
+    }
+    let cone: HashSet<SignalId> = graph.affected_cone(&dirty).into_iter().collect();
+    let clean: Vec<SignalId> = (0..design.num_signals() as u32)
+        .map(SignalId::from_raw)
+        .filter(|s| !cone.contains(s))
+        .collect();
+    if clean.is_empty() {
+        CachePlan::Cold
+    } else {
+        CachePlan::Partial { clean }
+    }
+}
+
+/// The sequential driver's monitor cache: the previous run's exported
+/// statistics, overflow events and cycle count, plus hit/miss accounting
+/// (one hit per signal spliced from cache, one miss per signal simulated
+/// live).
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    stats: Option<Vec<SignalStats>>,
+    overflow_events: Vec<OverflowEvent>,
+    cycles: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl EvalCache {
+    /// Creates an empty (cold) cache.
+    pub fn new() -> Self {
+        EvalCache::default()
+    }
+
+    /// Whether the cache holds a previous run's monitors.
+    pub fn is_warm(&self) -> bool {
+        self.stats.is_some()
+    }
+
+    /// Signals answered from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Signals simulated live so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Decides how the next simulation may reuse this cache; drains the
+    /// design's dirty set.
+    pub fn plan(&self, design: &Design, record_graph: bool, recorder: &dyn Recorder) -> CachePlan {
+        plan_for(design, record_graph, self.is_warm(), recorder)
+    }
+
+    /// Snapshots the design's monitors after a live run.
+    pub fn store(&mut self, design: &Design) {
+        self.stats = Some(design.export_stats());
+        self.overflow_events = design.peek_overflow_events();
+        self.cycles = design.cycle();
+    }
+
+    /// Splices every cached monitor into the (freshly reset) design and
+    /// returns the cached cycle count — the Replay path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is cold or was stored from a different design.
+    pub fn replay(&self, design: &Design) -> u64 {
+        let stats = self.stats.as_ref().expect("replay requires a warm cache");
+        design
+            .splice_stats(stats)
+            .expect("cached stats were exported from this design");
+        design.splice_overflow_events(self.overflow_events.clone());
+        self.cycles
+    }
+
+    /// Splices the cached monitors of the `clean` signals into the design
+    /// after a partial (passive) run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is cold or was stored from a different design.
+    pub fn splice_clean(&self, design: &Design, clean: &[SignalId]) {
+        let names: HashSet<String> = clean.iter().map(|s| design.name_of(*s)).collect();
+        let stats: Vec<SignalStats> = self
+            .stats
+            .as_ref()
+            .expect("partial splice requires a warm cache")
+            .iter()
+            .filter(|s| names.contains(&s.name))
+            .cloned()
+            .collect();
+        design
+            .splice_stats(&stats)
+            .expect("cached stats were exported from this design");
+        let events: Vec<OverflowEvent> = self
+            .overflow_events
+            .iter()
+            .filter(|e| names.contains(&e.name))
+            .cloned()
+            .collect();
+        design.splice_overflow_events(events);
+    }
+
+    /// Accounts `spliced` cache hits and `live` misses, mirroring them
+    /// onto the recorder's `cache.hits` / `cache.misses` counters.
+    pub fn note(&mut self, recorder: &dyn Recorder, spliced: u64, live: u64) {
+        self.hits += spliced;
+        self.misses += live;
+        if spliced > 0 {
+            recorder.inc("cache.hits", spliced);
+        }
+        if live > 0 {
+            recorder.inc("cache.misses", live);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixref_obs::DefaultRecorder;
+
+    fn tiny_design() -> Design {
+        let d = Design::with_seed(7);
+        d.sig("x");
+        d.sig("y");
+        d.declare_static_schedule();
+        d
+    }
+
+    fn drive(d: &Design) {
+        let x = d.sig_handle(d.find("x").unwrap());
+        let y = d.sig_handle(d.find("y").unwrap());
+        d.clear_graph();
+        d.record_graph(true);
+        for i in 0..32 {
+            x.set((i as f64 * 0.3).sin());
+            y.set(x.get() * 0.5);
+            d.tick();
+        }
+        d.record_graph(false);
+    }
+
+    #[test]
+    fn cold_cache_plans_cold_then_replays_when_nothing_is_dirty() {
+        let d = tiny_design();
+        let rec = DefaultRecorder::new();
+        let mut cache = EvalCache::new();
+        assert_eq!(cache.plan(&d, false, &rec), CachePlan::Cold);
+        drive(&d);
+        cache.store(&d);
+        // Nothing changed since (plan drained the declaration dirt).
+        assert_eq!(cache.plan(&d, false, &rec), CachePlan::Replay);
+        // A graph-recording request always forces a live run.
+        assert_eq!(cache.plan(&d, true, &rec), CachePlan::Cold);
+    }
+
+    #[test]
+    fn annotation_dirt_plans_partial_under_a_static_schedule() {
+        let d = tiny_design();
+        let rec = DefaultRecorder::new();
+        let mut cache = EvalCache::new();
+        let _ = cache.plan(&d, false, &rec); // drain declaration dirt
+        drive(&d);
+        cache.store(&d);
+
+        let y = d.find("y").unwrap();
+        d.set_range(y, -1.0, 1.0);
+        match cache.plan(&d, false, &rec) {
+            CachePlan::Partial { clean } => {
+                // x is outside y's fan-out cone.
+                assert_eq!(clean, vec![d.find("x").unwrap()]);
+            }
+            other => panic!("expected Partial, got {other:?}"),
+        }
+        // The invalidation was journaled.
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::CacheInvalidated { dirty: 1, .. })));
+    }
+
+    #[test]
+    fn without_a_static_schedule_dirt_forces_a_cold_run() {
+        let d = Design::with_seed(7);
+        d.sig("x");
+        d.sig("y"); // no declare_static_schedule()
+        let rec = DefaultRecorder::new();
+        let mut cache = EvalCache::new();
+        let _ = cache.plan(&d, false, &rec);
+        drive(&d);
+        cache.store(&d);
+        d.set_range(d.find("y").unwrap(), -1.0, 1.0);
+        assert_eq!(cache.plan(&d, false, &rec), CachePlan::Cold);
+    }
+
+    #[test]
+    fn dirtying_an_upstream_signal_leaves_no_clean_remainder() {
+        let d = tiny_design();
+        let rec = DefaultRecorder::new();
+        let mut cache = EvalCache::new();
+        let _ = cache.plan(&d, false, &rec);
+        drive(&d);
+        cache.store(&d);
+        // x feeds y: the cone covers everything, so Partial degenerates
+        // to Cold.
+        d.set_range(d.find("x").unwrap(), -1.0, 1.0);
+        assert_eq!(cache.plan(&d, false, &rec), CachePlan::Cold);
+    }
+
+    #[test]
+    fn replay_splices_monitors_bit_identically() {
+        let d = tiny_design();
+        let rec = DefaultRecorder::new();
+        let mut cache = EvalCache::new();
+        let _ = cache.plan(&d, false, &rec);
+        drive(&d);
+        cache.store(&d);
+        let reference = d.export_stats();
+        let cycles = d.cycle();
+
+        d.reset_stats();
+        d.reset_state();
+        assert_eq!(cache.replay(&d), cycles);
+        assert_eq!(d.export_stats(), reference);
+
+        cache.note(&rec, d.num_signals() as u64, 0);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(rec.counter("cache.hits"), 2);
+    }
+}

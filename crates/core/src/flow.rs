@@ -24,6 +24,7 @@ use fixref_fixed::{DType, Interval};
 use fixref_obs::{DefaultRecorder, Event, Phase, Recorder};
 use fixref_sim::{Design, SignalId};
 
+use crate::cache::{CachePlan, EvalCache};
 use crate::lsb::{analyze_lsb, LsbAnalysis, LsbStatus};
 use crate::msb::{analyze_msb, MsbAnalysis, MsbDecision};
 use crate::policy::RefinePolicy;
@@ -230,29 +231,92 @@ pub trait SimDriver {
 
 /// The built-in driver: one sequential simulation of the flow's design,
 /// exactly as the paper's engine runs it.
-struct SequentialDriver<F> {
+///
+/// With [`SequentialDriver::with_cache`] the driver keeps an
+/// [`EvalCache`] across simulations: iterations whose annotations did
+/// not change replay the cached monitors without running the stimulus,
+/// and — on designs with a declared static schedule — iterations with a
+/// small dirty set re-simulate only the dirty fan-out cone (see
+/// [`crate::cache`] for the soundness argument). The refinement outcome
+/// is bit-identical either way.
+pub struct SequentialDriver<F> {
     sim: F,
+    cache: Option<EvalCache>,
+}
+
+impl<F: FnMut(&Design, usize)> SequentialDriver<F> {
+    /// A plain driver: every simulation runs the stimulus in full.
+    pub fn new(sim: F) -> Self {
+        SequentialDriver { sim, cache: None }
+    }
+
+    /// A caching driver: clean iterations splice cached monitors instead
+    /// of re-simulating.
+    pub fn with_cache(sim: F) -> Self {
+        SequentialDriver {
+            sim,
+            cache: Some(EvalCache::new()),
+        }
+    }
+
+    /// The driver's cache, when caching is enabled.
+    pub fn cache(&self) -> Option<&EvalCache> {
+        self.cache.as_ref()
+    }
 }
 
 impl<F: FnMut(&Design, usize)> SimDriver for SequentialDriver<F> {
     fn simulate(
         &mut self,
         design: &Design,
-        _recorder: &Arc<DefaultRecorder>,
+        recorder: &Arc<DefaultRecorder>,
         iteration: usize,
         record_graph: bool,
     ) -> u64 {
+        let plan = match &self.cache {
+            None => CachePlan::Cold,
+            Some(cache) => cache.plan(design, record_graph, recorder.as_ref()),
+        };
+        let signals = design.num_signals() as u64;
         design.reset_stats();
         design.reset_state();
-        if record_graph {
-            design.clear_graph();
-            design.record_graph(true);
+        match plan {
+            CachePlan::Replay => {
+                let cache = self.cache.as_mut().expect("replay implies a cache");
+                let cycles = cache.replay(design);
+                cache.note(recorder.as_ref(), signals, 0);
+                cycles
+            }
+            CachePlan::Partial { clean } => {
+                design.set_passive(&clean);
+                (self.sim)(design, iteration);
+                design.clear_passive();
+                let cache = self.cache.as_mut().expect("partial implies a cache");
+                cache.splice_clean(design, &clean);
+                cache.note(
+                    recorder.as_ref(),
+                    clean.len() as u64,
+                    signals - clean.len() as u64,
+                );
+                cache.store(design);
+                design.cycle()
+            }
+            CachePlan::Cold => {
+                if record_graph {
+                    design.clear_graph();
+                    design.record_graph(true);
+                }
+                (self.sim)(design, iteration);
+                if record_graph {
+                    design.record_graph(false);
+                }
+                if let Some(cache) = &mut self.cache {
+                    cache.note(recorder.as_ref(), 0, signals);
+                    cache.store(design);
+                }
+                design.cycle()
+            }
         }
-        (self.sim)(design, iteration);
-        if record_graph {
-            design.record_graph(false);
-        }
-        design.cycle()
     }
 }
 
@@ -280,6 +344,9 @@ pub struct RefinementFlow {
     /// counters share it. The intervention lists the phase methods return
     /// are derived from this journal.
     recorder: Arc<DefaultRecorder>,
+    /// When set, the closure-based entry points (`run`, `run_msb`, …)
+    /// drive their simulations through a caching [`SequentialDriver`].
+    cache_enabled: bool,
 }
 
 impl RefinementFlow {
@@ -315,6 +382,27 @@ impl RefinementFlow {
             excluded: HashSet::new(),
             pinned_explosion: HashSet::new(),
             recorder,
+            cache_enabled: false,
+        }
+    }
+
+    /// Enables the incremental evaluation cache for the closure-based
+    /// entry points: iterations whose annotations did not change splice
+    /// the previous run's monitors instead of re-simulating. The decided
+    /// types, merged ranges and `type_applied` journal are bit-identical
+    /// with or without the cache; cache hit/miss counts land on the
+    /// recorder as `cache.hits` / `cache.misses`.
+    pub fn enable_cache(&mut self) {
+        self.cache_enabled = true;
+    }
+
+    /// Builds the sequential driver honoring
+    /// [`RefinementFlow::enable_cache`].
+    fn driver_for<F: FnMut(&Design, usize)>(&self, sim: F) -> SequentialDriver<F> {
+        if self.cache_enabled {
+            SequentialDriver::with_cache(sim)
+        } else {
+            SequentialDriver::new(sim)
         }
     }
 
@@ -438,7 +526,7 @@ impl RefinementFlow {
         &mut self,
         sim: impl FnMut(&Design, usize),
     ) -> Result<(Vec<Vec<MsbAnalysis>>, Vec<Intervention>), FlowError> {
-        self.run_msb_with(&mut SequentialDriver { sim })
+        self.run_msb_with(&mut self.driver_for(sim))
     }
 
     /// [`RefinementFlow::run_msb`] over an explicit [`SimDriver`] — the
@@ -617,7 +705,7 @@ impl RefinementFlow {
         &mut self,
         sim: impl FnMut(&Design, usize),
     ) -> Result<(Vec<Vec<LsbAnalysis>>, Vec<Intervention>), FlowError> {
-        self.run_lsb_with(&mut SequentialDriver { sim })
+        self.run_lsb_with(&mut self.driver_for(sim))
     }
 
     /// [`RefinementFlow::run_lsb`] over an explicit [`SimDriver`] — the
@@ -831,7 +919,7 @@ impl RefinementFlow {
     /// Runs one monitored simulation with all decided types applied and
     /// collects overflow and precision findings.
     pub fn verify(&mut self, sim: impl FnMut(&Design, usize)) -> VerifyOutcome {
-        self.verify_with(&mut SequentialDriver { sim })
+        self.verify_with(&mut self.driver_for(sim))
     }
 
     /// [`RefinementFlow::verify`] over an explicit [`SimDriver`] — the
@@ -884,7 +972,7 @@ impl RefinementFlow {
     ///
     /// Propagates [`FlowError::NotConverged`] from either phase.
     pub fn run(&mut self, sim: impl FnMut(&Design, usize)) -> Result<FlowOutcome, FlowError> {
-        self.run_with(&mut SequentialDriver { sim })
+        self.run_with(&mut self.driver_for(sim))
     }
 
     /// The full flow over an explicit [`SimDriver`].

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod cache;
 pub mod compare;
 pub mod flow;
 pub mod lsb;
@@ -66,7 +67,11 @@ pub mod precision;
 pub mod report;
 pub mod sweep;
 
-pub use flow::{FlowError, FlowOutcome, Intervention, RefinementFlow, SimDriver, VerifyOutcome};
+pub use cache::{CachePlan, EvalCache};
+pub use flow::{
+    FlowError, FlowOutcome, Intervention, RefinementFlow, SequentialDriver, SimDriver,
+    VerifyOutcome,
+};
 pub use lsb::{analyze_lsb, LsbAnalysis, LsbStatus};
 pub use msb::{analyze_msb, MsbAnalysis, MsbDecision};
 pub use policy::RefinePolicy;

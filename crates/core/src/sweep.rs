@@ -27,12 +27,16 @@
 //!    RNG streams and quantization behavior match what the sequential
 //!    flow would have produced after its own `reset_state`.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
 
 use fixref_obs::{DefaultRecorder, Event, Recorder};
-use fixref_sim::{run_shards, Design, Graph, OverflowEvent, Scenario, ScenarioSet, SignalStats};
+use fixref_sim::{
+    run_shards, Design, Graph, OverflowEvent, Scenario, ScenarioSet, SignalId, SignalStats,
+};
 
+use crate::cache::{plan_for, CachePlan};
 use crate::flow::SimDriver;
 
 /// The stimulus closure driving one shard, called as
@@ -76,6 +80,33 @@ struct ShardResult {
     wall_ns: u128,
 }
 
+/// One shard's monitors retained for cache replay. A Replay simulation
+/// re-runs the scenario-order merge over these instead of the worker
+/// pool; absorbing the retained shard recorders reproduces a fresh run's
+/// counters and journal bitwise.
+struct CachedShard {
+    stats: Vec<SignalStats>,
+    overflow_events: Vec<OverflowEvent>,
+    recorder: Arc<DefaultRecorder>,
+    cycles: u64,
+    wall_ns: u128,
+}
+
+/// The sweep's evaluation cache: per-shard monitor snapshots of the last
+/// live simulation, shared with worker threads during partial runs.
+#[derive(Default)]
+struct SweepCache {
+    shards: Arc<Vec<CachedShard>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SweepCache {
+    fn is_warm(&self) -> bool {
+        !self.shards.is_empty()
+    }
+}
+
 /// A [`SimDriver`](crate::flow::SimDriver) that runs every simulation as
 /// a parallel scenario sweep. See the module docs for the determinism
 /// contract; see [`RefinementFlow::run_swept`](crate::RefinementFlow::run_swept)
@@ -85,6 +116,7 @@ pub struct SweepDriver {
     workers: usize,
     builder: Box<ShardBuilder>,
     last_shards: Vec<ShardSummary>,
+    cache: Option<SweepCache>,
 }
 
 impl std::fmt::Debug for SweepDriver {
@@ -105,7 +137,67 @@ impl SweepDriver {
             workers: workers.max(1),
             builder,
             last_shards: Vec::new(),
+            cache: None,
         }
+    }
+
+    /// Enables the incremental evaluation cache: simulations whose
+    /// annotations did not change re-merge the retained per-shard
+    /// monitors in scenario order instead of re-running the worker pool,
+    /// and — under a declared static schedule — dirty-cone partial runs
+    /// passivate the clean signals on every shard. Merged statistics and
+    /// the decided types are bit-identical with or without the cache.
+    pub fn enable_cache(&mut self) {
+        if self.cache.is_none() {
+            self.cache = Some(SweepCache::default());
+        }
+    }
+
+    /// `(hits, misses)` of the evaluation cache, counted per signal and
+    /// simulation (zeros when caching is disabled).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache
+            .as_ref()
+            .map(|c| (c.hits, c.misses))
+            .unwrap_or((0, 0))
+    }
+
+    /// Replays the retained shard monitors through the scenario-order
+    /// merge without touching the worker pool.
+    fn replay_merge(&mut self, design: &Design, recorder: &Arc<DefaultRecorder>) -> u64 {
+        let shards = self
+            .cache
+            .as_ref()
+            .expect("replay implies a cache")
+            .shards
+            .clone();
+        self.last_shards.clear();
+        let mut total_cycles = 0u64;
+        for (scenario, cached) in self.scenarios.iter().zip(shards.iter()) {
+            recorder.record_event(Event::ShardStarted {
+                shard: scenario.index,
+                seed: scenario.seed,
+                snr_db: scenario.snr_db,
+                samples: scenario.samples,
+            });
+            recorder.absorb(&cached.recorder);
+            design
+                .absorb_stats(&cached.stats)
+                .expect("cached stats were exported from conforming shards");
+            design.absorb_overflow_events(cached.overflow_events.clone());
+            recorder.record_event(Event::ShardMerged {
+                shard: scenario.index,
+                cycles: cached.cycles,
+                signals: cached.stats.len(),
+            });
+            total_cycles = total_cycles.saturating_add(cached.cycles);
+            self.last_shards.push(ShardSummary {
+                scenario: scenario.clone(),
+                cycles: cached.cycles,
+                wall_ns: cached.wall_ns,
+            });
+        }
+        total_cycles
     }
 
     /// The scenario set.
@@ -146,11 +238,40 @@ impl SimDriver for SweepDriver {
         iteration: usize,
         record_graph: bool,
     ) -> u64 {
+        // Plan against the master's dirty set, graph and static-schedule
+        // declaration; the shard designs mirror the master by the builder
+        // contract.
+        let plan = match &self.cache {
+            None => CachePlan::Cold,
+            Some(cache) => plan_for(design, record_graph, cache.is_warm(), recorder.as_ref()),
+        };
+        let signals = design.num_signals() as u64;
         design.reset_stats();
         design.reset_state();
+
+        if plan == CachePlan::Replay {
+            let cycles = self.replay_merge(design, recorder);
+            let cache = self.cache.as_mut().expect("replay implies a cache");
+            cache.hits += signals;
+            recorder.inc("cache.hits", signals);
+            return cycles;
+        }
+
         if record_graph {
             design.clear_graph();
         }
+        // Passivation set for a partial run, resolved per shard by name
+        // (shard ids match the master's only by builder convention, names
+        // are the contract).
+        let clean_names: Arc<HashSet<String>> = Arc::new(match &plan {
+            CachePlan::Partial { clean } => clean.iter().map(|s| design.name_of(*s)).collect(),
+            _ => HashSet::new(),
+        });
+        let cached_shards: Arc<Vec<CachedShard>> = self
+            .cache
+            .as_ref()
+            .map(|c| c.shards.clone())
+            .unwrap_or_default();
         // Snapshot the master's refinement state once; every shard
         // re-applies it to its fresh design.
         let annotations = design.annotations();
@@ -175,7 +296,36 @@ impl SimDriver for SweepDriver {
                 shard.clear_graph();
                 shard.record_graph(true);
             }
+            let partial = !clean_names.is_empty();
+            if partial {
+                let clean_ids: Vec<SignalId> =
+                    clean_names.iter().filter_map(|n| shard.find(n)).collect();
+                shard.set_passive(&clean_ids);
+            }
             stimulus(&shard, iteration);
+            if partial {
+                shard.clear_passive();
+                // Splice the clean signals' monitors from this shard's
+                // previous run; live (cone) monitors stay as recorded.
+                let cached = &cached_shards[scenario.index];
+                let clean_stats: Vec<SignalStats> = cached
+                    .stats
+                    .iter()
+                    .filter(|s| clean_names.contains(&s.name))
+                    .cloned()
+                    .collect();
+                shard
+                    .splice_stats(&clean_stats)
+                    .unwrap_or_else(|e| panic!("shard builder contract violation: {e}"));
+                shard.splice_overflow_events(
+                    cached
+                        .overflow_events
+                        .iter()
+                        .filter(|e| clean_names.contains(&e.name))
+                        .cloned()
+                        .collect(),
+                );
+            }
             if record_here {
                 shard.record_graph(false);
             }
@@ -193,6 +343,7 @@ impl SimDriver for SweepDriver {
         // bracketed by ShardStarted / ShardMerged in the journal.
         self.last_shards.clear();
         let mut total_cycles = 0u64;
+        let mut retained: Vec<CachedShard> = Vec::with_capacity(results.len());
         for (scenario, result) in self.scenarios.iter().zip(results) {
             recorder.record_event(Event::ShardStarted {
                 shard: scenario.index,
@@ -205,7 +356,7 @@ impl SimDriver for SweepDriver {
             design
                 .absorb_stats(&result.stats)
                 .unwrap_or_else(|e| panic!("shard builder contract violation: {e}"));
-            design.absorb_overflow_events(result.overflow_events);
+            design.absorb_overflow_events(result.overflow_events.clone());
             if let Some(graph) = result.graph {
                 design.install_graph(graph);
             }
@@ -220,6 +371,25 @@ impl SimDriver for SweepDriver {
                 cycles: result.cycles,
                 wall_ns: result.wall_ns,
             });
+            if self.cache.is_some() {
+                retained.push(CachedShard {
+                    stats: result.stats,
+                    overflow_events: result.overflow_events,
+                    recorder: result.recorder,
+                    cycles: result.cycles,
+                    wall_ns: result.wall_ns,
+                });
+            }
+        }
+        if let Some(cache) = &mut self.cache {
+            cache.shards = Arc::new(retained);
+            let spliced = clean_names.len() as u64;
+            cache.hits += spliced;
+            cache.misses += signals - spliced;
+            if spliced > 0 {
+                recorder.inc("cache.hits", spliced);
+            }
+            recorder.inc("cache.misses", signals - spliced);
         }
         total_cycles
     }

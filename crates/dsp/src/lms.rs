@@ -164,6 +164,10 @@ impl LmsEqualizer {
         if let Some((lo, hi)) = config.input_range {
             x.range(lo, hi);
         }
+        // Every assignment in `step` executes unconditionally each cycle
+        // and the slicer decision goes through `select_positive`, so the
+        // incremental engine may re-simulate dirty cones partially.
+        design.declare_static_schedule();
         LmsEqualizer {
             design: design.clone(),
             coefficients: config.coefficients.clone(),

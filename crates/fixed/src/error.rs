@@ -99,6 +99,11 @@ pub enum FixError {
     Unrepresentable(DTypeError),
     /// Overflow under [`OverflowMode::Error`](crate::OverflowMode::Error).
     Overflow(OverflowError),
+    /// A signal name that is already declared in the design.
+    DuplicateSignal {
+        /// The rejected name.
+        name: String,
+    },
 }
 
 impl fmt::Display for FixError {
@@ -118,6 +123,9 @@ impl fmt::Display for FixError {
             }
             FixError::Unrepresentable(e) => write!(fm, "unrepresentable type: {e}"),
             FixError::Overflow(e) => write!(fm, "{e}"),
+            FixError::DuplicateSignal { name } => {
+                write!(fm, "duplicate signal name {name:?}")
+            }
         }
     }
 }
@@ -259,5 +267,8 @@ mod tests {
         });
         assert!(e.to_string().contains("overflows"));
         assert!(Error::source(&e).is_some());
+        let e = FixError::DuplicateSignal { name: "x".into() };
+        assert!(e.to_string().contains("duplicate signal name \"x\""));
+        assert!(Error::source(&e).is_none());
     }
 }

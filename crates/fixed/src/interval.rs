@@ -218,9 +218,18 @@ impl Interval {
     }
 
     /// Clamps the interval into `[lo, hi]` — the effect of a saturating
-    /// assignment on the propagated range.
+    /// assignment on the propagated range. Unlike [`Interval::intersect`],
+    /// a range lying entirely outside `bounds` collapses onto the nearer
+    /// boundary (saturation maps every out-of-range value to the rail),
+    /// never to the empty interval.
     pub fn clamp_to(&self, bounds: &Interval) -> Interval {
-        self.intersect(bounds)
+        if self.is_empty() || bounds.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval::new(
+            self.lo.clamp(bounds.lo, bounds.hi),
+            self.hi.clamp(bounds.lo, bounds.hi),
+        )
     }
 }
 
@@ -479,6 +488,17 @@ mod tests {
         // Clamping an already-tight range is a no-op.
         let tight = Interval::new(-0.1, 0.05);
         assert_eq!(tight.clamp_to(&Interval::new(-0.2, 0.2)), tight);
+        // A range entirely outside the bounds saturates onto the rail —
+        // it must NOT vanish into the empty interval like intersect.
+        let outside = Interval::new(5.0, 8.0);
+        let railed = outside.clamp_to(&Interval::new(-0.2, 0.2));
+        assert_eq!(railed, Interval::point(0.2));
+        assert!(outside.intersect(&Interval::new(-0.2, 0.2)).is_empty());
+        // Empty operands stay empty.
+        assert!(Interval::EMPTY
+            .clamp_to(&Interval::new(-1.0, 1.0))
+            .is_empty());
+        assert!(outside.clamp_to(&Interval::EMPTY).is_empty());
     }
 
     #[test]

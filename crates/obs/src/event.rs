@@ -163,6 +163,27 @@ pub enum Event {
         /// Signals whose monitors were merged.
         signals: usize,
     },
+    /// An incremental evaluation cache was invalidated: annotation
+    /// changes dirtied part (or all) of the design, so the next run
+    /// cannot be replayed wholesale from cached monitors.
+    CacheInvalidated {
+        /// What invalidated the cache (e.g. `"annotations"`,
+        /// `"error_sigma"`).
+        reason: String,
+        /// Number of signals marked dirty by the invalidation.
+        dirty: usize,
+    },
+    /// A zero-spanning division's unbounded quotient was clamped to the
+    /// dividend's declared type bound during analytical range
+    /// propagation, instead of silently poisoning downstream ranges.
+    RangeClamped {
+        /// The signal whose defining division was clamped.
+        signal: String,
+        /// Lower clamped bound.
+        lo: f64,
+        /// Upper clamped bound.
+        hi: f64,
+    },
 }
 
 impl Event {
@@ -181,6 +202,8 @@ impl Event {
             Event::VerifyCompleted { .. } => "verify_completed",
             Event::ShardStarted { .. } => "shard_started",
             Event::ShardMerged { .. } => "shard_merged",
+            Event::CacheInvalidated { .. } => "cache_invalidated",
+            Event::RangeClamped { .. } => "range_clamped",
         }
     }
 
@@ -269,6 +292,16 @@ impl Event {
                 signals,
             } => format!(
                 r#"{{"event":"{kind}","shard":{shard},"cycles":{cycles},"signals":{signals}}}"#
+            ),
+            Event::CacheInvalidated { reason, dirty } => format!(
+                r#"{{"event":"{kind}","reason":"{}","dirty":{dirty}}}"#,
+                escape(reason)
+            ),
+            Event::RangeClamped { signal, lo, hi } => format!(
+                r#"{{"event":"{kind}","signal":"{}","lo":{},"hi":{}}}"#,
+                escape(signal),
+                fmt_f64(*lo),
+                fmt_f64(*hi)
             ),
         }
     }
@@ -366,6 +399,15 @@ impl Event {
                 cycles: u("cycles")?,
                 signals: u("signals")? as usize,
             }),
+            "cache_invalidated" => Ok(Event::CacheInvalidated {
+                reason: s("reason")?,
+                dirty: u("dirty")? as usize,
+            }),
+            "range_clamped" => Ok(Event::RangeClamped {
+                signal: s("signal")?,
+                lo: f("lo")?,
+                hi: f("hi")?,
+            }),
             other => Err(JsonError {
                 message: format!("unknown event tag {other:?}"),
                 offset: 0,
@@ -441,6 +483,15 @@ impl fmt::Display for Event {
                 f,
                 "shard {shard}: merged {signals} signals, {cycles} cycles"
             ),
+            Event::CacheInvalidated { reason, dirty } => {
+                write!(
+                    f,
+                    "eval cache invalidated ({reason}): {dirty} signal(s) dirty"
+                )
+            }
+            Event::RangeClamped { signal, lo, hi } => {
+                write!(f, "division range of {signal} clamped to [{lo}, {hi}]")
+            }
         }
     }
 }
@@ -507,6 +558,15 @@ mod tests {
                 shard: 3,
                 cycles: 4000,
                 signals: 14,
+            },
+            Event::CacheInvalidated {
+                reason: "error_sigma".into(),
+                dirty: 14,
+            },
+            Event::RangeClamped {
+                signal: "q".into(),
+                lo: -8.0,
+                hi: 7.9375,
             },
         ]
     }

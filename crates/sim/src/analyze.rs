@@ -10,12 +10,21 @@
 //! Feedback cycles that grow without bound are *widened* to
 //! [`Interval::UNBOUNDED`] after a configurable number of growing passes —
 //! the explicit form of the paper's "explosion of the MSB" on feedback
-//! signals. The cure is the same as in the paper: seed the offending signal
-//! with an explicit `range()` annotation and re-analyze.
+//! signals. A widened result is reported distinctly
+//! ([`RangeAnalysis::widened_signals`]) and does **not** count as
+//! converged. The cure is the same as in the paper: seed the offending
+//! signal with an explicit `range()` annotation and re-analyze.
+//!
+//! Repeated analyses over the same graph (the refinement loop re-runs the
+//! fixpoint every iteration) can share a [`RangeMemo`]: definition
+//! evaluations are memoized keyed by `(node id, hash of the ranges of the
+//! node's read support)`, so subgraphs whose inputs did not move resolve
+//! in O(support) instead of O(subgraph).
 
 use std::collections::{HashMap, HashSet};
 
 use fixref_fixed::{Interval, OverflowMode};
+use fixref_obs::{Event, Recorder};
 
 use crate::design::SignalId;
 use crate::graph::{Graph, NodeId, Op};
@@ -44,8 +53,10 @@ impl Default for AnalyzeOptions {
 pub struct RangeAnalysis {
     ranges: HashMap<SignalId, Interval>,
     exploded: HashSet<SignalId>,
+    widened: HashSet<SignalId>,
+    clamped: HashSet<SignalId>,
     passes: usize,
-    converged: bool,
+    fixpoint: bool,
 }
 
 impl RangeAnalysis {
@@ -71,20 +82,156 @@ impl RangeAnalysis {
         self.exploded.iter().copied()
     }
 
+    /// Signals that had to be forcibly widened to `UNBOUNDED` (by the
+    /// growth detector or the pass limit) — these are *not* clean
+    /// fixpoints and disqualify [`RangeAnalysis::converged`].
+    pub fn widened_signals(&self) -> impl Iterator<Item = SignalId> + '_ {
+        self.widened.iter().copied()
+    }
+
+    /// Whether a signal was forcibly widened.
+    pub fn is_widened(&self, id: SignalId) -> bool {
+        self.widened.contains(&id)
+    }
+
+    /// Signals whose division-by-zero-spanning ranges were clamped to a
+    /// declared type bound instead of silently exploding downstream.
+    pub fn clamped_signals(&self) -> impl Iterator<Item = SignalId> + '_ {
+        self.clamped.iter().copied()
+    }
+
+    /// Whether a signal's range was clamped through a zero-spanning
+    /// division.
+    pub fn is_clamped(&self, id: SignalId) -> bool {
+        self.clamped.contains(&id)
+    }
+
     /// Number of fixpoint passes performed.
     pub fn passes(&self) -> usize {
         self.passes
     }
 
-    /// Whether a fixpoint was reached within the pass budget.
+    /// Whether a *clean* fixpoint was reached: the pass loop stabilized
+    /// within budget **and** no signal had to be forcibly widened. A run
+    /// that stabilized only because widening snapped ranges to
+    /// `UNBOUNDED` is reported via [`RangeAnalysis::widened_signals`],
+    /// not as convergence.
     pub fn converged(&self) -> bool {
-        self.converged
+        self.fixpoint && self.widened.is_empty()
     }
 
     /// All derived ranges.
     pub fn ranges(&self) -> &HashMap<SignalId, Interval> {
         &self.ranges
     }
+}
+
+/// Cross-analysis memo for definition evaluations, keyed by
+/// `(node id, hash of the node's read-support ranges)`. One memo can be
+/// shared across every [`analyze_ranges_with`] call on the same graph —
+/// across fixpoint passes *and* across refinement iterations — so
+/// subgraphs whose input ranges did not move are not re-walked. The memo
+/// resets itself when the graph changes size.
+#[derive(Debug, Default)]
+pub struct RangeMemo {
+    graph_len: usize,
+    /// Per node: the sorted transitive set of signals its subtree reads.
+    support: Vec<Vec<SignalId>>,
+    entries: HashMap<(u32, u64), (Interval, bool)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl RangeMemo {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
+        RangeMemo::default()
+    }
+
+    /// Number of definition evaluations answered from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of definition evaluations computed from scratch.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Rebuilds the per-node read support when the graph changed.
+    fn sync(&mut self, graph: &Graph) {
+        if self.graph_len == graph.len() {
+            return;
+        }
+        self.entries.clear();
+        self.support.clear();
+        // Creation order is topological: operands precede users.
+        for (_, node) in graph.iter() {
+            let mut s: Vec<SignalId> = match &node.op {
+                Op::Read(sig) => vec![*sig],
+                _ => Vec::new(),
+            };
+            for a in &node.args {
+                s.extend(self.support[a.0 as usize].iter().copied());
+            }
+            s.sort();
+            s.dedup();
+            self.support.push(s);
+        }
+        self.graph_len = graph.len();
+    }
+
+    /// FNV-1a over the effective (as seen by `Op::Read`) ranges of the
+    /// node's support signals.
+    fn support_hash(&self, root: NodeId, ranges: &HashMap<SignalId, Interval>) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        // Byte-wise FNV-1a: feeding whole words would let high-bit-only
+        // differences (e.g. f64 sign/exponent bits) collide, since they
+        // cannot propagate downward through the modular multiply.
+        let mut step = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for s in &self.support[root.0 as usize] {
+            let itv = effective_range(ranges, *s);
+            step(u64::from(s.raw()));
+            step(itv.lo.to_bits());
+            step(itv.hi.to_bits());
+        }
+        h
+    }
+
+    /// Memoized evaluation of one definition root. Returns the interval
+    /// and whether a zero-spanning division was clamped inside it.
+    fn eval(
+        &mut self,
+        graph: &Graph,
+        root: NodeId,
+        ranges: &HashMap<SignalId, Interval>,
+    ) -> (Interval, bool) {
+        self.sync(graph);
+        let key = (root.0, self.support_hash(root, ranges));
+        if let Some(&cached) = self.entries.get(&key) {
+            self.hits += 1;
+            return cached;
+        }
+        self.misses += 1;
+        let result = eval_uncached(graph, root, ranges);
+        self.entries.insert(key, result);
+        result
+    }
+}
+
+/// The range `Op::Read` sees: missing or empty ranges read as the reset
+/// value `[0, 0]`.
+fn effective_range(ranges: &HashMap<SignalId, Interval>, s: SignalId) -> Interval {
+    ranges
+        .get(&s)
+        .copied()
+        .filter(|i| !i.is_empty())
+        .unwrap_or_else(|| Interval::point(0.0))
 }
 
 /// Propagates ranges through `graph` to a fixpoint.
@@ -98,9 +245,26 @@ pub fn analyze_ranges(
     seeds: &HashMap<SignalId, Interval>,
     options: &AnalyzeOptions,
 ) -> RangeAnalysis {
+    analyze_ranges_with(graph, seeds, options, &mut RangeMemo::new(), None)
+}
+
+/// [`analyze_ranges`] with an explicit shared [`RangeMemo`] and an
+/// optional recorder. The memo carries definition evaluations across
+/// calls; the recorder receives an `analyze.range_clamped` counter and a
+/// [`Event::RangeClamped`] journal entry for every signal whose
+/// zero-spanning division was clamped to a declared type bound.
+pub fn analyze_ranges_with(
+    graph: &Graph,
+    seeds: &HashMap<SignalId, Interval>,
+    options: &AnalyzeOptions,
+    memo: &mut RangeMemo,
+    recorder: Option<&dyn Recorder>,
+) -> RangeAnalysis {
     let mut ranges: HashMap<SignalId, Interval> = seeds.clone();
     let mut growth: HashMap<SignalId, usize> = HashMap::new();
     let mut exploded: HashSet<SignalId> = HashSet::new();
+    let mut widened: HashSet<SignalId> = HashSet::new();
+    let mut clamped: HashSet<SignalId> = HashSet::new();
 
     let defined: Vec<SignalId> = {
         let mut v: Vec<SignalId> = graph.defined_signals().collect();
@@ -108,8 +272,21 @@ pub fn analyze_ranges(
         v
     };
 
+    let note_clamp = |sig: SignalId, itv: Interval, clamped: &mut HashSet<SignalId>| {
+        if clamped.insert(sig) {
+            if let Some(rec) = recorder {
+                rec.inc("analyze.range_clamped", 1);
+                rec.record_event(Event::RangeClamped {
+                    signal: sig.to_string(),
+                    lo: itv.lo,
+                    hi: itv.hi,
+                });
+            }
+        }
+    };
+
     let mut passes = 0;
-    let mut converged = false;
+    let mut fixpoint = false;
     while passes < options.max_passes {
         passes += 1;
         let mut changed = false;
@@ -118,29 +295,36 @@ pub fn analyze_ranges(
                 continue; // pinned
             }
             let mut incoming = Interval::EMPTY;
+            let mut any_clamped = false;
             for &def in graph.defs(sig) {
-                incoming = incoming.union(&eval(graph, def, &ranges));
+                let (itv, was_clamped) = memo.eval(graph, def, &ranges);
+                incoming = incoming.union(&itv);
+                any_clamped |= was_clamped;
             }
             let old = ranges.get(&sig).copied().unwrap_or(Interval::EMPTY);
             let mut new = old.union(&incoming);
+            if any_clamped {
+                note_clamp(sig, new, &mut clamped);
+            }
             if new != old {
                 let g = growth.entry(sig).or_insert(0);
                 *g += 1;
                 if *g >= options.widen_after {
                     new = Interval::UNBOUNDED;
                     exploded.insert(sig);
+                    widened.insert(sig);
                 }
                 ranges.insert(sig, new);
                 changed = true;
             }
         }
         if !changed {
-            converged = true;
+            fixpoint = true;
             break;
         }
     }
 
-    if !converged {
+    if !fixpoint {
         // Anything still moving at the pass limit is effectively unbounded.
         for &sig in &defined {
             if seeds.contains_key(&sig) {
@@ -148,12 +332,14 @@ pub fn analyze_ranges(
             }
             let mut incoming = Interval::EMPTY;
             for &def in graph.defs(sig) {
-                incoming = incoming.union(&eval(graph, def, &ranges));
+                let (itv, _) = memo.eval(graph, def, &ranges);
+                incoming = incoming.union(&itv);
             }
             let old = ranges.get(&sig).copied().unwrap_or(Interval::EMPTY);
             if old.union(&incoming) != old {
                 ranges.insert(sig, Interval::UNBOUNDED);
                 exploded.insert(sig);
+                widened.insert(sig);
             }
         }
     }
@@ -161,14 +347,33 @@ pub fn analyze_ranges(
     RangeAnalysis {
         ranges,
         exploded,
+        widened,
+        clamped,
         passes,
-        converged,
+        fixpoint,
     }
 }
 
-fn eval(graph: &Graph, root: NodeId, ranges: &HashMap<SignalId, Interval>) -> Interval {
+/// Evaluates one definition subtree. Returns the interval and whether a
+/// zero-spanning division inside the subtree was clamped to a declared
+/// type bound.
+///
+/// Division by a range spanning zero is unbounded in interval arithmetic;
+/// when the *dividend* carries a declared type (an explicit `cast`), the
+/// quotient is clamped to that type's representable range instead of
+/// poisoning every downstream multiplication. The clamp is a pragmatic,
+/// designer-facing bound (journaled like an overflow, reported via
+/// [`RangeAnalysis::clamped_signals`]), mirroring how the hardware cannot
+/// hold more than the declared wordlength either way; with no declared
+/// type in sight the quotient stays honestly unbounded.
+fn eval_uncached(
+    graph: &Graph,
+    root: NodeId,
+    ranges: &HashMap<SignalId, Interval>,
+) -> (Interval, bool) {
     // Iterative post-order evaluation with a memo over this call.
     let mut memo: HashMap<NodeId, Interval> = HashMap::new();
+    let mut clamped = false;
     let mut stack = vec![(root, false)];
     while let Some((id, expanded)) = stack.pop() {
         if memo.contains_key(&id) {
@@ -185,22 +390,30 @@ fn eval(graph: &Graph, root: NodeId, ranges: &HashMap<SignalId, Interval>) -> In
         let arg = |i: usize| memo[&node.args[i]];
         let itv = match &node.op {
             Op::Const(c) => Interval::point(*c),
-            Op::Read(s) => ranges
-                .get(s)
-                .copied()
-                .filter(|i| !i.is_empty())
-                .unwrap_or_else(|| Interval::point(0.0)),
+            Op::Read(s) => effective_range(ranges, *s),
             Op::Add => arg(0) + arg(1),
             Op::Sub => arg(0) - arg(1),
             Op::Mul => arg(0) * arg(1),
-            Op::Div => arg(0) / arg(1),
+            Op::Div => {
+                let q = arg(0) / arg(1);
+                if q.is_exploded() {
+                    if let Op::Cast(dt) = &graph.node(node.args[0]).op {
+                        clamped = true;
+                        q.clamp_to(&Interval::from_dtype(dt))
+                    } else {
+                        q
+                    }
+                } else {
+                    q
+                }
+            }
             Op::Neg => -arg(0),
             Op::Abs => arg(0).abs(),
             Op::Min => arg(0).min(&arg(1)),
             Op::Max => arg(0).max(&arg(1)),
             Op::Cast(dt) => {
                 if dt.overflow() == OverflowMode::Saturate {
-                    arg(0).intersect(&Interval::from_dtype(dt))
+                    arg(0).clamp_to(&Interval::from_dtype(dt))
                 } else {
                     arg(0)
                 }
@@ -209,7 +422,7 @@ fn eval(graph: &Graph, root: NodeId, ranges: &HashMap<SignalId, Interval>) -> In
         };
         memo.insert(id, itv);
     }
-    memo[&root]
+    (memo[&root], clamped)
 }
 
 #[cfg(test)]
@@ -299,8 +512,37 @@ mod tests {
         assert!(r.is_exploded(sid(0)));
         assert!(r.range_of(sid(0)).unwrap().is_exploded());
         assert!(r.exploded_signals().any(|s| s == sid(0)));
-        // Widening makes the analysis terminate (converged after widening).
+        // Widening makes the analysis terminate within the pass budget.
         assert!(r.passes() <= 100);
+    }
+
+    /// Regression (bugfix): a run that only stabilized because a signal
+    /// was widened to UNBOUNDED must not report convergence — widened
+    /// signals are reported distinctly from clean fixpoints.
+    #[test]
+    fn widened_feedback_does_not_count_as_converged() {
+        let mut g = Graph::new();
+        let acc = g.add(Op::Read(sid(0)), vec![]);
+        let x = g.add(Op::Read(sid(1)), vec![]);
+        let s = g.add(Op::Add, vec![acc, x]);
+        g.record_def(sid(0), s);
+
+        let mut seeds = HashMap::new();
+        seeds.insert(sid(1), Interval::new(-1.0, 1.0));
+        let opts = AnalyzeOptions {
+            max_passes: 100,
+            widen_after: 16,
+        };
+        let r = analyze_ranges(&g, &seeds, &opts);
+        // The loop stabilized (widening snapped the range) well within
+        // the pass budget ...
+        assert!(r.passes() < 100);
+        // ... but that is an explosion, not convergence.
+        assert!(!r.converged());
+        assert!(r.is_widened(sid(0)));
+        assert_eq!(r.widened_signals().collect::<Vec<_>>(), vec![sid(0)]);
+        // The seeded input is a clean fixpoint, not widened.
+        assert!(!r.is_widened(sid(1)));
     }
 
     /// Seeding the feedback signal (the paper's range() fix) stops the
@@ -368,8 +610,8 @@ mod tests {
         assert_eq!(r.range_of(sid(0)).unwrap(), Interval::new(-5.0, 3.0));
     }
 
-    /// Division by a zero-containing range explodes (documented interval
-    /// semantics) rather than producing a wrong bound.
+    /// Division by a zero-containing range with no declared type in sight
+    /// stays honestly unbounded (documented interval semantics).
     #[test]
     fn division_by_zero_range_is_unbounded() {
         let mut g = Graph::new();
@@ -381,5 +623,138 @@ mod tests {
         seeds.insert(sid(0), Interval::new(-1.0, 1.0));
         let r = analyze_ranges(&g, &seeds, &AnalyzeOptions::default());
         assert!(r.is_exploded(sid(1)));
+        assert!(!r.is_clamped(sid(1)));
+    }
+
+    /// Bugfix: when the dividend carries a declared type (a cast), a
+    /// zero-spanning division clamps to the type bound and is reported,
+    /// instead of poisoning downstream multiplications.
+    #[test]
+    fn division_by_zero_range_clamps_to_declared_type_bound() {
+        let dt = fixref_fixed::DType::tc("T_num", 8, 4).unwrap();
+        let mut g = Graph::new();
+        let num = g.add(Op::Read(sid(0)), vec![]);
+        let cast = g.add(Op::Cast(dt.clone()), vec![num]);
+        let den = g.add(Op::Read(sid(1)), vec![]);
+        let q = g.add(Op::Div, vec![cast, den]);
+        g.record_def(sid(2), q);
+        // Downstream: w = q * q would be inf*inf without the clamp.
+        let q2 = g.add(Op::Read(sid(2)), vec![]);
+        let m = g.add(Op::Mul, vec![q2, q2]);
+        g.record_def(sid(3), m);
+
+        let mut seeds = HashMap::new();
+        seeds.insert(sid(0), Interval::new(-1.0, 1.0));
+        seeds.insert(sid(1), Interval::new(-1.0, 1.0)); // spans zero
+        let r = analyze_ranges(&g, &seeds, &AnalyzeOptions::default());
+        assert!(r.converged());
+        assert!(r.is_clamped(sid(2)));
+        assert!(!r.is_exploded(sid(2)));
+        let qr = r.range_of(sid(2)).unwrap();
+        assert_eq!(qr, Interval::from_dtype(&dt));
+        // Downstream multiplication stays bounded too.
+        let mr = r.range_of(sid(3)).unwrap();
+        assert!(mr.is_bounded(), "downstream poisoned: {mr}");
+        assert_eq!(r.clamped_signals().collect::<Vec<_>>(), vec![sid(2)]);
+    }
+
+    /// The clamp journals an overflow_detected-style event and counter on
+    /// an attached recorder.
+    #[test]
+    fn division_clamp_emits_journal_event() {
+        use fixref_obs::DefaultRecorder;
+        let dt = fixref_fixed::DType::tc("T_num", 6, 3).unwrap();
+        let mut g = Graph::new();
+        let num = g.add(Op::Read(sid(0)), vec![]);
+        let cast = g.add(Op::Cast(dt), vec![num]);
+        let den = g.add(Op::Read(sid(1)), vec![]);
+        let q = g.add(Op::Div, vec![cast, den]);
+        g.record_def(sid(2), q);
+
+        let mut seeds = HashMap::new();
+        seeds.insert(sid(0), Interval::new(-1.0, 1.0));
+        seeds.insert(sid(1), Interval::new(-0.5, 0.5));
+        let rec = DefaultRecorder::new();
+        let r = analyze_ranges_with(
+            &g,
+            &seeds,
+            &AnalyzeOptions::default(),
+            &mut RangeMemo::new(),
+            Some(&rec),
+        );
+        assert!(r.is_clamped(sid(2)));
+        assert_eq!(rec.counter("analyze.range_clamped"), 1);
+        let clamp_events: Vec<_> = rec
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e, Event::RangeClamped { .. }))
+            .collect();
+        assert_eq!(clamp_events.len(), 1, "one event per clamped signal");
+        match &clamp_events[0] {
+            Event::RangeClamped { signal, lo, hi } => {
+                assert_eq!(signal, "s2");
+                assert!(lo.is_finite() && hi.is_finite());
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// A shared memo answers unchanged definitions from cache across
+    /// calls, bit-identically.
+    #[test]
+    fn shared_memo_hits_across_analyses_without_changing_results() {
+        let mut g = Graph::new();
+        let a = g.add(Op::Read(sid(0)), vec![]);
+        let c = g.add(Op::Const(0.25), vec![]);
+        let m = g.add(Op::Mul, vec![a, c]);
+        g.record_def(sid(1), m);
+        let b = g.add(Op::Read(sid(1)), vec![]);
+        let s = g.add(Op::Add, vec![b, c]);
+        g.record_def(sid(2), s);
+
+        let mut seeds = HashMap::new();
+        seeds.insert(sid(0), Interval::new(-2.0, 2.0));
+
+        let cold = analyze_ranges(&g, &seeds, &AnalyzeOptions::default());
+
+        let mut memo = RangeMemo::new();
+        let first = analyze_ranges_with(&g, &seeds, &AnalyzeOptions::default(), &mut memo, None);
+        let cold_misses = memo.misses();
+        assert!(cold_misses > 0);
+        let second = analyze_ranges_with(&g, &seeds, &AnalyzeOptions::default(), &mut memo, None);
+        // The repeat run re-derived nothing.
+        assert_eq!(memo.misses(), cold_misses);
+        assert!(memo.hits() > 0);
+        for id in [sid(1), sid(2)] {
+            assert_eq!(first.range_of(id), cold.range_of(id));
+            assert_eq!(second.range_of(id), first.range_of(id));
+        }
+
+        // Changing a seed invalidates exactly the dependent entries and
+        // still computes the right ranges.
+        seeds.insert(sid(0), Interval::new(-4.0, 4.0));
+        let third = analyze_ranges_with(&g, &seeds, &AnalyzeOptions::default(), &mut memo, None);
+        assert_eq!(third.range_of(sid(1)).unwrap(), Interval::new(-1.0, 1.0));
+        assert!(memo.misses() > cold_misses);
+    }
+
+    /// The memo resets itself when the graph changes underneath it.
+    #[test]
+    fn memo_resets_when_graph_changes() {
+        let mut g = Graph::new();
+        let a = g.add(Op::Read(sid(0)), vec![]);
+        let n = g.add(Op::Neg, vec![a]);
+        g.record_def(sid(1), n);
+        let mut seeds = HashMap::new();
+        seeds.insert(sid(0), Interval::new(0.0, 1.0));
+        let mut memo = RangeMemo::new();
+        let r1 = analyze_ranges_with(&g, &seeds, &AnalyzeOptions::default(), &mut memo, None);
+        assert_eq!(r1.range_of(sid(1)).unwrap(), Interval::new(-1.0, 0.0));
+
+        // Grow the graph: a second definition through new nodes.
+        let c = g.add(Op::Const(5.0), vec![]);
+        g.record_def(sid(1), c);
+        let r2 = analyze_ranges_with(&g, &seeds, &AnalyzeOptions::default(), &mut memo, None);
+        assert_eq!(r2.range_of(sid(1)).unwrap(), Interval::new(-1.0, 5.0));
     }
 }

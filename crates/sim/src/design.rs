@@ -12,7 +12,7 @@
 //! recording.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -107,6 +107,10 @@ struct SignalState {
     /// window caps the search).
     granularity: Option<i32>,
     non_dyadic: bool,
+    /// Passive signals execute normally (values, quantization, range
+    /// propagation, RNG draws) but do not touch their own monitors —
+    /// the incremental engine splices cached stats for them instead.
+    passive: bool,
 }
 
 impl SignalState {
@@ -130,6 +134,7 @@ impl SignalState {
             writes: 0,
             granularity: None,
             non_dyadic: false,
+            passive: false,
         }
     }
 }
@@ -240,6 +245,14 @@ struct DesignInner {
     overflow_events: Vec<OverflowEvent>,
     /// Cap on retained overflow events; further overflows only count.
     overflow_event_cap: usize,
+    /// Signals whose annotations (type, range, error model) changed since
+    /// the incremental engine last drained the set.
+    dirty: BTreeSet<u32>,
+    /// Author-asserted contract: every assignment executes unconditionally
+    /// each cycle and every data-dependent decision goes through recorded
+    /// dataflow (`select_positive` etc.), never Rust-level branching on
+    /// fixed values. Required for dirty-cone partial re-simulation.
+    static_schedule: bool,
     /// Optional observability sink: ticks, assignments, overflow and
     /// saturation counters, per-signal quantization-error histograms and
     /// `OverflowDetected` events all land here when attached.
@@ -307,6 +320,8 @@ impl Design {
                 graph: Graph::new(),
                 overflow_events: Vec::new(),
                 overflow_event_cap: 1024,
+                dirty: BTreeSet::new(),
+                static_schedule: false,
                 recorder: None,
             })),
         }
@@ -336,17 +351,29 @@ impl Design {
     }
 
     fn add_signal(&self, name: &str, kind: SignalKind, dtype: Option<DType>) -> SignalId {
+        self.try_add_signal(name, kind, dtype)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_add_signal(
+        &self,
+        name: &str,
+        kind: SignalKind,
+        dtype: Option<DType>,
+    ) -> Result<SignalId, FixError> {
         let mut inner = self.inner.borrow_mut();
-        assert!(
-            !inner.names.contains_key(name),
-            "duplicate signal name {name:?}"
-        );
+        if inner.names.contains_key(name) {
+            return Err(FixError::DuplicateSignal {
+                name: name.to_string(),
+            });
+        }
         let id = SignalId(inner.signals.len() as u32);
         inner.names.insert(name.to_string(), id);
         inner
             .signals
             .push(SignalState::new(name.to_string(), kind, dtype));
-        id
+        inner.dirty.insert(id.0);
+        Ok(id)
     }
 
     /// Declares a floating-point wire signal (paper: `sig a("a");`).
@@ -395,6 +422,41 @@ impl Design {
             design: self.clone(),
             id: self.add_signal(name, SignalKind::Register, Some(dtype)),
         }
+    }
+
+    /// Fallible form of [`Design::sig`]: returns
+    /// [`FixError::DuplicateSignal`] instead of panicking when the name is
+    /// already taken — for signal names that come from user input
+    /// (netlists, annotation files) rather than trusted model code.
+    pub fn try_sig(&self, name: &str) -> Result<Sig, FixError> {
+        Ok(Sig {
+            design: self.clone(),
+            id: self.try_add_signal(name, SignalKind::Wire, None)?,
+        })
+    }
+
+    /// Fallible form of [`Design::sig_typed`].
+    pub fn try_sig_typed(&self, name: &str, dtype: DType) -> Result<Sig, FixError> {
+        Ok(Sig {
+            design: self.clone(),
+            id: self.try_add_signal(name, SignalKind::Wire, Some(dtype))?,
+        })
+    }
+
+    /// Fallible form of [`Design::reg`].
+    pub fn try_reg(&self, name: &str) -> Result<Reg, FixError> {
+        Ok(Reg {
+            design: self.clone(),
+            id: self.try_add_signal(name, SignalKind::Register, None)?,
+        })
+    }
+
+    /// Fallible form of [`Design::reg_typed`].
+    pub fn try_reg_typed(&self, name: &str, dtype: DType) -> Result<Reg, FixError> {
+        Ok(Reg {
+            design: self.clone(),
+            id: self.try_add_signal(name, SignalKind::Register, Some(dtype))?,
+        })
     }
 
     /// Declares an array of floating-point wires named `name[0]` …
@@ -534,6 +596,7 @@ impl Design {
         let st = &mut inner.signals[id.0 as usize];
         st.dtype = dtype;
         st.prop = initial_prop(&st.dtype);
+        inner.dirty.insert(id.0);
     }
 
     /// Sets the explicit range annotation of a signal (the paper's
@@ -543,7 +606,9 @@ impl Design {
     ///
     /// Panics if `lo > hi` or `id` is not a signal of this design.
     pub fn set_range(&self, id: SignalId, lo: f64, hi: f64) {
-        self.inner.borrow_mut().signals[id.0 as usize].range_override = Some(Interval::new(lo, hi));
+        let mut inner = self.inner.borrow_mut();
+        inner.signals[id.0 as usize].range_override = Some(Interval::new(lo, hi));
+        inner.dirty.insert(id.0);
     }
 
     /// Fallible form of [`Design::set_range`] for bounds that come from
@@ -556,7 +621,9 @@ impl Design {
     /// Panics if `id` is not a signal of this design.
     pub fn try_set_range(&self, id: SignalId, lo: f64, hi: f64) -> Result<(), FixError> {
         let itv = Interval::try_new(lo, hi)?;
-        self.inner.borrow_mut().signals[id.0 as usize].range_override = Some(itv);
+        let mut inner = self.inner.borrow_mut();
+        inner.signals[id.0 as usize].range_override = Some(itv);
+        inner.dirty.insert(id.0);
         Ok(())
     }
 
@@ -566,7 +633,9 @@ impl Design {
     ///
     /// Panics if `id` is not a signal of this design.
     pub fn clear_range(&self, id: SignalId) {
-        self.inner.borrow_mut().signals[id.0 as usize].range_override = None;
+        let mut inner = self.inner.borrow_mut();
+        inner.signals[id.0 as usize].range_override = None;
+        inner.dirty.insert(id.0);
     }
 
     /// The explicit range annotation, if any.
@@ -590,7 +659,11 @@ impl Design {
     /// design.
     pub fn set_error_sigma(&self, id: SignalId, sigma: f64) {
         assert!(sigma >= 0.0 && sigma.is_finite(), "invalid sigma {sigma}");
-        self.inner.borrow_mut().signals[id.0 as usize].error_override = Some(sigma);
+        let mut inner = self.inner.borrow_mut();
+        inner.signals[id.0 as usize].error_override = Some(sigma);
+        // Error injection draws from the design-wide RNG stream, so a new
+        // error model shifts every subsequent draw: everything is dirty.
+        Self::mark_all_dirty(&mut inner);
     }
 
     /// Fallible form of [`Design::set_error_sigma`]: rejects negative or
@@ -604,7 +677,9 @@ impl Design {
         if !(sigma >= 0.0 && sigma.is_finite()) {
             return Err(FixError::InvalidSigma { sigma });
         }
-        self.inner.borrow_mut().signals[id.0 as usize].error_override = Some(sigma);
+        let mut inner = self.inner.borrow_mut();
+        inner.signals[id.0 as usize].error_override = Some(sigma);
+        Self::mark_all_dirty(&mut inner);
         Ok(())
     }
 
@@ -614,7 +689,15 @@ impl Design {
     ///
     /// Panics if `id` is not a signal of this design.
     pub fn clear_error(&self, id: SignalId) {
-        self.inner.borrow_mut().signals[id.0 as usize].error_override = None;
+        let mut inner = self.inner.borrow_mut();
+        inner.signals[id.0 as usize].error_override = None;
+        Self::mark_all_dirty(&mut inner);
+    }
+
+    fn mark_all_dirty(inner: &mut DesignInner) {
+        for i in 0..inner.signals.len() as u32 {
+            inner.dirty.insert(i);
+        }
     }
 
     /// The explicit produced-error annotation, if any.
@@ -630,6 +713,115 @@ impl Design {
     /// [`OverflowMode::Error`] types).
     pub fn take_overflow_events(&self) -> Vec<OverflowEvent> {
         std::mem::take(&mut self.inner.borrow_mut().overflow_events)
+    }
+
+    /// Copies the recorded overflow events without draining them — the
+    /// incremental engine snapshots them into its cache after each run.
+    pub fn peek_overflow_events(&self) -> Vec<OverflowEvent> {
+        self.inner.borrow().overflow_events.clone()
+    }
+
+    /// Merges cached overflow events (from signals that were passive this
+    /// run) with the live ones, restoring chronological order and the
+    /// retention cap — so a partially re-simulated run carries the same
+    /// event set a full run would have produced. The sort is stable, so
+    /// same-cycle events keep live-before-cached order (the one detail a
+    /// full interleaved run could decide differently).
+    pub fn splice_overflow_events(&self, cached: Vec<OverflowEvent>) {
+        let mut inner = self.inner.borrow_mut();
+        inner.overflow_events.extend(cached);
+        inner.overflow_events.sort_by_key(|e| e.cycle);
+        let cap = inner.overflow_event_cap;
+        inner.overflow_events.truncate(cap);
+    }
+
+    /// Drains the set of signals whose annotations changed since the last
+    /// drain (every signal starts dirty at declaration).
+    pub fn take_dirty(&self) -> Vec<SignalId> {
+        let mut inner = self.inner.borrow_mut();
+        std::mem::take(&mut inner.dirty)
+            .into_iter()
+            .map(SignalId)
+            .collect()
+    }
+
+    /// Asserts the static-schedule contract: every signal is assigned
+    /// unconditionally on its schedule regardless of data, and every
+    /// data-dependent decision flows through recorded dataflow
+    /// ([`Value::select_positive`](crate::Value::select_positive) etc.)
+    /// rather than Rust-level branching on fixed values. Model
+    /// constructors that satisfy this (e.g. the LMS equalizer) declare it
+    /// to unlock dirty-cone partial re-simulation; designs with
+    /// fixed-path-steered schedules (e.g. the timing loop's strobe) must
+    /// not.
+    pub fn declare_static_schedule(&self) {
+        self.inner.borrow_mut().static_schedule = true;
+    }
+
+    /// Whether [`Design::declare_static_schedule`] was called.
+    pub fn has_static_schedule(&self) -> bool {
+        self.inner.borrow().static_schedule
+    }
+
+    /// Marks exactly the given signals passive (and every other signal
+    /// active). Passive signals still simulate — values, quantization,
+    /// range propagation and RNG draws are unchanged, so downstream
+    /// signals see identical inputs — but skip their own monitors
+    /// (statistics, counters, histograms, overflow events), which the
+    /// incremental engine splices from cache instead.
+    pub fn set_passive(&self, clean: &[SignalId]) {
+        let mut inner = self.inner.borrow_mut();
+        for st in &mut inner.signals {
+            st.passive = false;
+        }
+        for id in clean {
+            inner.signals[id.0 as usize].passive = true;
+        }
+    }
+
+    /// Marks every signal active again.
+    pub fn clear_passive(&self) {
+        let mut inner = self.inner.borrow_mut();
+        for st in &mut inner.signals {
+            st.passive = false;
+        }
+    }
+
+    /// Overwrites the monitors of the named signals with cached snapshots
+    /// — the splice step after a passive (partial) re-simulation. Unlike
+    /// [`Design::absorb_stats`] this *replaces* instead of merging.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownSignalError`] if a snapshot name does not exist here; the
+    /// design is left unchanged in that case.
+    pub fn splice_stats(&self, stats: &[SignalStats]) -> Result<(), UnknownSignalError> {
+        let mut inner = self.inner.borrow_mut();
+        let ids: Vec<usize> = stats
+            .iter()
+            .map(|s| {
+                inner
+                    .names
+                    .get(&s.name)
+                    .map(|id| id.0 as usize)
+                    .ok_or_else(|| UnknownSignalError {
+                        name: s.name.clone(),
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        for (s, idx) in stats.iter().zip(ids) {
+            let st = &mut inner.signals[idx];
+            st.stat = s.stat;
+            st.prop = s.prop;
+            st.consumed = s.consumed;
+            st.produced = s.produced;
+            st.overflows = s.overflows;
+            st.reads = s.reads;
+            st.writes = s.writes;
+            st.granularity = s.granularity;
+            st.non_dyadic = s.non_dyadic;
+        }
+        Ok(())
     }
 
     /// Resets every monitoring statistic (ranges, errors, counters,
@@ -785,12 +977,16 @@ impl Design {
                 applied += 1;
             }
             if let Some(r) = a.range {
-                self.inner.borrow_mut().signals[id.0 as usize].range_override = Some(r);
+                let mut inner = self.inner.borrow_mut();
+                inner.signals[id.0 as usize].range_override = Some(r);
+                inner.dirty.insert(id.0);
                 applied += 1;
             }
             if let Some(sigma) = a.error_sigma {
                 // Exported from a design that already validated it.
-                self.inner.borrow_mut().signals[id.0 as usize].error_override = Some(sigma);
+                let mut inner = self.inner.borrow_mut();
+                inner.signals[id.0 as usize].error_override = Some(sigma);
+                Self::mark_all_dirty(&mut inner);
                 applied += 1;
             }
         }
@@ -904,7 +1100,9 @@ impl Design {
         let mut inner = self.inner.borrow_mut();
         let recording = inner.recording;
         let st = &mut inner.signals[id.0 as usize];
-        st.reads += 1;
+        if !st.passive {
+            st.reads += 1;
+        }
         let itv = match st.range_override {
             Some(r) => r,
             None => {
@@ -922,22 +1120,30 @@ impl Design {
         let mut inner = self.inner.borrow_mut();
         let inner = &mut *inner;
         let st = &mut inner.signals[id.0 as usize];
-        st.writes += 1;
-        st.stat.record(value.fix());
-        st.consumed.record(value.flt() - value.fix());
-
-        if let Some(rec) = &inner.recorder {
-            rec.inc("sim.assignments", 1);
+        // Passive signals skip their own monitors (the incremental engine
+        // splices cached stats instead) but everything that other signals
+        // can observe — values, quantization, range propagation and the
+        // shared RNG stream — must behave exactly as in a full run.
+        let passive = st.passive;
+        if !passive {
+            st.writes += 1;
+            st.stat.record(value.fix());
+            st.consumed.record(value.flt() - value.fix());
+            if let Some(rec) = &inner.recorder {
+                rec.inc("sim.assignments", 1);
+            }
         }
 
         // LSB+MSB: quantize the fixed path through the signal's type.
         let mut new_fix = value.fix();
         if let Some(dt) = &st.dtype {
             let q = quantize(value.fix(), dt);
-            if let Some(rec) = &inner.recorder {
-                rec.observe(&format!("sim.quant_error.{}", st.name), q.rounding_error);
+            if !passive {
+                if let Some(rec) = &inner.recorder {
+                    rec.observe(&format!("sim.quant_error.{}", st.name), q.rounding_error);
+                }
             }
-            if q.overflowed {
+            if q.overflowed && !passive {
                 st.overflows += 1;
                 if let Some(rec) = &inner.recorder {
                     match dt.overflow() {
@@ -967,7 +1173,8 @@ impl Design {
         }
 
         // Float path: either the true reference, or the explicit error
-        // model for divergent feedback signals.
+        // model for divergent feedback signals. The RNG draw happens even
+        // for passive signals — it advances the design-wide stream.
         let new_flt = match st.error_override {
             Some(sigma) if sigma > 0.0 => {
                 let half = sigma * 3f64.sqrt();
@@ -976,17 +1183,19 @@ impl Design {
             Some(_) => new_fix,
             None => value.flt(),
         };
-        st.produced.record(new_flt - new_fix);
+        if !passive {
+            st.produced.record(new_flt - new_fix);
 
-        // Granularity: the finest LSB any assigned value actually used.
-        if new_fix != 0.0 && !st.non_dyadic {
-            match dyadic_lsb(new_fix) {
-                Some(l) => {
-                    st.granularity = Some(st.granularity.map_or(l, |g| g.min(l)));
-                }
-                None => {
-                    st.non_dyadic = true;
-                    st.granularity = None;
+            // Granularity: the finest LSB any assigned value actually used.
+            if new_fix != 0.0 && !st.non_dyadic {
+                match dyadic_lsb(new_fix) {
+                    Some(l) => {
+                        st.granularity = Some(st.granularity.map_or(l, |g| g.min(l)));
+                    }
+                    None => {
+                        st.non_dyadic = true;
+                        st.granularity = None;
+                    }
                 }
             }
         }
@@ -996,7 +1205,7 @@ impl Design {
             let mut incoming = value.interval();
             if let Some(dt) = &st.dtype {
                 if dt.overflow() == OverflowMode::Saturate {
-                    incoming = incoming.intersect(&Interval::from_dtype(dt));
+                    incoming = incoming.clamp_to(&Interval::from_dtype(dt));
                 }
             }
             st.prop = st.prop.union(&incoming);
@@ -1421,6 +1630,191 @@ mod sweep_snapshot_tests {
         assert_eq!(dst.graph().len(), 0);
         dst.install_graph(g.clone());
         assert_eq!(dst.graph().len(), g.len());
+    }
+}
+
+#[cfg(test)]
+mod incremental_tests {
+    use super::*;
+    use fixref_fixed::{RoundingMode, Signedness};
+
+    fn t(n: i32, f: i32) -> DType {
+        DType::new(
+            "t",
+            n,
+            f,
+            Signedness::TwosComplement,
+            OverflowMode::Saturate,
+            RoundingMode::Round,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn try_sig_rejects_duplicates_without_side_effects() {
+        let d = Design::new();
+        d.sig("x");
+        let before = d.num_signals();
+        let err = d.try_sig("x").unwrap_err();
+        assert_eq!(
+            err,
+            FixError::DuplicateSignal {
+                name: "x".to_string()
+            }
+        );
+        assert_eq!(d.num_signals(), before);
+        // The other fallible declarations reject the same way.
+        assert!(d.try_sig_typed("x", t(8, 4)).is_err());
+        assert!(d.try_reg("x").is_err());
+        assert!(d.try_reg_typed("x", t(8, 4)).is_err());
+        // A fresh name still works and produces a usable handle.
+        let y = d.try_reg("y").unwrap();
+        y.set(1.0);
+        d.tick();
+        assert_eq!(y.get().flt(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate signal name")]
+    fn infallible_sig_still_panics_on_duplicates() {
+        let d = Design::new();
+        d.sig("x");
+        d.sig("x");
+    }
+
+    #[test]
+    fn dirty_set_tracks_annotation_changes() {
+        let d = Design::new();
+        let x = d.sig("x");
+        let y = d.sig("y");
+        // Declarations start dirty.
+        assert_eq!(d.take_dirty(), vec![x.id(), y.id()]);
+        assert!(d.take_dirty().is_empty());
+
+        d.set_range(x.id(), -1.0, 1.0);
+        assert_eq!(d.take_dirty(), vec![x.id()]);
+
+        d.set_dtype(y.id(), Some(t(8, 4)));
+        assert_eq!(d.take_dirty(), vec![y.id()]);
+
+        d.try_set_range(x.id(), -2.0, 2.0).unwrap();
+        d.clear_range(x.id());
+        assert_eq!(d.take_dirty(), vec![x.id()]);
+
+        // A rejected annotation does not dirty anything.
+        assert!(d.try_set_range(x.id(), 1.0, -1.0).is_err());
+        assert!(d.take_dirty().is_empty());
+
+        // Error models shift the shared RNG stream: everything dirties.
+        d.set_error_sigma(x.id(), 0.01);
+        assert_eq!(d.take_dirty(), vec![x.id(), y.id()]);
+        d.clear_error(x.id());
+        assert_eq!(d.take_dirty(), vec![x.id(), y.id()]);
+    }
+
+    #[test]
+    fn static_schedule_is_declared_not_inferred() {
+        let d = Design::new();
+        assert!(!d.has_static_schedule());
+        d.declare_static_schedule();
+        assert!(d.has_static_schedule());
+    }
+
+    #[test]
+    fn passive_signals_simulate_but_do_not_monitor() {
+        let d = Design::new();
+        let x = d.sig_typed("x", t(8, 4));
+        let y = d.sig("y");
+        d.set_passive(&[x.id()]);
+        x.set(0.7); // quantizes to 11/16 on the fixed path
+        y.set(x.get() * 2.0);
+        let xr = d.report_by_id(x.id());
+        assert_eq!(xr.writes, 0);
+        assert_eq!(xr.reads, 0);
+        assert_eq!(xr.stat.count(), 0);
+        // ... but the value itself flowed through quantization as usual,
+        // so the active downstream signal observed the quantized value.
+        let yr = d.report_by_id(y.id());
+        assert_eq!(yr.writes, 1);
+        assert_eq!(yr.stat.max(), 2.0 * 11.0 / 16.0);
+        d.clear_passive();
+        x.set(0.7);
+        assert_eq!(d.report_by_id(x.id()).writes, 1);
+    }
+
+    #[test]
+    fn passive_run_plus_splice_equals_full_run() {
+        let stimulus = |d: &Design| {
+            let x = d.sig_handle(d.find("x").unwrap());
+            let y = d.sig_handle(d.find("y").unwrap());
+            for i in 0..32 {
+                x.set((i as f64 * 0.37).sin());
+                y.set(x.get() * 0.5 + 0.125);
+                d.tick();
+            }
+        };
+        let build = || {
+            let d = Design::new();
+            d.sig_typed("x", t(8, 4));
+            d.sig("y");
+            d
+        };
+
+        let full = build();
+        stimulus(&full);
+        let cached = full.export_stats();
+
+        // Re-run with x passive, then splice its cached stats back.
+        let part = build();
+        part.set_passive(&[part.find("x").unwrap()]);
+        stimulus(&part);
+        part.clear_passive();
+        let spliced: Vec<SignalStats> = cached.iter().filter(|s| s.name == "x").cloned().collect();
+        part.splice_stats(&spliced).unwrap();
+
+        assert_eq!(part.export_stats(), cached);
+    }
+
+    #[test]
+    fn splice_rejects_unknown_signals_without_side_effects() {
+        let d = Design::new();
+        let x = d.sig("x");
+        x.set(1.0);
+        let mut stats = d.export_stats();
+        stats[0].name = "ghost".into();
+        let err = d.splice_stats(&stats).unwrap_err();
+        assert_eq!(err.name, "ghost");
+        assert_eq!(d.report_by_id(x.id()).writes, 1);
+    }
+
+    #[test]
+    fn overflow_events_splice_back_in_cycle_order() {
+        let et = DType::new(
+            "e",
+            4,
+            2,
+            Signedness::TwosComplement,
+            OverflowMode::Error,
+            RoundingMode::Round,
+        )
+        .unwrap();
+        let d = Design::new();
+        let x = d.sig_typed("x", et);
+        x.set(100.0); // cycle 0
+        d.tick();
+        d.tick();
+        x.set(100.0); // cycle 2
+        let mut events = d.take_overflow_events();
+        assert_eq!(events.len(), 2);
+        // Pretend the cycle-0 event came from a passive signal's cache.
+        let early = events.remove(0);
+        d.splice_overflow_events(vec![early]);
+        d.splice_overflow_events(events);
+        let merged = d.peek_overflow_events();
+        assert_eq!(merged.len(), 2);
+        assert!(merged[0].cycle <= merged[1].cycle);
+        // peek does not drain.
+        assert_eq!(d.take_overflow_events().len(), 2);
     }
 }
 

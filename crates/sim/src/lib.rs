@@ -76,7 +76,7 @@ pub mod scenario;
 pub mod trace;
 pub mod value;
 
-pub use analyze::{analyze_ranges, RangeAnalysis};
+pub use analyze::{analyze_ranges, analyze_ranges_with, AnalyzeOptions, RangeAnalysis, RangeMemo};
 pub use design::{
     Design, OverflowEvent, Reg, RegArray, Sig, SigArray, SignalAnnotation, SignalId, SignalKind,
     SignalRef, SignalStats, UnknownSignalError,

@@ -205,7 +205,7 @@ impl Value {
         } else {
             match dtype.overflow() {
                 fixref_fixed::OverflowMode::Saturate => {
-                    self.itv.intersect(&Interval::from_dtype(dtype))
+                    self.itv.clamp_to(&Interval::from_dtype(dtype))
                 }
                 _ => self.itv,
             }
