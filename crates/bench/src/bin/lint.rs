@@ -1,0 +1,25 @@
+//! Renders the static-diagnostics reports for every example design.
+//!
+//! ```text
+//! cargo run --release -p fixref-bench --bin lint          # text
+//! cargo run --release -p fixref-bench --bin lint -- --jsonl
+//! ```
+//!
+//! The text form is what `tests/golden/lint_*.txt` pins in CI; the JSONL
+//! form is machine-readable (one diagnostic object per line, prefixed
+//! with the example name).
+
+fn main() {
+    let jsonl = std::env::args().any(|a| a == "--jsonl");
+    for example in fixref_bench::lint_example_designs() {
+        if jsonl {
+            for d in &example.report.diagnostics {
+                println!("{{\"example\":\"{}\",{}", example.name, &d.to_json()[1..]);
+            }
+        } else {
+            println!("=== {} ===", example.name);
+            print!("{}", example.report.render_text());
+            println!();
+        }
+    }
+}

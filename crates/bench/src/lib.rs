@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod cachebench;
+pub mod lintbench;
 pub mod microbench;
 pub mod sweep;
 
@@ -38,6 +39,7 @@ use fixref_obs::MetricsReport;
 use fixref_sim::{Design, SignalRef};
 
 pub use cachebench::{run_cache_bench, CacheBenchResult};
+pub use lintbench::{lint_example_designs, ExampleLint};
 pub use sweep::{
     lms_paper_scenario, lms_scenario_stimulus, lms_seed_grid, lms_shard_builder, run_sweep_bench,
     run_table1_swept, run_table2_swept, timing_shard_builder, ShardRow, SweepBenchResult,

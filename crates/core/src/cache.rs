@@ -80,6 +80,22 @@ pub(crate) fn plan_for(
     if graph.is_empty() || !design.has_static_schedule() {
         return CachePlan::Cold;
     }
+    // The Partial plan trusts the declared static schedule to make
+    // dataflow cones sound. Verify the declaration against the recorded
+    // run before trusting it: a strobe or data-dependent definition means
+    // the cone under-approximates what the dirty annotations can reach,
+    // so the only sound downgrade is a full live run. (Not Replay — with
+    // dirty signals a replay would splice stale monitors.)
+    let violations = fixref_lint::check_static_schedule(design);
+    if !violations.is_empty() {
+        recorder.record_event(Event::LintGateFailed {
+            context: "cache.partial".into(),
+            code: "FXL001".into(),
+            findings: violations.len(),
+        });
+        recorder.inc("lint.cache_gate_failures", 1);
+        return CachePlan::Cold;
+    }
     let cone: HashSet<SignalId> = graph.affected_cone(&dirty).into_iter().collect();
     let clean: Vec<SignalId> = (0..design.num_signals() as u32)
         .map(SignalId::from_raw)
@@ -200,6 +216,7 @@ impl EvalCache {
 mod tests {
     use super::*;
     use fixref_obs::DefaultRecorder;
+    use fixref_sim::SignalRef;
 
     fn tiny_design() -> Design {
         let d = Design::with_seed(7);
@@ -287,6 +304,47 @@ mod tests {
         // to Cold.
         d.set_range(d.find("x").unwrap(), -1.0, 1.0);
         assert_eq!(cache.plan(&d, false, &rec), CachePlan::Cold);
+    }
+
+    #[test]
+    fn broken_schedule_declaration_downgrades_partial_to_cold() {
+        // The author declares a static schedule, but a strobe gates one
+        // signal at half rate: FXL001 refutes the declaration, so the
+        // Partial plan must not be trusted even though every structural
+        // precondition (warm cache, graph, declaration, clean remainder)
+        // holds.
+        let d = Design::with_seed(7);
+        let x = d.sig("x");
+        let xs = d.sig("xs");
+        let slow = d.sig("slow");
+        let other = d.sig("other");
+        d.declare_static_schedule();
+        let rec = DefaultRecorder::new();
+        let mut cache = EvalCache::new();
+        let _ = cache.plan(&d, false, &rec);
+        d.record_graph(true);
+        for i in 0..64 {
+            x.set((i as f64 * 0.3).sin());
+            xs.set(x.get() * 0.5);
+            if i % 2 == 0 {
+                slow.set(xs.get() + 1.0);
+            }
+            other.set(x.get() * 2.0);
+            d.tick();
+        }
+        d.record_graph(false);
+        cache.store(&d);
+
+        // Dirty a leaf signal: `other` has a clean remainder, so absent
+        // the lint gate this would plan Partial.
+        d.set_range(other.id(), -2.0, 2.0);
+        assert_eq!(cache.plan(&d, false, &rec), CachePlan::Cold);
+        assert!(rec.events().iter().any(|e| matches!(
+            e,
+            Event::LintGateFailed { context, code, findings }
+                if context == "cache.partial" && code == "FXL001" && *findings == 1
+        )));
+        assert_eq!(rec.counter("lint.cache_gate_failures"), 1);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use fixref_fixed::{DType, Interval};
+use fixref_lint::{LintConfig, Linter, Severity as LintSeverity};
 use fixref_obs::{DefaultRecorder, Event, Phase, Recorder};
 use fixref_sim::{Design, SignalId};
 
@@ -41,6 +42,16 @@ pub enum FlowError {
         /// Names of the signals still unresolved.
         unresolved: Vec<String>,
     },
+    /// The pre-flight lint gate found diagnostics whose code the flow's
+    /// [`LintConfig`] maps to deny.
+    LintDenied {
+        /// The denied diagnostic code (`"FXL001"`, …).
+        code: String,
+        /// Number of findings with that code.
+        findings: usize,
+        /// The signals those findings are anchored to.
+        signals: Vec<String>,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -55,6 +66,15 @@ impl fmt::Display for FlowError {
                 "{phase} refinement did not converge after {iterations} iterations \
                  (unresolved: {})",
                 unresolved.join(", ")
+            ),
+            FlowError::LintDenied {
+                code,
+                findings,
+                signals,
+            } => write!(
+                f,
+                "pre-flight lint gate denied {code}: {findings} finding(s) on {}",
+                signals.join(", ")
             ),
         }
     }
@@ -347,6 +367,9 @@ pub struct RefinementFlow {
     /// When set, the closure-based entry points (`run`, `run_msb`, …)
     /// drive their simulations through a caching [`SequentialDriver`].
     cache_enabled: bool,
+    /// Per-code allow/warn/deny configuration of the pre-flight lint
+    /// gate. The default warns on everything, so no existing flow fails.
+    lint: LintConfig,
 }
 
 impl RefinementFlow {
@@ -383,6 +406,7 @@ impl RefinementFlow {
             pinned_explosion: HashSet::new(),
             recorder,
             cache_enabled: false,
+            lint: LintConfig::new(),
         }
     }
 
@@ -394,6 +418,72 @@ impl RefinementFlow {
     /// recorder as `cache.hits` / `cache.misses`.
     pub fn enable_cache(&mut self) {
         self.cache_enabled = true;
+    }
+
+    /// Configures the pre-flight lint gate. After the first (recorded)
+    /// MSB iteration the flow lints the design: every diagnostic is
+    /// journaled as [`Event::LintDiagnostic`], `Allow`ed codes are
+    /// suppressed, and if any finding carries a `Deny` code the flow
+    /// aborts with [`FlowError::LintDenied`] before spending further
+    /// iterations. The default configuration warns on everything.
+    pub fn set_lint_config(&mut self, config: LintConfig) {
+        self.lint = config;
+    }
+
+    /// The pre-flight lint gate's configuration.
+    pub fn lint_config(&self) -> &LintConfig {
+        &self.lint
+    }
+
+    /// The pre-flight lint gate: lints the design right after the first
+    /// recorded MSB iteration (graph and monitor counters are fresh),
+    /// journals every finding, mirrors severity counts onto the
+    /// `lint.*` recorder counters, and aborts on any denied code.
+    fn preflight_lint(&self) -> Result<(), FlowError> {
+        let report = Linter::with_config(self.lint.clone()).run(&self.design);
+        for d in &report.diagnostics {
+            self.recorder.record_event(Event::LintDiagnostic {
+                code: d.code.as_str().into(),
+                severity: d.severity.as_str().into(),
+                signal: d.signal.clone(),
+                message: d.message.clone(),
+            });
+        }
+        let errors = report.count(LintSeverity::Error);
+        let warnings = report.count(LintSeverity::Warning);
+        let infos = report.count(LintSeverity::Info);
+        self.recorder.record_event(Event::LintCompleted {
+            errors,
+            warnings,
+            infos,
+        });
+        for (counter, n) in [
+            ("lint.errors", errors),
+            ("lint.warnings", warnings),
+            ("lint.infos", infos),
+        ] {
+            if n > 0 {
+                self.recorder.inc(counter, n as u64);
+            }
+        }
+        let denied = report.denied(&self.lint);
+        if let Some(first) = denied.first() {
+            let code = first.code;
+            let offenders: Vec<&&fixref_lint::Diagnostic> =
+                denied.iter().filter(|d| d.code == code).collect();
+            self.recorder.record_event(Event::LintGateFailed {
+                context: "flow.preflight".into(),
+                code: code.as_str().into(),
+                findings: offenders.len(),
+            });
+            self.recorder.inc("lint.flow_gate_failures", 1);
+            return Err(FlowError::LintDenied {
+                code: code.as_str().into(),
+                findings: offenders.len(),
+                signals: offenders.iter().map(|d| d.signal.clone()).collect(),
+            });
+        }
+        Ok(())
     }
 
     /// Builds the sequential driver honoring
@@ -563,6 +653,7 @@ impl RefinementFlow {
                         feedback.insert(sig);
                     }
                 }
+                self.preflight_lint()?;
             }
 
             let mut analyses: Vec<MsbAnalysis> = self

@@ -100,6 +100,7 @@ fn msb_phase_errors_without_auto_range() {
             assert_eq!(phase, "msb");
             assert_eq!(unresolved, vec!["acc".to_string()]);
         }
+        other => panic!("expected NotConverged, got {other}"),
     }
 }
 
@@ -278,4 +279,78 @@ fn mean_msb_overhead_reports_tradeoff_cost() {
     if let Some(overhead) = outcome.mean_msb_overhead() {
         assert!((0.0..=3.0).contains(&overhead), "overhead {overhead}");
     }
+}
+
+#[test]
+fn preflight_lint_journals_the_accumulator_feedback_warning() {
+    use fixref_obs::Event;
+    let (d, x, acc, y) = build(11);
+    let mut flow = RefinementFlow::new(d, RefinePolicy::default());
+    flow.run(stimulus(x, acc, y)).expect("converges");
+    let journal = flow.journal();
+    // The acc <- acc feedback cycle has no clamp at lint time, so the
+    // default (all-warn) gate reports FXL002 and moves on.
+    assert!(
+        journal.iter().any(|e| matches!(
+            e,
+            Event::LintDiagnostic { code, signal, .. } if code == "FXL002" && signal == "acc"
+        )),
+        "missing FXL002 on acc: {journal:?}"
+    );
+    assert!(journal.iter().any(|e| matches!(
+        e,
+        Event::LintCompleted { warnings, .. } if *warnings > 0
+    )));
+    assert!(flow.recorder().counter("lint.warnings") > 0);
+    // Nothing was denied.
+    assert!(!journal
+        .iter()
+        .any(|e| matches!(e, Event::LintGateFailed { .. })));
+}
+
+#[test]
+fn denied_lint_code_aborts_the_flow_before_iteration_two() {
+    use fixref_lint::{Code, LintConfig};
+    use fixref_obs::Event;
+    let (d, x, acc, y) = build(12);
+    let mut flow = RefinementFlow::new(d, RefinePolicy::default());
+    flow.set_lint_config(LintConfig::new().deny(Code::UnclampedFeedback));
+    let err = flow.run(stimulus(x, acc, y)).expect_err("gate denies");
+    match err {
+        FlowError::LintDenied {
+            code,
+            findings,
+            signals,
+        } => {
+            assert_eq!(code, "FXL002");
+            assert_eq!(findings, 1);
+            assert_eq!(signals, vec!["acc".to_string()]);
+        }
+        other => panic!("expected LintDenied, got {other}"),
+    }
+    assert!(flow.journal().iter().any(|e| matches!(
+        e,
+        Event::LintGateFailed { context, code, .. }
+            if context == "flow.preflight" && code == "FXL002"
+    )));
+    // Only the recorded first iteration ran.
+    assert_eq!(flow.recorder().counter("lint.flow_gate_failures"), 1);
+}
+
+#[test]
+fn allowed_codes_are_suppressed_from_the_journal() {
+    use fixref_lint::{Code, LintConfig};
+    use fixref_obs::Event;
+    let (d, x, acc, y) = build(13);
+    let mut flow = RefinementFlow::new(d, RefinePolicy::default());
+    flow.set_lint_config(
+        LintConfig::new()
+            .allow(Code::UnclampedFeedback)
+            .allow(Code::DeadOrMultiplyDefined),
+    );
+    flow.run(stimulus(x, acc, y)).expect("converges");
+    assert!(!flow
+        .journal()
+        .iter()
+        .any(|e| matches!(e, Event::LintDiagnostic { .. })));
 }

@@ -1,0 +1,64 @@
+//! `fixref-lint` — static diagnostics over the recorded signal-flow graph.
+//!
+//! The refinement flow (paper, Section 3) trusts two structural
+//! assumptions it never re-checks dynamically: that a design declared
+//! statically scheduled really is (every signal assigned by one dataflow
+//! expression at one rate), and that analytical range propagation has a
+//! fighting chance (every feedback cycle bounded somewhere). This crate
+//! checks those — plus the wrap/truncation hazard patterns of Section 5 —
+//! *statically*, from the graph and monitor counters a recorded simulation
+//! already produced, before any refinement iteration is spent.
+//!
+//! # Passes
+//!
+//! | Code | Checks |
+//! |------|--------|
+//! | `FXL001` | static-schedule verification: multiple dataflow definitions or producer/consumer rate divergence |
+//! | `FXL002` | feedback cycle with no saturating, clamped or `range()`-annotated member |
+//! | `FXL003` | wrap-mode signal steering a `select` condition |
+//! | `FXL004` | declared `range()`/dtype narrower than the propagated interval under wrap overflow |
+//! | `FXL005` | floor (truncating) rounding inside a feedback cycle |
+//! | `FXL006` | dead or multiply-defined signals |
+//!
+//! # Usage
+//!
+//! ```
+//! use fixref_lint::{Code, LintConfig, Linter};
+//! use fixref_sim::Design;
+//!
+//! let d = Design::new();
+//! let x = d.sig("x");
+//! let acc = d.reg("acc");
+//! d.record_graph(true);
+//! for i in 0..32 {
+//!     x.set(i as f64 * 0.1);
+//!     acc.set(acc.get() * 0.95 + x.get());
+//!     d.tick();
+//! }
+//! d.record_graph(false);
+//!
+//! let report = Linter::new().run(&d);
+//! // The unclamped accumulator feedback loop is flagged.
+//! assert_eq!(report.with_code(Code::UnclampedFeedback).len(), 1);
+//! // Suppressing the code yields a clean report.
+//! let quiet = Linter::with_config(LintConfig::new().allow(Code::UnclampedFeedback))
+//!     .run(&d);
+//! assert!(quiet.with_code(Code::UnclampedFeedback).is_empty());
+//! ```
+//!
+//! Reports are deterministic: diagnostics are sorted by
+//! `(code, signal, message)` and every pass iterates in signal-id order,
+//! so the same design snapshot renders bit-identical text and JSONL on
+//! every run, platform and `FIXREF_TEST_SHARDS` value.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod diagnostic;
+mod input;
+mod passes;
+
+pub use diagnostic::{Action, Code, Diagnostic, LintConfig, LintReport, Severity};
+pub use input::{LintInput, SignalInfo};
+pub use passes::{check_static_schedule, Linter};

@@ -184,6 +184,38 @@ pub enum Event {
         /// Upper clamped bound.
         hi: f64,
     },
+    /// One static-lint finding (pre-flight diagnostics over the recorded
+    /// signal-flow graph).
+    LintDiagnostic {
+        /// The stable diagnostic code (`"FXL001"`, …).
+        code: String,
+        /// Severity wire form (`"info"` / `"warning"` / `"error"`).
+        severity: String,
+        /// The signal the finding is anchored to.
+        signal: String,
+        /// Human-readable explanation.
+        message: String,
+    },
+    /// A lint run over the design finished.
+    LintCompleted {
+        /// Error-severity findings.
+        errors: usize,
+        /// Warning-severity findings.
+        warnings: usize,
+        /// Info-severity findings.
+        infos: usize,
+    },
+    /// A lint-backed gate rejected something: the pre-flight flow gate
+    /// hit a denied code, or the evaluation cache refused a partial plan
+    /// because the declared static schedule did not verify.
+    LintGateFailed {
+        /// Which gate failed (`"flow.preflight"` / `"cache.partial"`).
+        context: String,
+        /// The diagnostic code that triggered the failure.
+        code: String,
+        /// Number of findings with that code.
+        findings: usize,
+    },
 }
 
 impl Event {
@@ -204,6 +236,9 @@ impl Event {
             Event::ShardMerged { .. } => "shard_merged",
             Event::CacheInvalidated { .. } => "cache_invalidated",
             Event::RangeClamped { .. } => "range_clamped",
+            Event::LintDiagnostic { .. } => "lint_diagnostic",
+            Event::LintCompleted { .. } => "lint_completed",
+            Event::LintGateFailed { .. } => "lint_gate_failed",
         }
     }
 
@@ -302,6 +337,34 @@ impl Event {
                 escape(signal),
                 fmt_f64(*lo),
                 fmt_f64(*hi)
+            ),
+            Event::LintDiagnostic {
+                code,
+                severity,
+                signal,
+                message,
+            } => format!(
+                r#"{{"event":"{kind}","code":"{}","severity":"{}","signal":"{}","message":"{}"}}"#,
+                escape(code),
+                escape(severity),
+                escape(signal),
+                escape(message)
+            ),
+            Event::LintCompleted {
+                errors,
+                warnings,
+                infos,
+            } => format!(
+                r#"{{"event":"{kind}","errors":{errors},"warnings":{warnings},"infos":{infos}}}"#
+            ),
+            Event::LintGateFailed {
+                context,
+                code,
+                findings,
+            } => format!(
+                r#"{{"event":"{kind}","context":"{}","code":"{}","findings":{findings}}}"#,
+                escape(context),
+                escape(code)
             ),
         }
     }
@@ -408,6 +471,22 @@ impl Event {
                 lo: f("lo")?,
                 hi: f("hi")?,
             }),
+            "lint_diagnostic" => Ok(Event::LintDiagnostic {
+                code: s("code")?,
+                severity: s("severity")?,
+                signal: s("signal")?,
+                message: s("message")?,
+            }),
+            "lint_completed" => Ok(Event::LintCompleted {
+                errors: u("errors")? as usize,
+                warnings: u("warnings")? as usize,
+                infos: u("infos")? as usize,
+            }),
+            "lint_gate_failed" => Ok(Event::LintGateFailed {
+                context: s("context")?,
+                code: s("code")?,
+                findings: u("findings")? as usize,
+            }),
             other => Err(JsonError {
                 message: format!("unknown event tag {other:?}"),
                 offset: 0,
@@ -492,6 +571,28 @@ impl fmt::Display for Event {
             Event::RangeClamped { signal, lo, hi } => {
                 write!(f, "division range of {signal} clamped to [{lo}, {hi}]")
             }
+            Event::LintDiagnostic {
+                code,
+                severity,
+                signal,
+                message,
+            } => write!(f, "{code} {severity} {signal}: {message}"),
+            Event::LintCompleted {
+                errors,
+                warnings,
+                infos,
+            } => write!(
+                f,
+                "lint: {errors} error(s), {warnings} warning(s), {infos} info(s)"
+            ),
+            Event::LintGateFailed {
+                context,
+                code,
+                findings,
+            } => write!(
+                f,
+                "lint gate {context} failed: {findings} {code} finding(s)"
+            ),
         }
     }
 }
@@ -567,6 +668,22 @@ mod tests {
                 signal: "q".into(),
                 lo: -8.0,
                 hi: 7.9375,
+            },
+            Event::LintDiagnostic {
+                code: "FXL001".into(),
+                severity: "error".into(),
+                signal: "mu".into(),
+                message: "written 5999 times, producers at 12000".into(),
+            },
+            Event::LintCompleted {
+                errors: 1,
+                warnings: 4,
+                infos: 2,
+            },
+            Event::LintGateFailed {
+                context: "cache.partial".into(),
+                code: "FXL001".into(),
+                findings: 3,
             },
         ]
     }

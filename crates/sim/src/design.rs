@@ -351,8 +351,12 @@ impl Design {
     }
 
     fn add_signal(&self, name: &str, kind: SignalKind, dtype: Option<DType>) -> SignalId {
-        self.try_add_signal(name, kind, dtype)
-            .unwrap_or_else(|e| panic!("{e}"))
+        match self.try_add_signal(name, kind, dtype) {
+            Ok(id) => id,
+            // The infallible constructors document this panic; paths that
+            // take signal names from user input go through `try_*` instead.
+            Err(e) => panic!("{e}"),
+        }
     }
 
     fn try_add_signal(

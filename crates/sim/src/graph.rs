@@ -381,6 +381,64 @@ mod tests {
     }
 
     #[test]
+    fn fan_in_unions_over_multiple_definitions() {
+        // phase(2) is multiply-defined: one branch reads x(0), the other
+        // reads y(1). Its fan-in is the union of both definitions.
+        let mut g = Graph::new();
+        let x = g.add(Op::Read(sid(0)), vec![]);
+        let nx = g.add(Op::Neg, vec![x]);
+        g.record_def(sid(2), nx);
+        let y = g.add(Op::Read(sid(1)), vec![]);
+        let ay = g.add(Op::Abs, vec![y]);
+        g.record_def(sid(2), ay);
+        assert_eq!(g.fan_in(sid(2)), vec![sid(0), sid(1)]);
+    }
+
+    #[test]
+    fn fan_in_of_a_self_loop_includes_the_signal_itself() {
+        // acc(1) = acc + x: the accumulator is in its own fan-in.
+        let mut g = Graph::new();
+        let x = g.add(Op::Read(sid(0)), vec![]);
+        let acc = g.add(Op::Read(sid(1)), vec![]);
+        let sum = g.add(Op::Add, vec![acc, x]);
+        g.record_def(sid(1), sum);
+        assert_eq!(g.fan_in(sid(1)), vec![sid(0), sid(1)]);
+    }
+
+    #[test]
+    fn affected_cone_covers_every_definition_of_a_multiply_defined_signal() {
+        // phase(2) has two defs — one reading x(0), one reading y(1) —
+        // and out(3) reads phase. Changing either input must pull in
+        // phase and everything downstream of it.
+        let mut g = Graph::new();
+        let x = g.add(Op::Read(sid(0)), vec![]);
+        let nx = g.add(Op::Neg, vec![x]);
+        g.record_def(sid(2), nx);
+        let y = g.add(Op::Read(sid(1)), vec![]);
+        let ay = g.add(Op::Abs, vec![y]);
+        g.record_def(sid(2), ay);
+        let p = g.add(Op::Read(sid(2)), vec![]);
+        let np = g.add(Op::Neg, vec![p]);
+        g.record_def(sid(3), np);
+        assert_eq!(g.affected_cone(&[sid(0)]), vec![sid(0), sid(2), sid(3)]);
+        assert_eq!(g.affected_cone(&[sid(1)]), vec![sid(1), sid(2), sid(3)]);
+    }
+
+    #[test]
+    fn affected_cone_of_a_self_loop_root_is_a_fixpoint() {
+        // acc(1) = acc + x(0): the cone of acc is {acc} plus fan-out,
+        // and re-running from that cone returns the same set.
+        let mut g = Graph::new();
+        let x = g.add(Op::Read(sid(0)), vec![]);
+        let acc = g.add(Op::Read(sid(1)), vec![]);
+        let sum = g.add(Op::Add, vec![acc, x]);
+        g.record_def(sid(1), sum);
+        let cone = g.affected_cone(&[sid(1)]);
+        assert_eq!(cone, vec![sid(1)]);
+        assert_eq!(g.affected_cone(&cone), cone);
+    }
+
+    #[test]
     fn iter_is_topological() {
         let mut g = Graph::new();
         let a = g.add(Op::Read(sid(0)), vec![]);
@@ -406,18 +464,42 @@ mod tests {
     }
 }
 
+/// Escapes a string for use inside a double-quoted DOT label.
+fn dot_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 impl Graph {
     /// Renders the graph in Graphviz DOT format, with signal names
     /// resolved through `name_of` (pass `|id| id.to_string()` when no
     /// design is at hand). Definition edges are drawn bold; operator
-    /// nodes are boxes, reads/constants are ellipses.
+    /// nodes are boxes, reads/constants are ellipses. Feedback — a node
+    /// reading a signal that is also defined in this graph — is closed
+    /// with a dashed red back-edge from the signal's definition sink to
+    /// the reader, so register loops are visible in the rendering.
+    /// Quotes and backslashes in signal names are escaped.
     pub fn to_dot(&self, mut name_of: impl FnMut(SignalId) -> String) -> String {
         use std::fmt::Write as _;
         let mut out = String::from("digraph sfg {\n  rankdir=LR;\n");
+        let mut back_edges: Vec<(SignalId, NodeId)> = Vec::new();
         for (id, node) in self.iter() {
             let (label, shape) = match &node.op {
                 Op::Const(c) => (format!("{c}"), "ellipse"),
-                Op::Read(s) => (name_of(*s), "ellipse"),
+                Op::Read(s) => {
+                    if !self.defs(*s).is_empty() {
+                        back_edges.push((*s, id));
+                    }
+                    (name_of(*s), "ellipse")
+                }
                 Op::Add => ("+".to_string(), "box"),
                 Op::Sub => ("-".to_string(), "box"),
                 Op::Mul => ("*".to_string(), "box"),
@@ -429,7 +511,11 @@ impl Graph {
                 Op::Cast(dt) => (format!("cast {dt}"), "box"),
                 Op::Select => ("sel".to_string(), "diamond"),
             };
-            let _ = writeln!(out, "  {id} [label=\"{label}\", shape={shape}];");
+            let _ = writeln!(
+                out,
+                "  {id} [label=\"{}\", shape={shape}];",
+                dot_escape(&label)
+            );
             for arg in &node.args {
                 let _ = writeln!(out, "  {arg} -> {id};");
             }
@@ -440,12 +526,20 @@ impl Graph {
             let name = name_of(sig);
             let _ = writeln!(
                 out,
-                "  \"def_{}\" [label=\"{name}\", shape=ellipse, style=bold];",
-                sig.raw()
+                "  \"def_{}\" [label=\"{}\", shape=ellipse, style=bold];",
+                sig.raw(),
+                dot_escape(&name)
             );
             for def in self.defs(sig) {
                 let _ = writeln!(out, "  {def} -> \"def_{}\" [style=bold];", sig.raw());
             }
+        }
+        for (sig, reader) in back_edges {
+            let _ = writeln!(
+                out,
+                "  \"def_{}\" -> {reader} [style=dashed, color=red, constraint=false];",
+                sig.raw()
+            );
         }
         out.push_str("}\n");
         out
@@ -487,5 +581,59 @@ mod dot_tests {
         let dot = g.to_dot(|id| format!("s{}", id.raw()));
         assert!(dot.contains("shape=diamond"));
         assert!(dot.contains("cast <8,4,tc"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes_and_backslashes_in_signal_names() {
+        let mut g = Graph::new();
+        let r = g.add(Op::Read(SignalId(0)), vec![]);
+        let n = g.add(Op::Neg, vec![r]);
+        g.record_def(SignalId(1), n);
+        let dot = g.to_dot(|id| {
+            if id.raw() == 0 {
+                "x\"quoted\"".to_string()
+            } else {
+                "y\\back".to_string()
+            }
+        });
+        assert!(dot.contains("label=\"x\\\"quoted\\\"\""));
+        assert!(dot.contains("label=\"y\\\\back\""));
+        // No label line may contain a raw, unescaped interior quote.
+        for line in dot.lines().filter(|l| l.contains("label=")) {
+            let inner = line.split("label=\"").nth(1).unwrap();
+            let body = &inner[..inner.rfind('"').unwrap()];
+            let mut chars = body.chars();
+            while let Some(c) = chars.next() {
+                if c == '\\' {
+                    chars.next();
+                } else {
+                    assert_ne!(c, '"', "unescaped quote in {line}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_marks_feedback_back_edges_on_a_cyclic_lms_graph() {
+        // LMS-shaped feedback: w(1) = w + mu * x(0); y(2) = w * x. The
+        // Read(w) node closes a cycle through w's definition, which must
+        // be rendered as a dashed back-edge; the pure input x must not.
+        let mut g = Graph::new();
+        let x = g.add(Op::Read(SignalId(0)), vec![]);
+        let w = g.add(Op::Read(SignalId(1)), vec![]);
+        let mu = g.add(Op::Const(0.25), vec![]);
+        let step = g.add(Op::Mul, vec![mu, x]);
+        let upd = g.add(Op::Add, vec![w, step]);
+        g.record_def(SignalId(1), upd);
+        let y = g.add(Op::Mul, vec![w, x]);
+        g.record_def(SignalId(2), y);
+        let dot = g.to_dot(|id| format!("s{}", id.raw()));
+        // Exactly one back-edge: def_1 (w) feeding its own Read node.
+        let back: Vec<&str> = dot.lines().filter(|l| l.contains("style=dashed")).collect();
+        assert_eq!(back.len(), 1, "expected one back-edge in:\n{dot}");
+        assert!(back[0].contains("\"def_1\" -> "));
+        assert!(back[0].contains("color=red"));
+        // The pure input x is never a back-edge source.
+        assert!(!dot.contains("\"def_0\" ->"));
     }
 }

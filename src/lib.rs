@@ -12,6 +12,8 @@
 //!   engine, flow driver and baseline strategies;
 //! * [`dsp`] — the evaluation workloads: LMS equalizer, PAM timing-recovery
 //!   loop and the DSP blocks they are built from;
+//! * [`lint`] — static diagnostics over the signal-flow graph: the
+//!   `FXL###` pass registry and the static-schedule checker;
 //! * [`codegen`] — the VHDL back-end;
 //! * [`obs`] — observability: recorders, the structured event journal and
 //!   metrics reports every layer above feeds.
@@ -37,6 +39,7 @@ pub use fixref_codegen as codegen;
 pub use fixref_core as refine;
 pub use fixref_dsp as dsp;
 pub use fixref_fixed as fixed;
+pub use fixref_lint as lint;
 pub use fixref_obs as obs;
 pub use fixref_sim as sim;
 
