@@ -1,0 +1,69 @@
+//! Fault-tolerance overhead benchmark: times the Table 1/2 refinement
+//! flow plain vs. with per-iteration checkpointing, and the
+//! `catch_unwind` shard-isolation boundary against a direct call, then
+//! writes the result to `BENCH_fault.json`.
+//!
+//! ```text
+//! cargo run --release -p fixref-bench --bin fault -- [--samples N] [--repeats N] [--json]
+//! ```
+//!
+//! Defaults: `LMS_SAMPLES` samples, 3 repeats (minimum wall time wins).
+//! `--json` prints the JSON document to stdout instead of the human
+//! summary (the file is written either way).
+
+use fixref_bench::{run_fault_bench, LMS_SAMPLES};
+
+fn parse_flag(args: &[String], name: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let samples = parse_flag(&args, "--samples", LMS_SAMPLES);
+    let repeats = parse_flag(&args, "--repeats", 3);
+
+    let result = run_fault_bench(samples, repeats).expect("refinement converges");
+
+    let rendered = result.render_json();
+    if let Err(e) = std::fs::write("BENCH_fault.json", rendered.as_bytes()) {
+        eprintln!("warning: could not write BENCH_fault.json: {e}");
+    }
+
+    if json {
+        println!("{rendered}");
+    } else {
+        println!("Fault tolerance — LMS equalizer, {samples} samples, best of {repeats}");
+        println!("==================================================================");
+        println!(
+            "flow: plain {:.2} ms   checkpointed {:.2} ms   overhead {:+.2}%",
+            result.plain_ns as f64 / 1e6,
+            result.checkpointed_ns as f64 / 1e6,
+            result.checkpoint_overhead_pct
+        );
+        println!(
+            "checkpoints: {} written, final document {} bytes",
+            result.checkpoints_written, result.checkpoint_bytes
+        );
+        println!(
+            "isolation: {:.0} ns/job isolated vs {:.0} ns/job direct ({:+.0} ns catch_unwind cost)",
+            result.isolated_ns_per_job, result.direct_ns_per_job, result.isolation_cost_ns
+        );
+        println!("outcomes match: {}", result.outcomes_match);
+    }
+
+    if !result.outcomes_match {
+        eprintln!("error: checkpointed and plain refinements disagree");
+        std::process::exit(1);
+    }
+    if result.checkpoint_overhead_pct > 3.0 {
+        eprintln!(
+            "warning: checkpoint overhead {:.2}% above the 3% target (noisy machine?)",
+            result.checkpoint_overhead_pct
+        );
+    }
+}

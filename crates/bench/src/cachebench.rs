@@ -127,11 +127,25 @@ pub fn run_cache_bench(samples: usize) -> Result<CacheBenchResult, FlowError> {
     let recorder = Arc::new(DefaultRecorder::new());
 
     let start = Instant::now();
-    let cold_cycles = driver.simulate(&design, &recorder, 0, true);
+    let cold_cycles =
+        driver
+            .simulate(&design, &recorder, 0, true)
+            .map_err(|f| FlowError::ShardFailed {
+                shard: f.shard,
+                scenario: f.scenario,
+                cause: f.cause,
+            })?;
     let cold_ns = start.elapsed().as_nanos();
 
     let start = Instant::now();
-    let warm_cycles = driver.simulate(&design, &recorder, 1, false);
+    let warm_cycles =
+        driver
+            .simulate(&design, &recorder, 1, false)
+            .map_err(|f| FlowError::ShardFailed {
+                shard: f.shard,
+                scenario: f.scenario,
+                cause: f.cause,
+            })?;
     let warm_ns = start.elapsed().as_nanos();
 
     let (driver_hits, driver_misses) = driver

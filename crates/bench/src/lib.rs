@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod cachebench;
+pub mod faultbench;
 pub mod lintbench;
 pub mod microbench;
 pub mod sweep;
@@ -39,6 +40,7 @@ use fixref_obs::MetricsReport;
 use fixref_sim::{Design, SignalRef};
 
 pub use cachebench::{run_cache_bench, CacheBenchResult};
+pub use faultbench::{run_fault_bench, FaultBenchResult};
 pub use lintbench::{lint_example_designs, ExampleLint};
 pub use sweep::{
     lms_paper_scenario, lms_scenario_stimulus, lms_seed_grid, lms_shard_builder, run_sweep_bench,

@@ -198,6 +198,32 @@ impl EvalCache {
         design.splice_overflow_events(events);
     }
 
+    /// Exports the cached monitors for checkpointing:
+    /// `(stats, overflow_events, cycles)`, or `None` when the cache is
+    /// cold. Pair with [`EvalCache::restore`].
+    pub fn snapshot(&self) -> Option<(Vec<SignalStats>, Vec<OverflowEvent>, u64)> {
+        self.stats
+            .as_ref()
+            .map(|stats| (stats.clone(), self.overflow_events.clone(), self.cycles))
+    }
+
+    /// Rebuilds a warm cache from checkpointed parts, so a resumed flow
+    /// replays and invalidates exactly like the uninterrupted run.
+    /// Hit/miss accounting restarts at zero.
+    pub fn restore(
+        stats: Vec<SignalStats>,
+        overflow_events: Vec<OverflowEvent>,
+        cycles: u64,
+    ) -> Self {
+        EvalCache {
+            stats: Some(stats),
+            overflow_events,
+            cycles,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
     /// Accounts `spliced` cache hits and `live` misses, mirroring them
     /// onto the recorder's `cache.hits` / `cache.misses` counters.
     pub fn note(&mut self, recorder: &dyn Recorder, spliced: u64, live: u64) {

@@ -18,14 +18,17 @@
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use fixref_fixed::{DType, Interval};
 use fixref_lint::{LintConfig, Linter, Severity as LintSeverity};
 use fixref_obs::{DefaultRecorder, Event, Phase, Recorder};
-use fixref_sim::{Design, SignalId};
+use fixref_sim::{Design, FaultPlan, OverflowEvent, SignalId, SignalStats};
 
 use crate::cache::{CachePlan, EvalCache};
+use crate::checkpoint::{CacheState, Checkpoint, CheckpointError, Cursor};
 use crate::lsb::{analyze_lsb, LsbAnalysis, LsbStatus};
 use crate::msb::{analyze_msb, MsbAnalysis, MsbDecision};
 use crate::policy::RefinePolicy;
@@ -52,6 +55,25 @@ pub enum FlowError {
         /// The signals those findings are anchored to.
         signals: Vec<String>,
     },
+    /// A scenario shard failed under a `Strict` fault policy.
+    ShardFailed {
+        /// 0-based scenario index of the failed shard.
+        shard: usize,
+        /// The scenario label (`Scenario::label`) naming seed, SNR and
+        /// sample count.
+        scenario: String,
+        /// The captured panic message or failure cause.
+        cause: String,
+    },
+    /// The flow was interrupted by an injected crash
+    /// ([`FaultPlan::abort_after_checkpoint`]) — the deterministic
+    /// stand-in for a killed process. Resume with
+    /// [`RefinementFlow::resume_from`].
+    Interrupted {
+        /// Sequence number of the last checkpoint processed before the
+        /// abort.
+        checkpoint: usize,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -76,11 +98,132 @@ impl fmt::Display for FlowError {
                 "pre-flight lint gate denied {code}: {findings} finding(s) on {}",
                 signals.join(", ")
             ),
+            FlowError::ShardFailed {
+                shard,
+                scenario,
+                cause,
+            } => write!(f, "shard {shard} ({scenario}) failed: {cause}"),
+            FlowError::Interrupted { checkpoint } => {
+                write!(f, "flow interrupted after checkpoint {checkpoint}")
+            }
         }
     }
 }
 
 impl Error for FlowError {}
+
+/// A shard failure surfaced through [`SimDriver::simulate`] — the
+/// driver-level form a `Strict` sweep converts into
+/// [`FlowError::ShardFailed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimFault {
+    /// 0-based scenario index of the failed shard.
+    pub shard: usize,
+    /// The scenario label.
+    pub scenario: String,
+    /// Attempts made before giving up.
+    pub attempts: usize,
+    /// The captured panic message or failure cause.
+    pub cause: String,
+}
+
+impl fmt::Display for SimFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {} ({}) failed after {} attempt(s): {}",
+            self.shard, self.scenario, self.attempts, self.cause
+        )
+    }
+}
+
+/// How much of a scenario sweep actually contributed to the merged
+/// statistics — `N of M scenarios`, with the quarantined stragglers named.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepCoverage {
+    /// Scenarios whose shards completed and merged in the last live sweep.
+    pub completed: usize,
+    /// Total scenarios in the sweep.
+    pub total: usize,
+    /// Labels of quarantined scenarios (failed repeatedly; no longer
+    /// re-simulated).
+    pub quarantined: Vec<String>,
+}
+
+impl SweepCoverage {
+    /// Whether every scenario contributed.
+    pub fn is_full(&self) -> bool {
+        self.completed == self.total && self.quarantined.is_empty()
+    }
+
+    /// The `"N of M scenarios"` rendering used in reports.
+    pub fn summary(&self) -> String {
+        format!("{} of {} scenarios", self.completed, self.total)
+    }
+}
+
+impl fmt::Display for SweepCoverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.summary())?;
+        if !self.quarantined.is_empty() {
+            write!(f, " (quarantined: {})", self.quarantined.join("; "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Whether a flow ran to completion or returned best-so-far results.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum FlowStatus {
+    /// Every phase ran to convergence and verification completed.
+    #[default]
+    Complete,
+    /// A [`RunBudget`] ran out: the outcome carries the best-so-far
+    /// annotations and analyses instead of an error.
+    Partial {
+        /// Which budget ran out and where.
+        reason: String,
+    },
+}
+
+impl FlowStatus {
+    /// Whether the outcome is best-so-far rather than complete.
+    pub fn is_partial(&self) -> bool {
+        matches!(self, FlowStatus::Partial { .. })
+    }
+}
+
+/// Deadline budgets for a refinement run. When a budget runs out the flow
+/// stops iterating, journals [`Event::BudgetExhausted`], and returns its
+/// best-so-far annotation set with [`FlowStatus::Partial`] — never an
+/// error. At least one iteration always completes before the budgets are
+/// consulted, so there is always *something* to return.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Wall-clock ceiling measured from the first budgeted phase entry.
+    pub wall: Option<Duration>,
+    /// Ceiling on monitored simulations (MSB + LSB iterations and the
+    /// verification run all count one each).
+    pub max_simulations: Option<u64>,
+}
+
+impl RunBudget {
+    /// A wall-clock-only budget.
+    pub fn wall(limit: Duration) -> Self {
+        RunBudget {
+            wall: Some(limit),
+            max_simulations: None,
+        }
+    }
+
+    /// A simulation-count-only budget.
+    pub fn simulations(limit: u64) -> Self {
+        RunBudget {
+            wall: None,
+            max_simulations: Some(limit),
+        }
+    }
+}
 
 /// An automatic annotation the flow inserted.
 #[derive(Debug, Clone, PartialEq)]
@@ -173,6 +316,12 @@ pub struct FlowOutcome {
     pub unrefined: Vec<String>,
     /// The verification run's findings.
     pub verify: VerifyOutcome,
+    /// Whether the flow ran to completion or stopped on an exhausted
+    /// [`RunBudget`] with best-so-far results.
+    pub status: FlowStatus,
+    /// Scenario-sweep coverage of the final merged statistics (swept runs
+    /// only; `None` for the sequential driver).
+    pub coverage: Option<SweepCoverage>,
 }
 
 impl FlowOutcome {
@@ -239,14 +388,46 @@ pub trait SimDriver {
     /// and state first, and — when `record_graph` is set — for leaving a
     /// freshly recorded signal-flow graph on the design. Journals and
     /// counters go to `recorder`. Returns the number of cycles simulated
-    /// (summed over shards for a swept run).
+    /// (summed over shards for a swept run), or [`SimFault`] when a shard
+    /// failed under a `Strict` fault policy (the sequential driver never
+    /// fails — a panic in its stimulus propagates).
+    ///
+    /// # Errors
+    ///
+    /// [`SimFault`] naming the failed shard and scenario.
     fn simulate(
         &mut self,
         design: &Design,
         recorder: &Arc<DefaultRecorder>,
         iteration: usize,
         record_graph: bool,
-    ) -> u64;
+    ) -> Result<u64, SimFault>;
+
+    /// Coverage of the most recent live sweep, for drivers that fan out
+    /// over scenarios. The sequential driver reports `None`.
+    fn coverage(&self) -> Option<SweepCoverage> {
+        None
+    }
+
+    /// Whether the driver holds a warm evaluation cache (checkpointing
+    /// records this so a resumed flow can restore it).
+    fn cache_is_warm(&self) -> bool {
+        false
+    }
+
+    /// The warm cache's monitor snapshot `(stats, overflow events,
+    /// cycles)` for checkpointing, when one exists.
+    fn cache_snapshot(&self) -> Option<(Vec<SignalStats>, Vec<OverflowEvent>, u64)> {
+        None
+    }
+
+    /// Called once before the first simulation of a resumed flow when the
+    /// checkpoint recorded a warm cache with `dirty` pending invalidated
+    /// signals. Drivers whose cache is *not* serialized (the sweep driver)
+    /// use this to re-journal the `CacheInvalidated` event the original
+    /// run would have emitted; the sequential driver restores its cache
+    /// directly and needs no help.
+    fn resume_invalidation(&mut self, _dirty: usize) {}
 }
 
 /// The built-in driver: one sequential simulation of the flow's design,
@@ -279,6 +460,16 @@ impl<F: FnMut(&Design, usize)> SequentialDriver<F> {
         }
     }
 
+    /// A caching driver whose cache starts pre-warmed from a checkpoint's
+    /// monitor snapshot — the resume path's way of making cached replays
+    /// bit-identical to the uninterrupted run.
+    pub fn with_restored_cache(sim: F, cache: EvalCache) -> Self {
+        SequentialDriver {
+            sim,
+            cache: Some(cache),
+        }
+    }
+
     /// The driver's cache, when caching is enabled.
     pub fn cache(&self) -> Option<&EvalCache> {
         self.cache.as_ref()
@@ -286,13 +477,21 @@ impl<F: FnMut(&Design, usize)> SequentialDriver<F> {
 }
 
 impl<F: FnMut(&Design, usize)> SimDriver for SequentialDriver<F> {
+    fn cache_is_warm(&self) -> bool {
+        self.cache.as_ref().is_some_and(EvalCache::is_warm)
+    }
+
+    fn cache_snapshot(&self) -> Option<(Vec<SignalStats>, Vec<OverflowEvent>, u64)> {
+        self.cache.as_ref().and_then(EvalCache::snapshot)
+    }
+
     fn simulate(
         &mut self,
         design: &Design,
         recorder: &Arc<DefaultRecorder>,
         iteration: usize,
         record_graph: bool,
-    ) -> u64 {
+    ) -> Result<u64, SimFault> {
         let plan = match &self.cache {
             None => CachePlan::Cold,
             Some(cache) => cache.plan(design, record_graph, recorder.as_ref()),
@@ -300,7 +499,7 @@ impl<F: FnMut(&Design, usize)> SimDriver for SequentialDriver<F> {
         let signals = design.num_signals() as u64;
         design.reset_stats();
         design.reset_state();
-        match plan {
+        Ok(match plan {
             CachePlan::Replay => {
                 let cache = self.cache.as_mut().expect("replay implies a cache");
                 let cycles = cache.replay(design);
@@ -336,8 +535,17 @@ impl<F: FnMut(&Design, usize)> SimDriver for SequentialDriver<F> {
                 }
                 design.cycle()
             }
-        }
+        })
     }
+}
+
+/// In-memory continuation state decoded from a [`Checkpoint`], consumed by
+/// the next `run*` call to fast-forward past completed iterations.
+struct ResumeState {
+    cursor: Cursor,
+    feedback: Vec<SignalId>,
+    troubled: Vec<String>,
+    lsb_final: Option<Vec<LsbAnalysis>>,
 }
 
 /// The refinement flow driver.
@@ -370,6 +578,42 @@ pub struct RefinementFlow {
     /// Per-code allow/warn/deny configuration of the pre-flight lint
     /// gate. The default warns on everything, so no existing flow fails.
     lint: LintConfig,
+    /// Checkpoint sink: when set, the flow snapshots its state here after
+    /// every completed MSB/LSB iteration.
+    checkpoint: Option<PathBuf>,
+    /// Injected faults for deterministic degradation testing (empty in
+    /// production).
+    fault_plan: FaultPlan,
+    /// Continuation state decoded by [`RefinementFlow::resume_from`],
+    /// consumed by the next `run*` call.
+    resume: Option<ResumeState>,
+    /// Monitor snapshot restoring the evaluation cache on resume.
+    resume_cache: Option<(Vec<SignalStats>, Vec<OverflowEvent>, u64)>,
+    /// Dirty-signal count whose `CacheInvalidated` event the resumed
+    /// driver must re-journal (sweep driver only).
+    pending_resume_invalidation: Option<usize>,
+    /// Sequence number of the next checkpoint to write.
+    next_checkpoint_seq: usize,
+    /// Journal index where the MSB phase began (for the final
+    /// intervention list and for checkpoints).
+    msb_journal_start: usize,
+    /// Journal index where the LSB phase began, once entered.
+    lsb_journal_start: Option<usize>,
+    /// Completed MSB iterations across interrupt/resume boundaries.
+    msb_done_total: usize,
+    /// Completed LSB iterations across interrupt/resume boundaries.
+    lsb_done_total: usize,
+    /// Final MSB analyses, kept for checkpoints written during the LSB
+    /// phase.
+    msb_final_store: Option<Vec<MsbAnalysis>>,
+    /// Deadline budgets for `run*` calls.
+    budget: RunBudget,
+    /// Wall-clock anchor for the budget (armed on first budgeted check).
+    budget_clock: Option<Instant>,
+    /// Monitored simulations completed so far under the budget.
+    budget_sims: u64,
+    /// Set when a budget ran out: the exhaustion reason.
+    budget_hit: Option<String>,
 }
 
 impl RefinementFlow {
@@ -407,6 +651,21 @@ impl RefinementFlow {
             recorder,
             cache_enabled: false,
             lint: LintConfig::new(),
+            checkpoint: None,
+            fault_plan: FaultPlan::default(),
+            resume: None,
+            resume_cache: None,
+            pending_resume_invalidation: None,
+            next_checkpoint_seq: 0,
+            msb_journal_start: 0,
+            lsb_journal_start: None,
+            msb_done_total: 0,
+            lsb_done_total: 0,
+            msb_final_store: None,
+            budget: RunBudget::default(),
+            budget_clock: None,
+            budget_sims: 0,
+            budget_hit: None,
         }
     }
 
@@ -487,13 +746,380 @@ impl RefinementFlow {
     }
 
     /// Builds the sequential driver honoring
-    /// [`RefinementFlow::enable_cache`].
-    fn driver_for<F: FnMut(&Design, usize)>(&self, sim: F) -> SequentialDriver<F> {
+    /// [`RefinementFlow::enable_cache`], pre-warming its cache from a
+    /// checkpoint snapshot when resuming.
+    fn driver_for<F: FnMut(&Design, usize)>(&mut self, sim: F) -> SequentialDriver<F> {
         if self.cache_enabled {
-            SequentialDriver::with_cache(sim)
+            match self.resume_cache.take() {
+                Some((stats, overflow, cycles)) => {
+                    // The restored cache re-emits its own CacheInvalidated
+                    // on the first plan, so no explicit resume
+                    // invalidation is needed for the sequential driver.
+                    self.pending_resume_invalidation = None;
+                    SequentialDriver::with_restored_cache(
+                        sim,
+                        EvalCache::restore(stats, overflow, cycles),
+                    )
+                }
+                None => SequentialDriver::with_cache(sim),
+            }
         } else {
             SequentialDriver::new(sim)
         }
+    }
+
+    /// Directs the flow to write a checkpoint file at `path` after every
+    /// completed MSB/LSB iteration (and at each phase boundary). The file
+    /// is a self-contained JSON snapshot — annotations, phase cursor,
+    /// decided analyses, cache state and the full event journal — from
+    /// which [`RefinementFlow::resume_from`] replays the run
+    /// bit-identically.
+    pub fn checkpoint_to(&mut self, path: impl Into<PathBuf>) {
+        self.checkpoint = Some(path.into());
+    }
+
+    /// Installs an injected-fault plan (test seam). The plan's
+    /// checkpoint-write failures and post-checkpoint aborts are honored by
+    /// this flow; its shard panics and NaN bursts are honored by the
+    /// sweep driver carrying the same plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    /// Sets the deadline budgets for subsequent `run*` calls. See
+    /// [`RunBudget`].
+    pub fn set_budget(&mut self, budget: RunBudget) {
+        self.budget = budget;
+        self.budget_clock = None;
+        self.budget_sims = 0;
+        self.budget_hit = None;
+    }
+
+    /// The exhaustion reason when a [`RunBudget`] ran out during the last
+    /// `run*` call, if any.
+    pub fn budget_exhausted(&self) -> Option<&str> {
+        self.budget_hit.as_deref()
+    }
+
+    /// Checks the budgets at the top of an iteration (after at least one
+    /// iteration of the phase has completed overall). On exhaustion,
+    /// journals [`Event::BudgetExhausted`], bumps `budget.exhausted`, and
+    /// records the reason. Returns `true` when the phase should stop with
+    /// best-so-far results.
+    fn budget_spent(&mut self, phase: Phase) -> bool {
+        if self.budget_hit.is_some() {
+            return true;
+        }
+        let clock = *self.budget_clock.get_or_insert_with(Instant::now);
+        let reason = if let Some(max) = self.budget.max_simulations {
+            (self.budget_sims >= max).then(|| {
+                format!(
+                    "simulation budget of {max} spent ({} run)",
+                    self.budget_sims
+                )
+            })
+        } else {
+            None
+        };
+        let reason = reason.or_else(|| {
+            self.budget.wall.and_then(|limit| {
+                let elapsed = clock.elapsed();
+                (elapsed >= limit).then(|| {
+                    format!(
+                        "wall-clock budget of {:.3}s spent ({:.3}s elapsed)",
+                        limit.as_secs_f64(),
+                        elapsed.as_secs_f64()
+                    )
+                })
+            })
+        });
+        match reason {
+            Some(reason) => {
+                self.recorder.record_event(Event::BudgetExhausted {
+                    phase,
+                    simulations: self.budget_sims,
+                    reason: reason.clone(),
+                });
+                self.recorder.inc("budget.exhausted", 1);
+                self.budget_hit = Some(reason);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Maps a driver-level shard fault to the flow's error type.
+    fn shard_error(f: SimFault) -> FlowError {
+        FlowError::ShardFailed {
+            shard: f.shard,
+            scenario: f.scenario,
+            cause: f.cause,
+        }
+    }
+
+    /// Snapshots the flow into a [`Checkpoint`]. `cursor` names the next
+    /// work item; `feedback` / `troubled` carry the in-loop state of the
+    /// phase the cursor points into; `lsb_final` is present only at the
+    /// LSB-convergence checkpoint.
+    fn capture(
+        &self,
+        driver: &dyn SimDriver,
+        cursor: Cursor,
+        feedback: &HashSet<SignalId>,
+        troubled: &HashSet<String>,
+        lsb_final: Option<&[LsbAnalysis]>,
+    ) -> Checkpoint {
+        let sorted_names = |ids: &HashSet<SignalId>| -> Vec<String> {
+            let mut v: Vec<String> = ids.iter().map(|id| self.design.name_of(*id)).collect();
+            v.sort();
+            v
+        };
+        let mut troubled: Vec<String> = troubled.iter().cloned().collect();
+        troubled.sort();
+        let mut dirty: Vec<String> = self
+            .design
+            .peek_dirty()
+            .iter()
+            .map(|id| self.design.name_of(*id))
+            .collect();
+        dirty.sort();
+        let (msb_done, lsb_done) = match cursor {
+            Cursor::Msb { next } => (next.saturating_sub(1), 0),
+            Cursor::Lsb { next } => (self.msb_done_total, next.saturating_sub(1)),
+            Cursor::Apply => (self.msb_done_total, self.lsb_done_total),
+        };
+        Checkpoint {
+            cursor,
+            msb_done,
+            lsb_done,
+            next_sequence: self.next_checkpoint_seq,
+            msb_journal_start: self.msb_journal_start,
+            lsb_journal_start: self.lsb_journal_start,
+            annotations: self.design.annotations(),
+            pinned_explosion: sorted_names(&self.pinned_explosion),
+            force_saturate: sorted_names(&self.force_saturate),
+            excluded: sorted_names(&self.excluded),
+            feedback: sorted_names(feedback),
+            troubled,
+            msb_final: self.msb_final_store.clone(),
+            lsb_final: lsb_final.map(<[LsbAnalysis]>::to_vec),
+            cache: CacheState {
+                warm: driver.cache_is_warm(),
+                dirty,
+                data: driver.cache_snapshot(),
+            },
+            journal: self.recorder.events(),
+        }
+    }
+
+    /// Writes a checkpoint after a completed iteration. The
+    /// `checkpoint_written` journal event is recorded *before* the
+    /// snapshot is captured, so the checkpoint's embedded journal includes
+    /// its own marker and a resumed journal lines up with the
+    /// uninterrupted one. Write failures (real or injected) are journaled
+    /// as [`Event::CheckpointFailed`] and are non-fatal; an injected
+    /// post-checkpoint abort surfaces as [`FlowError::Interrupted`].
+    fn write_checkpoint(
+        &mut self,
+        driver: &dyn SimDriver,
+        cursor: Cursor,
+        completed: (Phase, usize),
+        feedback: &HashSet<SignalId>,
+        troubled: &HashSet<String>,
+        lsb_final: Option<&[LsbAnalysis]>,
+    ) -> Result<(), FlowError> {
+        let Some(path) = self.checkpoint.clone() else {
+            return Ok(());
+        };
+        let (phase, iteration) = completed;
+        let sequence = self.next_checkpoint_seq;
+        self.next_checkpoint_seq += 1;
+        self.recorder.record_event(Event::CheckpointWritten {
+            sequence,
+            phase,
+            iteration,
+        });
+        self.recorder.inc("checkpoint.writes", 1);
+        let cp = self.capture(driver, cursor, feedback, troubled, lsb_final);
+        let written = if self.fault_plan.fails_checkpoint_write(sequence) {
+            Err("injected checkpoint write failure".to_string())
+        } else {
+            std::fs::write(&path, cp.to_json()).map_err(|e| e.to_string())
+        };
+        if let Err(cause) = written {
+            self.recorder
+                .record_event(Event::CheckpointFailed { sequence, cause });
+            self.recorder.inc("fault.checkpoint_write_failures", 1);
+        }
+        if self.fault_plan.abort_checkpoint() == Some(sequence) {
+            return Err(FlowError::Interrupted {
+                checkpoint: sequence,
+            });
+        }
+        Ok(())
+    }
+
+    /// Resumes an interrupted flow from the checkpoint file at `path`.
+    ///
+    /// `design` must declare the same signals as the checkpointed design
+    /// (run the same builder). The flow re-applies the checkpointed
+    /// annotations, replays the journal behind a leading
+    /// [`Event::ResumedFromCheckpoint`] marker, keeps checkpointing to the
+    /// same `path`, and arms the continuation so the next `run*` call
+    /// fast-forwards to the first incomplete iteration. The resumed run's
+    /// journal and final annotations are bit-identical to the
+    /// uninterrupted run, modulo that leading marker.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] on unreadable/unparseable files or when the
+    /// design does not declare a checkpointed signal.
+    pub fn resume_from(
+        design: Design,
+        policy: RefinePolicy,
+        path: impl AsRef<Path>,
+    ) -> Result<Self, CheckpointError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        let cp = Checkpoint::from_json(&text)?;
+        let mut flow = Self::resume_from_checkpoint(design, policy, &cp)?;
+        flow.checkpoint = Some(path.to_path_buf());
+        Ok(flow)
+    }
+
+    /// [`RefinementFlow::resume_from`] over an already-decoded
+    /// [`Checkpoint`] (no checkpoint sink is armed — call
+    /// [`RefinementFlow::checkpoint_to`] to keep checkpointing).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Mismatch`] when the design does not declare a
+    /// checkpointed signal.
+    pub fn resume_from_checkpoint(
+        design: Design,
+        policy: RefinePolicy,
+        cp: &Checkpoint,
+    ) -> Result<Self, CheckpointError> {
+        let mut flow = RefinementFlow::new(design, policy);
+        let find = |name: &str| -> Result<SignalId, CheckpointError> {
+            flow.design.find(name).ok_or_else(|| {
+                CheckpointError::Mismatch(format!("signal {name:?} not present in the design"))
+            })
+        };
+        for n in &cp.pinned_explosion {
+            let id = find(n)?;
+            flow.pinned_explosion.insert(id);
+        }
+        for n in &cp.force_saturate {
+            let id = find(n)?;
+            flow.force_saturate.insert(id);
+        }
+        for n in &cp.excluded {
+            let id = find(n)?;
+            flow.excluded.insert(id);
+        }
+        let feedback = cp
+            .feedback
+            .iter()
+            .map(|n| find(n))
+            .collect::<Result<Vec<_>, _>>()?;
+        // Re-apply the checkpointed annotations, then restore the *exact*
+        // dirty set the interrupted run had pending — annotation
+        // application dirties by its own rules, which would otherwise
+        // desynchronize the evaluation cache's invalidation journal.
+        flow.design
+            .apply_annotations(&cp.annotations)
+            .map_err(|e| CheckpointError::Mismatch(e.to_string()))?;
+        let _ = flow.design.take_dirty();
+        let dirty = cp
+            .cache
+            .dirty
+            .iter()
+            .map(|n| find(n))
+            .collect::<Result<Vec<_>, _>>()?;
+        flow.design.mark_dirty(&dirty);
+
+        let rebind_msb = |list: &Vec<MsbAnalysis>| -> Result<Vec<MsbAnalysis>, CheckpointError> {
+            list.iter()
+                .map(|a| {
+                    let mut a = a.clone();
+                    a.id = find(&a.name)?;
+                    Ok(a)
+                })
+                .collect()
+        };
+        let rebind_lsb = |list: &Vec<LsbAnalysis>| -> Result<Vec<LsbAnalysis>, CheckpointError> {
+            list.iter()
+                .map(|a| {
+                    let mut a = a.clone();
+                    a.id = find(&a.name)?;
+                    Ok(a)
+                })
+                .collect()
+        };
+        let msb_final = cp.msb_final.as_ref().map(rebind_msb).transpose()?;
+        let lsb_final = cp.lsb_final.as_ref().map(rebind_lsb).transpose()?;
+        let resume_cache = cp
+            .cache
+            .data
+            .as_ref()
+            .map(|(stats, events, cycles)| -> Result<_, CheckpointError> {
+                let events = events
+                    .iter()
+                    .map(|e| {
+                        Ok(OverflowEvent {
+                            signal: find(&e.name)?,
+                            name: e.name.clone(),
+                            value: e.value,
+                            cycle: e.cycle,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, CheckpointError>>()?;
+                Ok((stats.clone(), events, *cycles))
+            })
+            .transpose()?;
+
+        // The resumed journal: the marker first, then the checkpointed
+        // journal replayed verbatim — so every stored journal index gains
+        // exactly one.
+        let (phase, iteration) = cp
+            .journal
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                Event::CheckpointWritten {
+                    phase, iteration, ..
+                } => Some((*phase, *iteration)),
+                _ => None,
+            })
+            .unwrap_or((Phase::Msb, 0));
+        flow.recorder.record_event(Event::ResumedFromCheckpoint {
+            sequence: cp.next_sequence.saturating_sub(1),
+            phase,
+            iteration,
+            events: cp.journal.len(),
+        });
+        flow.recorder.inc("checkpoint.resumes", 1);
+        for e in &cp.journal {
+            flow.recorder.record_event(e.clone());
+        }
+
+        flow.next_checkpoint_seq = cp.next_sequence;
+        flow.msb_done_total = cp.msb_done;
+        flow.lsb_done_total = cp.lsb_done;
+        flow.msb_journal_start = cp.msb_journal_start + 1;
+        flow.lsb_journal_start = cp.lsb_journal_start.map(|s| s + 1);
+        flow.msb_final_store = msb_final;
+        flow.pending_resume_invalidation =
+            (cp.cache.warm && !cp.cache.dirty.is_empty()).then_some(cp.cache.dirty.len());
+        flow.resume_cache = resume_cache;
+        flow.resume = Some(ResumeState {
+            cursor: cp.cursor,
+            feedback,
+            troubled: cp.troubled.clone(),
+            lsb_final,
+        });
+        Ok(flow)
     }
 
     /// The policy in use.
@@ -616,7 +1242,8 @@ impl RefinementFlow {
         &mut self,
         sim: impl FnMut(&Design, usize),
     ) -> Result<(Vec<Vec<MsbAnalysis>>, Vec<Intervention>), FlowError> {
-        self.run_msb_with(&mut self.driver_for(sim))
+        let mut driver = self.driver_for(sim);
+        self.run_msb_with(&mut driver)
     }
 
     /// [`RefinementFlow::run_msb`] over an explicit [`SimDriver`] — the
@@ -629,14 +1256,40 @@ impl RefinementFlow {
         &mut self,
         driver: &mut dyn SimDriver,
     ) -> Result<(Vec<Vec<MsbAnalysis>>, Vec<Intervention>), FlowError> {
+        if let Some(n) = self.pending_resume_invalidation.take() {
+            driver.resume_invalidation(n);
+        }
         let mut history = Vec::new();
-        let journal_start = self.recorder.events().len();
         let mut feedback: HashSet<SignalId> = HashSet::new();
         // Signals seen exploded in an earlier iteration, to journal their
         // later resolution.
         let mut troubled: HashSet<String> = HashSet::new();
+        let mut start = 1;
+        let journal_start;
+        match self.resume.take() {
+            Some(r) if matches!(r.cursor, Cursor::Msb { .. }) => {
+                if let Cursor::Msb { next } = r.cursor {
+                    start = next.max(1);
+                }
+                feedback = r.feedback.iter().copied().collect();
+                troubled = r.troubled.iter().cloned().collect();
+                journal_start = self.msb_journal_start;
+            }
+            other => {
+                if other.is_none() {
+                    self.msb_done_total = 0;
+                }
+                self.resume = other;
+                journal_start = self.recorder.events().len();
+                self.msb_journal_start = journal_start;
+            }
+        }
+        let done_before = self.msb_done_total;
 
-        for iteration in 1..=self.policy.max_iterations.max(1) {
+        for iteration in start..=self.policy.max_iterations.max(1) {
+            if self.budget_sims >= 1 && self.budget_spent(Phase::Msb) {
+                return Ok((history, self.interventions_since(journal_start)));
+            }
             self.recorder.record_event(Event::IterationStarted {
                 phase: Phase::Msb,
                 iteration,
@@ -645,7 +1298,10 @@ impl RefinementFlow {
                 .recorder
                 .span_begin(&format!("flow.msb.iter.{iteration}"));
             let record = iteration == 1;
-            let cycles = driver.simulate(&self.design, &self.recorder, iteration, record);
+            let cycles = driver
+                .simulate(&self.design, &self.recorder, iteration, record)
+                .map_err(Self::shard_error)?;
+            self.budget_sims += 1;
             if record {
                 let graph = self.design.graph();
                 for sig in graph.defined_signals() {
@@ -730,6 +1386,7 @@ impl RefinementFlow {
                 .map(|a| a.name.clone())
                 .collect();
             history.push(analyses);
+            self.msb_done_total = done_before + history.len();
 
             if pins.is_empty() {
                 if still_exploded.is_empty() {
@@ -737,6 +1394,17 @@ impl RefinementFlow {
                         phase: Phase::Msb,
                         iterations: iteration,
                     });
+                    self.msb_final_store = history.last().cloned();
+                    // The next work item is the LSB phase, whose troubled
+                    // set starts empty.
+                    self.write_checkpoint(
+                        &*driver,
+                        Cursor::Lsb { next: 1 },
+                        (Phase::Msb, iteration),
+                        &feedback,
+                        &HashSet::new(),
+                        None,
+                    )?;
                     return Ok((history, self.interventions_since(journal_start)));
                 }
                 return Err(self.fail_phase(Phase::Msb, iteration, still_exploded));
@@ -754,6 +1422,16 @@ impl RefinementFlow {
                     iteration,
                 });
             }
+            self.write_checkpoint(
+                &*driver,
+                Cursor::Msb {
+                    next: iteration + 1,
+                },
+                (Phase::Msb, iteration),
+                &feedback,
+                &troubled,
+                None,
+            )?;
         }
 
         let unresolved = history
@@ -796,7 +1474,8 @@ impl RefinementFlow {
         &mut self,
         sim: impl FnMut(&Design, usize),
     ) -> Result<(Vec<Vec<LsbAnalysis>>, Vec<Intervention>), FlowError> {
-        self.run_lsb_with(&mut self.driver_for(sim))
+        let mut driver = self.driver_for(sim);
+        self.run_lsb_with(&mut driver)
     }
 
     /// [`RefinementFlow::run_lsb`] over an explicit [`SimDriver`] — the
@@ -809,13 +1488,41 @@ impl RefinementFlow {
         &mut self,
         driver: &mut dyn SimDriver,
     ) -> Result<(Vec<Vec<LsbAnalysis>>, Vec<Intervention>), FlowError> {
+        if let Some(n) = self.pending_resume_invalidation.take() {
+            driver.resume_invalidation(n);
+        }
         let mut history = Vec::new();
-        let journal_start = self.recorder.events().len();
         // Signals seen divergent in an earlier iteration, to journal their
         // later resolution.
         let mut troubled: HashSet<String> = HashSet::new();
+        let mut start = 1;
+        let journal_start;
+        match self.resume.take() {
+            Some(r) if matches!(r.cursor, Cursor::Lsb { .. }) => {
+                if let Cursor::Lsb { next } = r.cursor {
+                    start = next.max(1);
+                }
+                troubled = r.troubled.iter().cloned().collect();
+                journal_start = self
+                    .lsb_journal_start
+                    .unwrap_or_else(|| self.recorder.events().len());
+                self.lsb_journal_start = Some(journal_start);
+            }
+            other => {
+                if other.is_none() {
+                    self.lsb_done_total = 0;
+                }
+                self.resume = other;
+                journal_start = self.recorder.events().len();
+                self.lsb_journal_start = Some(journal_start);
+            }
+        }
+        let done_before = self.lsb_done_total;
 
-        for iteration in 1..=self.policy.max_iterations.max(1) {
+        for iteration in start..=self.policy.max_iterations.max(1) {
+            if self.budget_sims >= 1 && self.budget_spent(Phase::Lsb) {
+                return Ok((history, self.interventions_since(journal_start)));
+            }
             self.recorder.record_event(Event::IterationStarted {
                 phase: Phase::Lsb,
                 iteration,
@@ -823,7 +1530,10 @@ impl RefinementFlow {
             let span = self
                 .recorder
                 .span_begin(&format!("flow.lsb.iter.{iteration}"));
-            let cycles = driver.simulate(&self.design, &self.recorder, iteration, false);
+            let cycles = driver
+                .simulate(&self.design, &self.recorder, iteration, false)
+                .map_err(Self::shard_error)?;
+            self.budget_sims += 1;
 
             let analyses: Vec<LsbAnalysis> = self
                 .design
@@ -891,12 +1601,21 @@ impl RefinementFlow {
             };
 
             history.push(analyses);
+            self.lsb_done_total = done_before + history.len();
 
             if diverged.is_empty() {
                 self.recorder.record_event(Event::PhaseConverged {
                     phase: Phase::Lsb,
                     iterations: iteration,
                 });
+                self.write_checkpoint(
+                    &*driver,
+                    Cursor::Apply,
+                    (Phase::Lsb, iteration),
+                    &HashSet::new(),
+                    &HashSet::new(),
+                    history.last().map(Vec::as_slice),
+                )?;
                 return Ok((history, self.interventions_since(journal_start)));
             }
             if !self.policy.auto_error {
@@ -911,6 +1630,16 @@ impl RefinementFlow {
                     iteration,
                 });
             }
+            self.write_checkpoint(
+                &*driver,
+                Cursor::Lsb {
+                    next: iteration + 1,
+                },
+                (Phase::Lsb, iteration),
+                &HashSet::new(),
+                &troubled,
+                None,
+            )?;
         }
 
         let unresolved = history
@@ -1009,16 +1738,29 @@ impl RefinementFlow {
 
     /// Runs one monitored simulation with all decided types applied and
     /// collects overflow and precision findings.
-    pub fn verify(&mut self, sim: impl FnMut(&Design, usize)) -> VerifyOutcome {
-        self.verify_with(&mut self.driver_for(sim))
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::ShardFailed`] when a swept verification shard fails
+    /// under a `Strict` fault policy (never for the sequential driver).
+    pub fn verify(&mut self, sim: impl FnMut(&Design, usize)) -> Result<VerifyOutcome, FlowError> {
+        let mut driver = self.driver_for(sim);
+        self.verify_with(&mut driver)
     }
 
     /// [`RefinementFlow::verify`] over an explicit [`SimDriver`] — the
     /// entry point the scenario-sweep engine uses.
-    pub fn verify_with(&mut self, driver: &mut dyn SimDriver) -> VerifyOutcome {
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RefinementFlow::verify`].
+    pub fn verify_with(&mut self, driver: &mut dyn SimDriver) -> Result<VerifyOutcome, FlowError> {
         let span = self.recorder.span_begin("flow.verify");
         let _ = self.design.take_overflow_events();
-        let cycles = driver.simulate(&self.design, &self.recorder, 0, false);
+        let cycles = driver
+            .simulate(&self.design, &self.recorder, 0, false)
+            .map_err(Self::shard_error)?;
+        self.budget_sims += 1;
         self.recorder.span_end(span, cycles);
         let mut overflows = Vec::new();
         let mut total = 0;
@@ -1048,12 +1790,12 @@ impl RefinementFlow {
             overflows: total,
             saturation_events,
         });
-        VerifyOutcome {
+        Ok(VerifyOutcome {
             overflows,
             total_overflows: total,
             saturation_events,
             precision_loss,
-        }
+        })
     }
 
     /// The full flow: MSB phase, LSB phase, type application,
@@ -1061,37 +1803,81 @@ impl RefinementFlow {
     ///
     /// # Errors
     ///
-    /// Propagates [`FlowError::NotConverged`] from either phase.
+    /// Propagates [`FlowError::NotConverged`] from either phase,
+    /// [`FlowError::ShardFailed`] from a `Strict` sweep, and
+    /// [`FlowError::Interrupted`] from an injected post-checkpoint abort.
     pub fn run(&mut self, sim: impl FnMut(&Design, usize)) -> Result<FlowOutcome, FlowError> {
-        self.run_with(&mut self.driver_for(sim))
+        let mut driver = self.driver_for(sim);
+        self.run_with(&mut driver)
     }
 
-    /// The full flow over an explicit [`SimDriver`].
+    /// The full flow over an explicit [`SimDriver`]. A resumed flow
+    /// fast-forwards here: completed phases are reconstituted from the
+    /// checkpoint instead of re-running.
     ///
     /// # Errors
     ///
-    /// Propagates [`FlowError::NotConverged`] from either phase.
+    /// Same as [`RefinementFlow::run`].
     pub fn run_with(&mut self, driver: &mut dyn SimDriver) -> Result<FlowOutcome, FlowError> {
-        let (msb_history, mut interventions) = self.run_msb_with(driver)?;
-        let (lsb_history, lsb_iv) = self.run_lsb_with(driver)?;
-        interventions.extend(lsb_iv);
+        let resume_cursor = self.resume.as_ref().map(|r| r.cursor);
+        let (msb_history, lsb_history) = match resume_cursor {
+            None | Some(Cursor::Msb { .. }) => {
+                let (msb_history, _) = self.run_msb_with(driver)?;
+                if self.budget_hit.is_some() {
+                    // Best-so-far: skip the LSB phase entirely; every
+                    // signal stays unrefined in apply_types.
+                    (msb_history, Vec::new())
+                } else {
+                    let (lsb_history, _) = self.run_lsb_with(driver)?;
+                    (msb_history, lsb_history)
+                }
+            }
+            Some(Cursor::Lsb { .. }) => {
+                let msb_final = self.msb_final_store.clone().unwrap_or_default();
+                let (lsb_history, _) = self.run_lsb_with(driver)?;
+                (vec![msb_final], lsb_history)
+            }
+            Some(Cursor::Apply) => {
+                let r = self.resume.take().expect("cursor just observed");
+                if let Some(n) = self.pending_resume_invalidation.take() {
+                    driver.resume_invalidation(n);
+                }
+                let msb_final = self.msb_final_store.clone().unwrap_or_default();
+                (vec![msb_final], vec![r.lsb_final.unwrap_or_default()])
+            }
+        };
 
         let empty_msb = Vec::new();
         let empty_lsb = Vec::new();
         let final_msb = msb_history.last().unwrap_or(&empty_msb);
         let final_lsb = lsb_history.last().unwrap_or(&empty_lsb);
         let (types, unrefined) = self.apply_types(final_msb, final_lsb);
-        let verify = self.verify_with(driver);
+        let skip_verify =
+            self.budget_hit.is_some() || (self.budget_sims >= 1 && self.budget_spent(Phase::Lsb));
+        let verify = if skip_verify {
+            VerifyOutcome::default()
+        } else {
+            self.verify_with(driver)?
+        };
+        let interventions = self.interventions_since(self.msb_journal_start);
+        let status = match &self.budget_hit {
+            Some(reason) => FlowStatus::Partial {
+                reason: reason.clone(),
+            },
+            None => FlowStatus::Complete,
+        };
 
         Ok(FlowOutcome {
-            msb_iterations: msb_history.len(),
-            lsb_iterations: lsb_history.len(),
+            msb_iterations: self.msb_done_total,
+            lsb_iterations: self.lsb_done_total,
             msb_history,
             lsb_history,
             interventions,
             types,
             unrefined,
             verify,
+            status,
+            coverage: driver.coverage(),
         })
     }
 

@@ -58,6 +58,7 @@
 
 pub mod baseline;
 pub mod cache;
+pub mod checkpoint;
 pub mod compare;
 pub mod flow;
 pub mod lsb;
@@ -68,13 +69,16 @@ pub mod report;
 pub mod sweep;
 
 pub use cache::{CachePlan, EvalCache};
+pub use checkpoint::{CacheState, Checkpoint, CheckpointError, Cursor};
 pub use flow::{
-    FlowError, FlowOutcome, Intervention, RefinementFlow, SequentialDriver, SimDriver,
-    VerifyOutcome,
+    FlowError, FlowOutcome, FlowStatus, Intervention, RefinementFlow, RunBudget, SequentialDriver,
+    SimDriver, SimFault, SweepCoverage, VerifyOutcome,
 };
 pub use lsb::{analyze_lsb, LsbAnalysis, LsbStatus};
 pub use msb::{analyze_msb, MsbAnalysis, MsbDecision};
 pub use policy::RefinePolicy;
 pub use precision::{analyze_precision, render_precision_table, PrecisionCheck, PrecisionStatus};
 pub use report::{lsb_table_csv, msb_table_csv, render_lsb_table, render_msb_table};
-pub use sweep::{ShardBuilder, ShardSim, ShardStimulus, ShardSummary, SweepDriver};
+pub use sweep::{
+    FaultMode, FaultPolicy, ShardBuilder, ShardSim, ShardStimulus, ShardSummary, SweepDriver,
+};

@@ -27,17 +27,52 @@
 //!    RNG streams and quantization behavior match what the sequential
 //!    flow would have produced after its own `reset_state`.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
 use fixref_obs::{DefaultRecorder, Event, Recorder};
 use fixref_sim::{
-    run_shards, Design, Graph, OverflowEvent, Scenario, ScenarioSet, SignalId, SignalStats,
+    run_shards_isolated, Design, FaultPlan, Graph, OverflowEvent, RetryPolicy, Scenario,
+    ScenarioSet, ShardOutcome, SignalId, SignalKind, SignalStats,
 };
 
 use crate::cache::{plan_for, CachePlan};
-use crate::flow::SimDriver;
+use crate::flow::{SimDriver, SimFault, SweepCoverage};
+
+/// How the sweep reacts to a shard that fails all its attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultMode {
+    /// Any exhausted shard aborts the simulation with a structured
+    /// [`SimFault`] (surfaced by the flow as
+    /// [`FlowError::ShardFailed`](crate::flow::FlowError::ShardFailed)).
+    #[default]
+    Strict,
+    /// Exhausted shards are quarantined and the sweep merges the
+    /// survivors; the flow completes best-effort and reports the reduced
+    /// coverage in [`FlowOutcome::coverage`](crate::flow::FlowOutcome).
+    Degraded,
+}
+
+/// Retry and degradation policy for shard failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// Strict (fail fast) or degraded (best-effort merge).
+    pub mode: FaultMode,
+    /// Attempts per shard and simulation (at least 1); retries re-seed
+    /// the scenario deterministically via
+    /// [`FaultPlan::retry_seed`].
+    pub max_attempts: usize,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            mode: FaultMode::Strict,
+            max_attempts: 1,
+        }
+    }
+}
 
 /// The stimulus closure driving one shard, called as
 /// `stimulus(&design, iteration)`.
@@ -117,6 +152,11 @@ pub struct SweepDriver {
     builder: Box<ShardBuilder>,
     last_shards: Vec<ShardSummary>,
     cache: Option<SweepCache>,
+    fault_policy: FaultPolicy,
+    faults: FaultPlan,
+    quarantined: BTreeSet<usize>,
+    coverage: Option<SweepCoverage>,
+    pending_invalidation: Option<usize>,
 }
 
 impl std::fmt::Debug for SweepDriver {
@@ -138,7 +178,37 @@ impl SweepDriver {
             builder,
             last_shards: Vec::new(),
             cache: None,
+            fault_policy: FaultPolicy::default(),
+            faults: FaultPlan::default(),
+            quarantined: BTreeSet::new(),
+            coverage: None,
+            pending_invalidation: None,
         }
+    }
+
+    /// Sets the shard fault policy (strict vs degraded, retry budget).
+    pub fn set_fault_policy(&mut self, policy: FaultPolicy) {
+        self.fault_policy = FaultPolicy {
+            mode: policy.mode,
+            max_attempts: policy.max_attempts.max(1),
+        };
+    }
+
+    /// The active shard fault policy.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.fault_policy
+    }
+
+    /// Installs a seeded fault plan (test seam): injected worker panics
+    /// and NaN stimulus bursts fire deterministically on the configured
+    /// shards and attempts.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Indices of the scenarios quarantined so far (degraded mode only).
+    pub fn quarantined(&self) -> Vec<usize> {
+        self.quarantined.iter().copied().collect()
     }
 
     /// Enables the incremental evaluation cache: simulations whose
@@ -223,21 +293,39 @@ impl SweepDriver {
 }
 
 impl SimDriver for SweepDriver {
-    /// Fans the simulation out and folds the shards back in scenario
-    /// order.
+    /// Fans the simulation out and folds the surviving shards back in
+    /// scenario order.
+    ///
+    /// Worker panics — injected faults, stimulus bugs, builder contract
+    /// violations — are caught per shard: each failed shard is retried up
+    /// to the policy's attempt budget (with a deterministic re-seed), and
+    /// a shard that exhausts its attempts either aborts the simulation
+    /// ([`FaultMode::Strict`]) or is quarantined for the rest of the flow
+    /// ([`FaultMode::Degraded`]).
     ///
     /// # Panics
     ///
-    /// Panics if the builder's shard designs do not declare the master
-    /// design's signals (a builder contract violation), or if a shard's
-    /// stimulus panics.
+    /// Panics only on *master-side* contract violations (the merged
+    /// statistics do not match the master design's signals).
     fn simulate(
         &mut self,
         design: &Design,
         recorder: &Arc<DefaultRecorder>,
         iteration: usize,
         record_graph: bool,
-    ) -> u64 {
+    ) -> Result<u64, SimFault> {
+        // A resumed flow replays the cold run's cache-invalidation marker
+        // before planning: the serialized checkpoint does not carry the
+        // per-shard monitor cache, so the plan below degrades to Cold and
+        // would otherwise skip the event.
+        if let Some(dirty) = self.pending_invalidation.take() {
+            if self.cache.is_some() && dirty > 0 {
+                recorder.record_event(Event::CacheInvalidated {
+                    reason: "annotations".into(),
+                    dirty,
+                });
+            }
+        }
         // Plan against the master's dirty set, graph and static-schedule
         // declaration; the shard designs mirror the master by the builder
         // contract.
@@ -254,7 +342,14 @@ impl SimDriver for SweepDriver {
             let cache = self.cache.as_mut().expect("replay implies a cache");
             cache.hits += signals;
             recorder.inc("cache.hits", signals);
-            return cycles;
+            // A replay re-merges a fully-covered live run (the cache is
+            // cleared whenever a shard fails or is quarantined).
+            self.coverage = Some(SweepCoverage {
+                completed: self.scenarios.len(),
+                total: self.scenarios.len(),
+                quarantined: Vec::new(),
+            });
+            return Ok(cycles);
         }
 
         if record_graph {
@@ -276,75 +371,175 @@ impl SimDriver for SweepDriver {
         // re-applies it to its fresh design.
         let annotations = design.annotations();
         let builder = &self.builder;
+        let faults = self.faults.clone();
 
-        let results = run_shards(self.scenarios.as_slice(), self.workers, |scenario| {
-            let started = Instant::now();
-            let shard_recorder = Arc::new(DefaultRecorder::new());
-            let ShardSim {
-                design: shard,
-                mut stimulus,
-            } = builder(scenario);
-            shard.attach_recorder(shard_recorder.clone());
-            shard
-                .apply_annotations(&annotations)
-                .unwrap_or_else(|e| panic!("shard builder contract violation: {e}"));
-            // Only shard 0 records a graph — all shards execute the same
-            // description, so one structural recording suffices and the
-            // master inherits it below.
-            let record_here = record_graph && scenario.index == 0;
-            if record_here {
-                shard.clear_graph();
-                shard.record_graph(true);
-            }
-            let partial = !clean_names.is_empty();
-            if partial {
-                let clean_ids: Vec<SignalId> =
-                    clean_names.iter().filter_map(|n| shard.find(n)).collect();
-                shard.set_passive(&clean_ids);
-            }
-            stimulus(&shard, iteration);
-            if partial {
-                shard.clear_passive();
-                // Splice the clean signals' monitors from this shard's
-                // previous run; live (cone) monitors stay as recorded.
-                let cached = &cached_shards[scenario.index];
-                let clean_stats: Vec<SignalStats> = cached
-                    .stats
-                    .iter()
-                    .filter(|s| clean_names.contains(&s.name))
-                    .cloned()
-                    .collect();
+        // Quarantined scenarios sit the sweep out; the structural graph
+        // recording falls to the first shard that still runs.
+        let active: Vec<Scenario> = self
+            .scenarios
+            .iter()
+            .filter(|s| !self.quarantined.contains(&s.index))
+            .cloned()
+            .collect();
+        let graph_shard = active.first().map_or(usize::MAX, |s| s.index);
+
+        let outcomes = run_shards_isolated(
+            &active,
+            self.workers,
+            RetryPolicy::attempts(self.fault_policy.max_attempts),
+            |scenario, attempt| {
+                let started = Instant::now();
+                if faults.should_panic(scenario.index, attempt) {
+                    panic!(
+                        "injected fault: worker panic on shard {} attempt {}",
+                        scenario.index, attempt
+                    );
+                }
+                // Retries re-seed the scenario deterministically so a
+                // data-dependent failure is not replayed verbatim
+                // (attempt 0 keeps the original seed).
+                let mut scenario = scenario.clone();
+                scenario.seed = faults.retry_seed(scenario.seed, attempt);
+                let shard_recorder = Arc::new(DefaultRecorder::new());
+                let ShardSim {
+                    design: shard,
+                    mut stimulus,
+                } = builder(&scenario);
+                shard.attach_recorder(shard_recorder.clone());
                 shard
-                    .splice_stats(&clean_stats)
+                    .apply_annotations(&annotations)
                     .unwrap_or_else(|e| panic!("shard builder contract violation: {e}"));
-                shard.splice_overflow_events(
-                    cached
-                        .overflow_events
+                // Only one shard records a graph — all shards execute the
+                // same description, so one structural recording suffices
+                // and the master inherits it below.
+                let record_here = record_graph && scenario.index == graph_shard;
+                if record_here {
+                    shard.clear_graph();
+                    shard.record_graph(true);
+                }
+                let partial = !clean_names.is_empty();
+                if partial {
+                    let clean_ids: Vec<SignalId> =
+                        clean_names.iter().filter_map(|n| shard.find(n)).collect();
+                    shard.set_passive(&clean_ids);
+                }
+                if let Some(burst) = faults.nan_burst_for(scenario.index) {
+                    // Poison the stimulus head with non-finite samples.
+                    // The engine's range propagation rejects NaN bounds
+                    // outright, so the poisoned shard fails *structurally*
+                    // (caught below) instead of leaking NaN into the
+                    // merged monitors.
+                    let wire = shard
+                        .reports()
                         .iter()
-                        .filter(|e| clean_names.contains(&e.name))
+                        .find(|r| r.kind == SignalKind::Wire)
+                        .and_then(|r| shard.find(&r.name));
+                    if let Some(id) = wire {
+                        let sig = shard.sig_handle(id);
+                        for _ in 0..burst {
+                            sig.set(f64::NAN);
+                        }
+                    }
+                }
+                stimulus(&shard, iteration);
+                if partial {
+                    shard.clear_passive();
+                    // Splice the clean signals' monitors from this shard's
+                    // previous run; live (cone) monitors stay as recorded.
+                    let cached = &cached_shards[scenario.index];
+                    let clean_stats: Vec<SignalStats> = cached
+                        .stats
+                        .iter()
+                        .filter(|s| clean_names.contains(&s.name))
                         .cloned()
-                        .collect(),
-                );
-            }
-            if record_here {
-                shard.record_graph(false);
-            }
-            ShardResult {
-                stats: shard.export_stats(),
-                overflow_events: shard.take_overflow_events(),
-                graph: record_here.then(|| shard.graph()),
-                recorder: shard_recorder,
-                cycles: shard.cycle(),
-                wall_ns: started.elapsed().as_nanos(),
-            }
-        });
+                        .collect();
+                    shard
+                        .splice_stats(&clean_stats)
+                        .unwrap_or_else(|e| panic!("shard builder contract violation: {e}"));
+                    shard.splice_overflow_events(
+                        cached
+                            .overflow_events
+                            .iter()
+                            .filter(|e| clean_names.contains(&e.name))
+                            .cloned()
+                            .collect(),
+                    );
+                }
+                if record_here {
+                    shard.record_graph(false);
+                }
+                ShardResult {
+                    stats: shard.export_stats(),
+                    overflow_events: shard.take_overflow_events(),
+                    graph: record_here.then(|| shard.graph()),
+                    recorder: shard_recorder,
+                    cycles: shard.cycle(),
+                    wall_ns: started.elapsed().as_nanos(),
+                }
+            },
+        );
 
-        // Deterministic merge: strict scenario order, each shard
-        // bracketed by ShardStarted / ShardMerged in the journal.
+        // Deterministic merge: strict scenario order, each surviving
+        // shard bracketed by ShardStarted / ShardMerged in the journal;
+        // retries and failures journaled in the same order.
         self.last_shards.clear();
         let mut total_cycles = 0u64;
-        let mut retained: Vec<CachedShard> = Vec::with_capacity(results.len());
-        for (scenario, result) in self.scenarios.iter().zip(results) {
+        let mut completed = 0usize;
+        let mut failures = 0usize;
+        let mut retained: Vec<CachedShard> = Vec::with_capacity(outcomes.len());
+        for (scenario, outcome) in active.iter().zip(outcomes) {
+            if self.faults.nan_burst_for(scenario.index).is_some() {
+                recorder.inc("fault.nan_bursts", 1);
+            }
+            let attempts = match &outcome {
+                ShardOutcome::Completed { attempts, .. } => *attempts,
+                ShardOutcome::Failed(failure) => failure.attempts,
+            };
+            for attempt in 1..attempts {
+                recorder.record_event(Event::ShardRetried {
+                    shard: scenario.index,
+                    attempt,
+                });
+                recorder.inc("retry.attempts", 1);
+            }
+            let result = match outcome {
+                ShardOutcome::Completed { value, .. } => value,
+                ShardOutcome::Failed(failure) => {
+                    failures += 1;
+                    recorder.record_event(Event::ShardFailed {
+                        shard: scenario.index,
+                        scenario: scenario.label(),
+                        attempts: failure.attempts,
+                        cause: failure.error.to_string(),
+                    });
+                    recorder.inc("fault.shard_failures", 1);
+                    match self.fault_policy.mode {
+                        FaultMode::Strict => {
+                            // Invalidate the cache before aborting: the
+                            // master's monitors hold a partial merge.
+                            if let Some(cache) = &mut self.cache {
+                                cache.shards = Arc::new(Vec::new());
+                            }
+                            return Err(SimFault {
+                                shard: scenario.index,
+                                scenario: scenario.label(),
+                                attempts: failure.attempts,
+                                cause: failure.error.to_string(),
+                            });
+                        }
+                        FaultMode::Degraded => {
+                            self.quarantined.insert(scenario.index);
+                            recorder.record_event(Event::ShardQuarantined {
+                                shard: scenario.index,
+                                scenario: scenario.label(),
+                            });
+                            recorder.inc("retry.quarantined", 1);
+                            continue;
+                        }
+                    }
+                }
+            };
+            completed += 1;
             recorder.record_event(Event::ShardStarted {
                 shard: scenario.index,
                 seed: scenario.seed,
@@ -381,8 +576,24 @@ impl SimDriver for SweepDriver {
                 });
             }
         }
+        self.coverage = Some(SweepCoverage {
+            completed,
+            total: self.scenarios.len(),
+            quarantined: self
+                .scenarios
+                .iter()
+                .filter(|s| self.quarantined.contains(&s.index))
+                .map(Scenario::label)
+                .collect(),
+        });
         if let Some(cache) = &mut self.cache {
-            cache.shards = Arc::new(retained);
+            // Retain the shard monitors only for a fully-covered run: a
+            // degraded merge must never be replayed as if it were whole.
+            if failures == 0 && self.quarantined.is_empty() {
+                cache.shards = Arc::new(retained);
+            } else {
+                cache.shards = Arc::new(Vec::new());
+            }
             let spliced = clean_names.len() as u64;
             cache.hits += spliced;
             cache.misses += signals - spliced;
@@ -391,7 +602,15 @@ impl SimDriver for SweepDriver {
             }
             recorder.inc("cache.misses", signals - spliced);
         }
-        total_cycles
+        Ok(total_cycles)
+    }
+
+    fn coverage(&self) -> Option<SweepCoverage> {
+        self.coverage.clone()
+    }
+
+    fn resume_invalidation(&mut self, dirty: usize) {
+        self.pending_invalidation = Some(dirty);
     }
 }
 

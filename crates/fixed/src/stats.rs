@@ -112,6 +112,21 @@ impl RangeStats {
     pub fn reset(&mut self) {
         *self = RangeStats::new();
     }
+
+    /// Raw `(min, max, count)` fields for bit-exact serialization.
+    ///
+    /// An empty recorder reports `(+inf, -inf, 0)`. Pair with
+    /// [`RangeStats::from_raw`]; the round-trip is the identity.
+    pub fn to_raw(&self) -> (f64, f64, u64) {
+        (self.min, self.max, self.count)
+    }
+
+    /// Rebuilds a recorder from raw fields produced by
+    /// [`RangeStats::to_raw`]. No validation is performed: this exists so
+    /// checkpoint files can restore monitor state bit-identically.
+    pub fn from_raw(min: f64, max: f64, count: u64) -> Self {
+        RangeStats { min, max, count }
+    }
 }
 
 impl fmt::Display for RangeStats {
@@ -228,6 +243,25 @@ impl ErrorStats {
     /// Resets to the empty state.
     pub fn reset(&mut self) {
         *self = ErrorStats::new();
+    }
+
+    /// Raw `(count, mean, m2, max_abs)` Welford accumulator fields for
+    /// bit-exact serialization. Pair with [`ErrorStats::from_raw`]; the
+    /// round-trip is the identity.
+    pub fn to_raw(&self) -> (u64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.max_abs)
+    }
+
+    /// Rebuilds a recorder from raw fields produced by
+    /// [`ErrorStats::to_raw`]. No validation is performed: this exists so
+    /// checkpoint files can restore monitor state bit-identically.
+    pub fn from_raw(count: u64, mean: f64, m2: f64, max_abs: f64) -> Self {
+        ErrorStats {
+            count,
+            mean,
+            m2,
+            max_abs,
+        }
     }
 }
 
@@ -396,6 +430,28 @@ mod tests {
         let mut e = ErrorStats::new();
         e.record(0.25);
         assert!(e.to_string().contains("samples"));
+    }
+
+    #[test]
+    fn raw_round_trip_is_identity() {
+        let mut r = RangeStats::new();
+        for x in [0.1, -3.5, f64::NAN, 7.25] {
+            r.record(x);
+        }
+        let (min, max, count) = r.to_raw();
+        assert_eq!(RangeStats::from_raw(min, max, count), r);
+        // Empty recorder keeps its inverted-infinity sentinel through the trip.
+        let (min, max, count) = RangeStats::new().to_raw();
+        assert_eq!(min, f64::INFINITY);
+        assert_eq!(max, f64::NEG_INFINITY);
+        assert!(RangeStats::from_raw(min, max, count).is_empty());
+
+        let mut e = ErrorStats::new();
+        for x in [0.125, -0.5, 0.33] {
+            e.record(x);
+        }
+        let (count, mean, m2, max_abs) = e.to_raw();
+        assert_eq!(ErrorStats::from_raw(count, mean, m2, max_abs), e);
     }
 
     #[test]

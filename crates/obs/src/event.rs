@@ -216,6 +216,76 @@ pub enum Event {
         /// Number of findings with that code.
         findings: usize,
     },
+    /// A scenario shard failed — panicked or lost its result — after
+    /// every permitted attempt. Under a `Strict` fault policy the sweep
+    /// aborts here; under `Degraded` the surviving shards are merged and
+    /// coverage drops.
+    ShardFailed {
+        /// 0-based scenario index of the failed shard.
+        shard: usize,
+        /// The scenario label (`Scenario::label`).
+        scenario: String,
+        /// Attempts made before giving up.
+        attempts: usize,
+        /// The captured panic message or failure cause.
+        cause: String,
+    },
+    /// A failed shard attempt was retried with the same scenario (same
+    /// seed, so a retry that succeeds is bit-identical to a fault-free
+    /// run).
+    ShardRetried {
+        /// 0-based scenario index of the retried shard.
+        shard: usize,
+        /// 0-based attempt number being started (1 = first retry).
+        attempt: usize,
+    },
+    /// A scenario that exhausted its retry budget was quarantined: the
+    /// sweep stops re-simulating it and reports reduced coverage instead.
+    ShardQuarantined {
+        /// 0-based scenario index of the quarantined shard.
+        shard: usize,
+        /// The scenario label (`Scenario::label`).
+        scenario: String,
+    },
+    /// Flow state was checkpointed to the journal-backed checkpoint file.
+    CheckpointWritten {
+        /// 0-based checkpoint sequence number (monotonic per flow).
+        sequence: usize,
+        /// The phase whose iteration just completed.
+        phase: Phase,
+        /// The 1-based iteration just completed.
+        iteration: usize,
+    },
+    /// A checkpoint write failed (I/O error or injected fault). The flow
+    /// continues; the previous checkpoint on disk stays authoritative.
+    CheckpointFailed {
+        /// Sequence number of the failed write.
+        sequence: usize,
+        /// The failure cause.
+        cause: String,
+    },
+    /// A flow was reconstructed from a checkpoint file; the restored
+    /// journal follows this event.
+    ResumedFromCheckpoint {
+        /// Sequence number of the checkpoint resumed from.
+        sequence: usize,
+        /// The phase the flow will resume in.
+        phase: Phase,
+        /// The 1-based iteration the flow will resume at.
+        iteration: usize,
+        /// Number of journal events restored from the checkpoint.
+        events: usize,
+    },
+    /// A wall-clock or simulation-count budget ran out; the flow returns
+    /// its best-so-far annotations marked `Partial` instead of erroring.
+    BudgetExhausted {
+        /// The phase that was running when the budget ran out.
+        phase: Phase,
+        /// Simulations completed so far across the run.
+        simulations: u64,
+        /// Which budget ran out and where (human-readable).
+        reason: String,
+    },
 }
 
 impl Event {
@@ -239,6 +309,13 @@ impl Event {
             Event::LintDiagnostic { .. } => "lint_diagnostic",
             Event::LintCompleted { .. } => "lint_completed",
             Event::LintGateFailed { .. } => "lint_gate_failed",
+            Event::ShardFailed { .. } => "shard_failed",
+            Event::ShardRetried { .. } => "shard_retried",
+            Event::ShardQuarantined { .. } => "shard_quarantined",
+            Event::CheckpointWritten { .. } => "checkpoint_written",
+            Event::CheckpointFailed { .. } => "checkpoint_failed",
+            Event::ResumedFromCheckpoint { .. } => "resumed_from_checkpoint",
+            Event::BudgetExhausted { .. } => "budget_exhausted",
         }
     }
 
@@ -366,6 +443,50 @@ impl Event {
                 escape(context),
                 escape(code)
             ),
+            Event::ShardFailed {
+                shard,
+                scenario,
+                attempts,
+                cause,
+            } => format!(
+                r#"{{"event":"{kind}","shard":{shard},"scenario":"{}","attempts":{attempts},"cause":"{}"}}"#,
+                escape(scenario),
+                escape(cause)
+            ),
+            Event::ShardRetried { shard, attempt } => {
+                format!(r#"{{"event":"{kind}","shard":{shard},"attempt":{attempt}}}"#)
+            }
+            Event::ShardQuarantined { shard, scenario } => format!(
+                r#"{{"event":"{kind}","shard":{shard},"scenario":"{}"}}"#,
+                escape(scenario)
+            ),
+            Event::CheckpointWritten {
+                sequence,
+                phase,
+                iteration,
+            } => format!(
+                r#"{{"event":"{kind}","sequence":{sequence},"phase":"{phase}","iteration":{iteration}}}"#
+            ),
+            Event::CheckpointFailed { sequence, cause } => format!(
+                r#"{{"event":"{kind}","sequence":{sequence},"cause":"{}"}}"#,
+                escape(cause)
+            ),
+            Event::ResumedFromCheckpoint {
+                sequence,
+                phase,
+                iteration,
+                events,
+            } => format!(
+                r#"{{"event":"{kind}","sequence":{sequence},"phase":"{phase}","iteration":{iteration},"events":{events}}}"#
+            ),
+            Event::BudgetExhausted {
+                phase,
+                simulations,
+                reason,
+            } => format!(
+                r#"{{"event":"{kind}","phase":"{phase}","simulations":{simulations},"reason":"{}"}}"#,
+                escape(reason)
+            ),
         }
     }
 
@@ -377,6 +498,18 @@ impl Event {
     /// tag, or missing/mistyped members.
     pub fn from_json(line: &str) -> Result<Event, JsonError> {
         let v = Json::parse(line)?;
+        Event::from_value(&v)
+    }
+
+    /// Deserializes an event from an already-parsed [`Json`] object —
+    /// the form checkpoint files use, where journal events are embedded
+    /// as an array of objects rather than JSON Lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on an unknown `"event"` tag or
+    /// missing/mistyped members.
+    pub fn from_value(v: &Json) -> Result<Event, JsonError> {
         let field_err = |name: &str| JsonError {
             message: format!("missing or mistyped member {name:?}"),
             offset: 0,
@@ -487,6 +620,40 @@ impl Event {
                 code: s("code")?,
                 findings: u("findings")? as usize,
             }),
+            "shard_failed" => Ok(Event::ShardFailed {
+                shard: u("shard")? as usize,
+                scenario: s("scenario")?,
+                attempts: u("attempts")? as usize,
+                cause: s("cause")?,
+            }),
+            "shard_retried" => Ok(Event::ShardRetried {
+                shard: u("shard")? as usize,
+                attempt: u("attempt")? as usize,
+            }),
+            "shard_quarantined" => Ok(Event::ShardQuarantined {
+                shard: u("shard")? as usize,
+                scenario: s("scenario")?,
+            }),
+            "checkpoint_written" => Ok(Event::CheckpointWritten {
+                sequence: u("sequence")? as usize,
+                phase: phase("phase")?,
+                iteration: u("iteration")? as usize,
+            }),
+            "checkpoint_failed" => Ok(Event::CheckpointFailed {
+                sequence: u("sequence")? as usize,
+                cause: s("cause")?,
+            }),
+            "resumed_from_checkpoint" => Ok(Event::ResumedFromCheckpoint {
+                sequence: u("sequence")? as usize,
+                phase: phase("phase")?,
+                iteration: u("iteration")? as usize,
+                events: u("events")? as usize,
+            }),
+            "budget_exhausted" => Ok(Event::BudgetExhausted {
+                phase: phase("phase")?,
+                simulations: u("simulations")?,
+                reason: s("reason")?,
+            }),
             other => Err(JsonError {
                 message: format!("unknown event tag {other:?}"),
                 offset: 0,
@@ -593,6 +760,49 @@ impl fmt::Display for Event {
                 f,
                 "lint gate {context} failed: {findings} {code} finding(s)"
             ),
+            Event::ShardFailed {
+                shard,
+                scenario,
+                attempts,
+                cause,
+            } => write!(
+                f,
+                "shard {shard} ({scenario}) failed after {attempts} attempt(s): {cause}"
+            ),
+            Event::ShardRetried { shard, attempt } => {
+                write!(f, "shard {shard}: retry attempt {attempt}")
+            }
+            Event::ShardQuarantined { shard, scenario } => {
+                write!(f, "shard {shard} ({scenario}) quarantined")
+            }
+            Event::CheckpointWritten {
+                sequence,
+                phase,
+                iteration,
+            } => write!(
+                f,
+                "checkpoint {sequence} written after {phase} iteration {iteration}"
+            ),
+            Event::CheckpointFailed { sequence, cause } => {
+                write!(f, "checkpoint {sequence} write failed: {cause}")
+            }
+            Event::ResumedFromCheckpoint {
+                sequence,
+                phase,
+                iteration,
+                events,
+            } => write!(
+                f,
+                "resumed from checkpoint {sequence} at {phase} iteration {iteration} ({events} events restored)"
+            ),
+            Event::BudgetExhausted {
+                phase,
+                simulations,
+                reason,
+            } => write!(
+                f,
+                "budget exhausted in {phase} phase after {simulations} simulation(s): {reason}"
+            ),
         }
     }
 }
@@ -684,6 +894,40 @@ mod tests {
                 context: "cache.partial".into(),
                 code: "FXL001".into(),
                 findings: 3,
+            },
+            Event::ShardFailed {
+                shard: 1,
+                scenario: "s1 seed=8 snr=24dB n=1200".into(),
+                attempts: 2,
+                cause: "injected fault: shard 1 attempt 1".into(),
+            },
+            Event::ShardRetried {
+                shard: 1,
+                attempt: 1,
+            },
+            Event::ShardQuarantined {
+                shard: 1,
+                scenario: "s1 seed=8 snr=24dB n=1200".into(),
+            },
+            Event::CheckpointWritten {
+                sequence: 0,
+                phase: Phase::Msb,
+                iteration: 1,
+            },
+            Event::CheckpointFailed {
+                sequence: 1,
+                cause: "injected checkpoint-write fault".into(),
+            },
+            Event::ResumedFromCheckpoint {
+                sequence: 1,
+                phase: Phase::Lsb,
+                iteration: 1,
+                events: 42,
+            },
+            Event::BudgetExhausted {
+                phase: Phase::Msb,
+                simulations: 2,
+                reason: "simulation budget of 2 exhausted".into(),
             },
         ]
     }

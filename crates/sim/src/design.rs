@@ -749,6 +749,28 @@ impl Design {
             .collect()
     }
 
+    /// The current dirty set without draining it — checkpoints capture it
+    /// so a resumed flow replans exactly like the uninterrupted run.
+    pub fn peek_dirty(&self) -> Vec<SignalId> {
+        self.inner
+            .borrow()
+            .dirty
+            .iter()
+            .map(|&i| SignalId(i))
+            .collect()
+    }
+
+    /// Re-marks signals dirty — the restore half of
+    /// [`Design::peek_dirty`], used when resuming from a checkpoint (the
+    /// blanket declaration/annotation dirt is drained first, then the
+    /// checkpointed set is reinstated verbatim).
+    pub fn mark_dirty(&self, ids: &[SignalId]) {
+        let mut inner = self.inner.borrow_mut();
+        for id in ids {
+            inner.dirty.insert(id.0);
+        }
+    }
+
     /// Asserts the static-schedule contract: every signal is assigned
     /// unconditionally on its schedule regardless of data, and every
     /// data-dependent decision flows through recorded dataflow

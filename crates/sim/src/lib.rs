@@ -69,6 +69,7 @@
 
 pub mod analyze;
 pub mod design;
+pub mod fault;
 pub mod graph;
 pub mod pool;
 pub mod report;
@@ -81,8 +82,12 @@ pub use design::{
     Design, OverflowEvent, Reg, RegArray, Sig, SigArray, SignalAnnotation, SignalId, SignalKind,
     SignalRef, SignalStats, UnknownSignalError,
 };
+pub use fault::FaultPlan;
 pub use graph::{Graph, NodeId, Op};
-pub use pool::{run_shards, shard_count_from_env};
+pub use pool::{
+    run_shards, run_shards_isolated, shard_count_from_env, RetryPolicy, ShardError, ShardFailure,
+    ShardOutcome,
+};
 pub use report::SignalReport;
 pub use scenario::{Scenario, ScenarioSet};
 pub use trace::Trace;

@@ -1,36 +1,198 @@
-//! Zero-dependency scoped worker pool for scenario sweeps.
+//! Zero-dependency scoped worker pool for scenario sweeps, with per-shard
+//! fault isolation.
 //!
-//! [`run_shards`] evaluates one job per [`Scenario`] across a bounded set
-//! of `std::thread::scope` workers and returns the results **in scenario
-//! order**, independent of which worker computed which shard. The job
-//! only needs to be `Sync` (shared by reference across workers) and its
-//! result `Send`; the `Design` itself is deliberately *not* shared — each
-//! job invocation builds a private design on its own thread.
+//! [`run_shards_isolated`] evaluates one job per [`Scenario`] across a
+//! bounded set of `std::thread::scope` workers and returns structured
+//! [`ShardOutcome`]s **in scenario order**, independent of which worker
+//! computed which shard. Each attempt runs under
+//! [`std::panic::catch_unwind`], so a panicking shard yields
+//! [`ShardOutcome::Failed`] instead of killing the scope and its sibling
+//! workers; a [`RetryPolicy`] re-runs a failed shard (with the *same*
+//! scenario, so a retry that succeeds is bit-identical to a fault-free
+//! run) up to a capped number of attempts.
+//!
+//! [`run_shards`] is the original panic-propagating facade kept for
+//! callers that treat any shard failure as fatal (e.g. the baseline
+//! search). The job only needs to be `Sync` (shared by reference across
+//! workers) and its result `Send`; the `Design` itself is deliberately
+//! *not* shared — each job invocation builds a private design on its own
+//! thread.
 
 use crate::scenario::Scenario;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Runs `job` once per scenario on up to `workers` threads and returns
-/// the results in scenario order.
+/// How often a failed shard is re-attempted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per shard (first try included). Clamped to ≥ 1.
+    pub max_attempts: usize,
+}
+
+impl Default for RetryPolicy {
+    /// One attempt: no retries.
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 1 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_attempts` total attempts (min 1).
+    pub fn attempts(max_attempts: usize) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+        }
+    }
+}
+
+/// Why a shard failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The job panicked; the payload's message was captured.
+    Panicked {
+        /// The captured panic message (`"<non-string panic payload>"`
+        /// when the payload was neither `&str` nor `String`).
+        cause: String,
+    },
+    /// The worker terminated without publishing a result — the
+    /// structured replacement for the old "shard produced no result"
+    /// second panic.
+    MissingResult,
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Panicked { cause } => write!(f, "panicked: {cause}"),
+            ShardError::MissingResult => f.write_str("produced no result"),
+        }
+    }
+}
+
+/// A shard that failed every permitted attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// 0-based scenario index of the failed shard.
+    pub shard: usize,
+    /// Attempts made before giving up.
+    pub attempts: usize,
+    /// The final attempt's failure.
+    pub error: ShardError,
+}
+
+impl fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {} {} (after {} attempt(s))",
+            self.shard, self.error, self.attempts
+        )
+    }
+}
+
+/// The isolated result of one shard.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardOutcome<T> {
+    /// The job returned a value (possibly after retries).
+    Completed {
+        /// The job's return value.
+        value: T,
+        /// Attempts it took (1 = first try succeeded).
+        attempts: usize,
+    },
+    /// Every permitted attempt failed.
+    Failed(ShardFailure),
+}
+
+impl<T> ShardOutcome<T> {
+    /// The completed value, discarding attempt metadata; `None` if the
+    /// shard failed.
+    pub fn value(self) -> Option<T> {
+        match self {
+            ShardOutcome::Completed { value, .. } => Some(value),
+            ShardOutcome::Failed(_) => None,
+        }
+    }
+
+    /// Whether the shard failed.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, ShardOutcome::Failed(_))
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs `job` for one scenario under `catch_unwind`, retrying per
+/// `retry`. The attempt number (0-based) is passed to the job so fault
+/// plans can key injections on `(shard, attempt)`.
+fn run_one_isolated<T, F>(scenario: &Scenario, retry: RetryPolicy, job: &F) -> ShardOutcome<T>
+where
+    F: Fn(&Scenario, usize) -> T,
+{
+    let max_attempts = retry.max_attempts.max(1);
+    let mut last_cause = String::new();
+    for attempt in 0..max_attempts {
+        match catch_unwind(AssertUnwindSafe(|| job(scenario, attempt))) {
+            Ok(value) => {
+                return ShardOutcome::Completed {
+                    value,
+                    attempts: attempt + 1,
+                }
+            }
+            Err(payload) => last_cause = panic_message(payload.as_ref()),
+        }
+    }
+    ShardOutcome::Failed(ShardFailure {
+        shard: scenario.index,
+        attempts: max_attempts,
+        error: ShardError::Panicked { cause: last_cause },
+    })
+}
+
+/// Runs `job` once per scenario on up to `workers` threads with
+/// per-shard panic isolation, returning one [`ShardOutcome`] per
+/// scenario **in scenario order**.
 ///
 /// With `workers <= 1` (or a single scenario) no threads are spawned at
-/// all and the scenarios run sequentially on the caller's thread — this
-/// is the path the differential conformance suite uses as its baseline.
+/// all and the scenarios run sequentially on the caller's thread — the
+/// isolation semantics (catch_unwind, retry) are identical on both
+/// paths, so the differential conformance suite can compare them.
 ///
 /// Work is distributed by an atomic claim counter, so an expensive shard
-/// does not stall the others behind a fixed pre-partition. If a job
-/// panics, the panic is propagated to the caller after the scope joins.
-pub fn run_shards<T, F>(scenarios: &[Scenario], workers: usize, job: F) -> Vec<T>
+/// does not stall the others behind a fixed pre-partition. A panicking
+/// job never kills the scope: sibling shards keep running and publish
+/// their results regardless (the result mutex recovers from poisoning
+/// defensively, although with in-job catch_unwind no worker thread
+/// should ever unwind while holding it).
+pub fn run_shards_isolated<T, F>(
+    scenarios: &[Scenario],
+    workers: usize,
+    retry: RetryPolicy,
+    job: F,
+) -> Vec<ShardOutcome<T>>
 where
     T: Send,
-    F: Fn(&Scenario) -> T + Sync,
+    F: Fn(&Scenario, usize) -> T + Sync,
 {
     if workers <= 1 || scenarios.len() <= 1 {
-        return scenarios.iter().map(&job).collect();
+        return scenarios
+            .iter()
+            .map(|s| run_one_isolated(s, retry, &job))
+            .collect();
     }
     let threads = workers.min(scenarios.len());
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(scenarios.len());
+    let mut slots: Vec<Option<ShardOutcome<T>>> = Vec::with_capacity(scenarios.len());
     slots.resize_with(scenarios.len(), || None);
     let slots_mutex = std::sync::Mutex::new(&mut slots);
 
@@ -45,24 +207,54 @@ where
                         let Some(scenario) = scenarios.get(idx) else {
                             break;
                         };
-                        let result = job(scenario);
-                        let mut slots = slots_mutex.lock().expect("worker panicked");
-                        slots[idx] = Some(result);
+                        let outcome = run_one_isolated(scenario, retry, &job);
+                        let mut slots = slots_mutex.lock().unwrap_or_else(|p| p.into_inner());
+                        slots[idx] = Some(outcome);
                     }
                 })
             })
             .collect();
+        // With catch_unwind inside the claim loop a worker thread should
+        // never unwind; if one somehow does, its unclaimed slots surface
+        // below as structured MissingResult failures instead of a
+        // propagated panic killing the surviving shards' results.
         for handle in handles {
-            if let Err(panic) = handle.join() {
-                std::panic::resume_unwind(panic);
-            }
+            let _ = handle.join();
         }
     });
 
     slots
         .into_iter()
         .enumerate()
-        .map(|(i, slot)| slot.unwrap_or_else(|| panic!("shard {i} produced no result")))
+        .map(|(i, slot)| {
+            slot.unwrap_or(ShardOutcome::Failed(ShardFailure {
+                shard: i,
+                attempts: 0,
+                error: ShardError::MissingResult,
+            }))
+        })
+        .collect()
+}
+
+/// Runs `job` once per scenario on up to `workers` threads and returns
+/// the bare results in scenario order, propagating any shard failure as
+/// a panic on the caller's thread.
+///
+/// This is the original pre-isolation interface, kept for callers where
+/// a failed shard is unrecoverable (e.g. the wordlength baseline
+/// search). New code that wants graceful degradation should use
+/// [`run_shards_isolated`].
+pub fn run_shards<T, F>(scenarios: &[Scenario], workers: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&Scenario) -> T + Sync,
+{
+    run_shards_isolated(scenarios, workers, RetryPolicy::default(), |s, _| job(s))
+        .into_iter()
+        .map(|outcome| match outcome {
+            ShardOutcome::Completed { value, .. } => value,
+            ShardOutcome::Failed(failure) => panic!("{failure}"),
+        })
         .collect()
 }
 
@@ -137,6 +329,137 @@ mod tests {
     fn empty_scenario_set_yields_empty_results() {
         let got: Vec<usize> = run_shards(&[], 4, |s| s.index);
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn isolated_failure_leaves_siblings_intact() {
+        let scenarios = set(5);
+        for workers in [1, 2, 8] {
+            let outcomes = run_shards_isolated(
+                scenarios.as_slice(),
+                workers,
+                RetryPolicy::default(),
+                |s, _| {
+                    if s.index == 2 {
+                        panic!("injected fault in shard 2");
+                    }
+                    s.seed * 10
+                },
+            );
+            assert_eq!(outcomes.len(), 5, "workers={workers}");
+            for (i, outcome) in outcomes.iter().enumerate() {
+                if i == 2 {
+                    let ShardOutcome::Failed(failure) = outcome else {
+                        panic!("shard 2 should have failed");
+                    };
+                    assert_eq!(failure.shard, 2);
+                    assert_eq!(failure.attempts, 1);
+                    assert_eq!(
+                        failure.error,
+                        ShardError::Panicked {
+                            cause: "injected fault in shard 2".into()
+                        }
+                    );
+                } else {
+                    assert_eq!(
+                        *outcome,
+                        ShardOutcome::Completed {
+                            value: i as u64 * 10,
+                            attempts: 1
+                        },
+                        "workers={workers} shard={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retry_recovers_a_transient_fault() {
+        use std::sync::atomic::AtomicUsize;
+        let scenarios = set(3);
+        let tries = AtomicUsize::new(0);
+        let outcomes = run_shards_isolated(
+            scenarios.as_slice(),
+            1,
+            RetryPolicy::attempts(3),
+            |s, attempt| {
+                if s.index == 1 {
+                    tries.fetch_add(1, Ordering::Relaxed);
+                    if attempt < 2 {
+                        panic!("transient fault on attempt {attempt}");
+                    }
+                }
+                s.index
+            },
+        );
+        assert_eq!(tries.load(Ordering::Relaxed), 3);
+        assert_eq!(
+            outcomes[1],
+            ShardOutcome::Completed {
+                value: 1,
+                attempts: 3
+            }
+        );
+        assert_eq!(
+            outcomes[0],
+            ShardOutcome::Completed {
+                value: 0,
+                attempts: 1
+            }
+        );
+    }
+
+    #[test]
+    fn retry_exhaustion_reports_the_last_cause() {
+        let scenarios = set(2);
+        let outcomes = run_shards_isolated(
+            scenarios.as_slice(),
+            2,
+            RetryPolicy::attempts(2),
+            |s, attempt| {
+                if s.index == 0 {
+                    panic!("persistent fault attempt {attempt}");
+                }
+                s.index
+            },
+        );
+        let ShardOutcome::Failed(failure) = &outcomes[0] else {
+            panic!("shard 0 should have failed");
+        };
+        assert_eq!(failure.attempts, 2);
+        assert_eq!(
+            failure.error,
+            ShardError::Panicked {
+                cause: "persistent fault attempt 1".into()
+            }
+        );
+        assert!(!outcomes[1].is_failed());
+    }
+
+    #[test]
+    fn outcome_value_accessor() {
+        let completed: ShardOutcome<u32> = ShardOutcome::Completed {
+            value: 9,
+            attempts: 1,
+        };
+        assert_eq!(completed.value(), Some(9));
+        let failed: ShardOutcome<u32> = ShardOutcome::Failed(ShardFailure {
+            shard: 0,
+            attempts: 1,
+            error: ShardError::MissingResult,
+        });
+        assert!(failed.is_failed());
+        assert_eq!(failed.value(), None);
+        assert_eq!(
+            ShardFailure {
+                shard: 3,
+                attempts: 2,
+                error: ShardError::MissingResult,
+            }
+            .to_string(),
+            "shard 3 produced no result (after 2 attempt(s))"
+        );
     }
 
     #[test]
