@@ -9,7 +9,7 @@
 //! Defaults: `LMS_SAMPLES` samples. `--json` prints the JSON document to
 //! stdout instead of the human summary (the file is written either way).
 
-use fixref_bench::{run_cache_bench, LMS_SAMPLES};
+use fixref_bench::{run_cache_bench, write_bench_json, LMS_SAMPLES};
 
 fn parse_flag(args: &[String], name: &str, default: usize) -> usize {
     args.iter()
@@ -27,9 +27,7 @@ fn main() {
     let result = run_cache_bench(samples).expect("refinement converges on the equalizer");
 
     let rendered = result.render_json();
-    if let Err(e) = std::fs::write("BENCH_cache.json", rendered.as_bytes()) {
-        eprintln!("warning: could not write BENCH_cache.json: {e}");
-    }
+    write_bench_json("cache", &rendered);
 
     if json {
         println!("{rendered}");

@@ -1,0 +1,79 @@
+//! Compiled-backend benchmark: times the table-1 hot loop (one full
+//! monitored LMS simulation) interpreted vs. replayed from the lowered op
+//! tape vs. batched over 8 scenario lanes, then writes the result to
+//! `BENCH_compile.json`.
+//!
+//! ```text
+//! cargo run --release -p fixref-bench --bin compile -- [--samples N] [--repeats N] [--json]
+//! ```
+//!
+//! Defaults: `LMS_SAMPLES` samples, 5 interleaved repeats (minimum wall
+//! time wins). `--json` prints the JSON document to stdout instead of the
+//! human summary (the file is written either way).
+//!
+//! Exits non-zero if the replays diverge from the interpreter or the
+//! compiled speedup falls below the 5x floor.
+
+use fixref_bench::{run_compile_bench, write_bench_json, LMS_SAMPLES};
+
+fn parse_flag(args: &[String], name: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let samples = parse_flag(&args, "--samples", LMS_SAMPLES);
+    let repeats = parse_flag(&args, "--repeats", 5);
+
+    let result = run_compile_bench(samples, repeats);
+
+    let rendered = result.render_json();
+    write_bench_json("compile", &rendered);
+
+    if json {
+        println!("{rendered}");
+    } else {
+        println!("Compiled backend — LMS equalizer, {samples} samples, best of {repeats}");
+        println!("===================================================================");
+        println!(
+            "program: {} cycle kind(s), {} instruction(s), {} cycles",
+            result.program_kinds, result.program_instructions, result.cycles
+        );
+        println!(
+            "first MSB iteration (graph recording): {:.2} ms   compiled replay: {:.3} ms   speedup {:.1}x",
+            result.first_iteration_ns as f64 / 1e6,
+            result.compiled_ns as f64 / 1e6,
+            result.first_iteration_speedup
+        );
+        println!(
+            "steady interpreted iteration: {:.2} ms   speedup {:.1}x",
+            result.interpreted_ns as f64 / 1e6,
+            result.steady_speedup
+        );
+        println!(
+            "batched ({} lanes): {:.2} ms/pass = {:.3} ms/lane   speedup {:.1}x",
+            result.batched_lanes,
+            result.batched_ns as f64 / 1e6,
+            result.batched_ns_per_lane as f64 / 1e6,
+            result.batched_speedup
+        );
+        println!("outcomes match: {}", result.outcomes_match);
+    }
+
+    if !result.outcomes_match {
+        eprintln!("error: compiled/batched replays diverge from the interpreter");
+        std::process::exit(1);
+    }
+    if result.first_iteration_speedup < 5.0 {
+        eprintln!(
+            "error: compiled speedup {:.2}x below the 5x floor on the first-MSB-iteration hot loop",
+            result.first_iteration_speedup
+        );
+        std::process::exit(1);
+    }
+}

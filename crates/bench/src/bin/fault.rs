@@ -11,7 +11,7 @@
 //! `--json` prints the JSON document to stdout instead of the human
 //! summary (the file is written either way).
 
-use fixref_bench::{run_fault_bench, LMS_SAMPLES};
+use fixref_bench::{run_fault_bench, write_bench_json, LMS_SAMPLES};
 
 fn parse_flag(args: &[String], name: &str, default: usize) -> usize {
     args.iter()
@@ -30,9 +30,7 @@ fn main() {
     let result = run_fault_bench(samples, repeats).expect("refinement converges");
 
     let rendered = result.render_json();
-    if let Err(e) = std::fs::write("BENCH_fault.json", rendered.as_bytes()) {
-        eprintln!("warning: could not write BENCH_fault.json: {e}");
-    }
+    write_bench_json("fault", &rendered);
 
     if json {
         println!("{rendered}");

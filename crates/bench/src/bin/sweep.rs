@@ -12,7 +12,7 @@
 //! thread. `--json` prints the JSON document to stdout instead of the
 //! human summary (the file is written either way).
 
-use fixref_bench::{run_sweep_bench, LMS_SAMPLES};
+use fixref_bench::{run_sweep_bench, write_bench_json, LMS_SAMPLES};
 
 fn parse_flag(args: &[String], name: &str, default: usize) -> usize {
     args.iter()
@@ -36,9 +36,7 @@ fn main() {
         run_sweep_bench(scenarios, samples, workers).expect("MSB sweep converges on the equalizer");
 
     let rendered = result.render_json();
-    if let Err(e) = std::fs::write("BENCH_parallel.json", rendered.as_bytes()) {
-        eprintln!("warning: could not write BENCH_parallel.json: {e}");
-    }
+    write_bench_json("parallel", &rendered);
 
     if json {
         println!("{rendered}");

@@ -6,19 +6,9 @@
 //! statistics) with LSB 0.
 //!
 //! With `--json`, prints the flow's [`MetricsReport`] as JSON instead and
-//! writes it to `BENCH_flow.json` for downstream tooling.
+//! writes it to `BENCH_table2.json` for downstream tooling.
 
-use fixref_bench::{run_table2_report, table2_text, LMS_SAMPLES};
-use fixref_obs::MetricsReport;
-
-/// Renders the report as JSON to stdout and `BENCH_flow.json`.
-fn emit_json(report: &MetricsReport) {
-    let rendered = report.render_json();
-    if let Err(e) = std::fs::write("BENCH_flow.json", rendered.as_bytes()) {
-        eprintln!("warning: could not write BENCH_flow.json: {e}");
-    }
-    println!("{rendered}");
-}
+use fixref_bench::{run_table2_report, table2_text, write_bench_json, LMS_SAMPLES};
 
 fn main() {
     let json = std::env::args().skip(1).any(|a| a == "--json");
@@ -26,7 +16,9 @@ fn main() {
         run_table2_report(LMS_SAMPLES).expect("LSB phase converges on the equalizer");
 
     if json {
-        emit_json(&report);
+        let rendered = report.render_json();
+        write_bench_json("table2", &rendered);
+        println!("{rendered}");
         return;
     }
 

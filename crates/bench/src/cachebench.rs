@@ -65,7 +65,7 @@ impl CacheBenchResult {
     pub fn render_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"bench\": \"eval_cache\",\n");
+        out.push_str("  \"bench\": \"cache\",\n");
         out.push_str("  \"design\": \"lms\",\n");
         out.push_str(&format!("  \"samples\": {},\n", self.samples));
         out.push_str(&format!("  \"cold_ns\": {},\n", self.cold_ns));
@@ -213,7 +213,7 @@ mod tests {
         let parsed = fixref_obs::Json::parse(&json).expect("well-formed JSON");
         assert_eq!(
             parsed.get("bench").and_then(fixref_obs::Json::as_str),
-            Some("eval_cache")
+            Some("cache")
         );
         assert!(matches!(
             parsed.get("outcomes_match"),

@@ -169,7 +169,7 @@ impl FaultBenchResult {
     pub fn render_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"bench\": \"fault_tolerance\",\n");
+        out.push_str("  \"bench\": \"fault\",\n");
         out.push_str("  \"design\": \"lms\",\n");
         out.push_str(&format!("  \"samples\": {},\n", self.samples));
         out.push_str(&format!("  \"repeats\": {},\n", self.repeats));
@@ -222,7 +222,7 @@ mod tests {
         let parsed = fixref_obs::Json::parse(&json).expect("well-formed JSON");
         assert_eq!(
             parsed.get("bench").and_then(fixref_obs::Json::as_str),
-            Some("fault_tolerance")
+            Some("fault")
         );
         assert!(matches!(
             parsed.get("outcomes_match"),

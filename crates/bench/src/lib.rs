@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod cachebench;
+pub mod compilebench;
 pub mod faultbench;
 pub mod lintbench;
 pub mod microbench;
@@ -40,12 +41,43 @@ use fixref_obs::MetricsReport;
 use fixref_sim::{Design, SignalRef};
 
 pub use cachebench::{run_cache_bench, CacheBenchResult};
+pub use compilebench::{run_compile_bench, CompileBenchResult};
 pub use faultbench::{run_fault_bench, FaultBenchResult};
 pub use lintbench::{lint_example_designs, ExampleLint};
 pub use sweep::{
     lms_paper_scenario, lms_scenario_stimulus, lms_seed_grid, lms_shard_builder, run_sweep_bench,
     run_table1_swept, run_table2_swept, timing_shard_builder, ShardRow, SweepBenchResult,
 };
+
+/// Writes a rendered bench/report JSON document to `BENCH_{stem}.json`,
+/// asserting first that the document's own `name`/`bench` key agrees with
+/// the stem — the invariant that keeps every `BENCH_*.json` artifact
+/// self-describing (a `table1` report can never clobber `BENCH_flow.json`
+/// again).
+///
+/// IO failure is a warning, not an error: benches still print their
+/// results when the working directory is read-only.
+///
+/// # Panics
+///
+/// Panics if `rendered` is not valid JSON, carries no `name`/`bench`
+/// key, or its report name disagrees with `stem`.
+pub fn write_bench_json(stem: &str, rendered: &str) {
+    let parsed = fixref_obs::Json::parse(rendered).expect("bench JSON renders valid JSON");
+    let name = parsed
+        .get("name")
+        .or_else(|| parsed.get("bench"))
+        .and_then(fixref_obs::Json::as_str)
+        .expect("bench JSON carries a name/bench key");
+    assert_eq!(
+        name, stem,
+        "bench report name must match its BENCH_<name>.json file stem"
+    );
+    let path = format!("BENCH_{stem}.json");
+    if let Err(e) = std::fs::write(&path, rendered.as_bytes()) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
 
 /// The paper's input type `<7,5,tc>` with saturation and rounding.
 pub fn paper_input_type() -> DType {
@@ -140,6 +172,25 @@ pub fn run_table2_report(
     let (history, _) = flow.run_lsb(lms_stimulus(&eq, samples))?;
     let report = MetricsReport::from_recorder("table2", flow.recorder());
     Ok((history, report))
+}
+
+/// One complete refinement flow (MSB + LSB + verification) of the paper
+/// equalizer, returning the outcome plus the flow's [`MetricsReport`]
+/// named `flow` — the document behind `BENCH_flow.json` (`--bin flow`).
+///
+/// # Errors
+///
+/// Propagates [`FlowError`] if either phase cannot converge.
+pub fn run_flow_report(samples: usize) -> Result<(FlowOutcome, MetricsReport), FlowError> {
+    let config = LmsConfig {
+        input_dtype: Some(paper_input_type()),
+        ..LmsConfig::default()
+    };
+    let (d, eq) = lms_setup(&config);
+    let mut flow = RefinementFlow::new(d, RefinePolicy::default());
+    let outcome = flow.run(lms_stimulus(&eq, samples))?;
+    let report = MetricsReport::from_recorder("flow", flow.recorder());
+    Ok((outcome, report))
 }
 
 /// Renders the Table 1 report exactly as `--bin table1` prints it, so the

@@ -207,7 +207,7 @@ impl SweepBenchResult {
     pub fn render_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"bench\": \"parallel_sweep\",\n");
+        out.push_str("  \"bench\": \"parallel\",\n");
         out.push_str(&format!("  \"scenarios\": {},\n", self.scenarios));
         out.push_str(&format!("  \"samples\": {},\n", self.samples));
         out.push_str(&format!("  \"workers\": {},\n", self.workers));
@@ -372,7 +372,7 @@ mod tests {
         let parsed = fixref_obs::Json::parse(&json).expect("well-formed JSON");
         assert_eq!(
             parsed.get("bench").and_then(fixref_obs::Json::as_str),
-            Some("parallel_sweep")
+            Some("parallel")
         );
         assert_eq!(
             parsed.get("scenarios").and_then(fixref_obs::Json::as_u64),

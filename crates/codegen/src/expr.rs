@@ -37,6 +37,12 @@ pub enum CodegenError {
         /// Description of the unsupported construct.
         what: String,
     },
+    /// The combinational wires form a dependency cycle, so no evaluation
+    /// order exists. Break the loop with a register.
+    CombinationalCycle {
+        /// A signal on the cycle.
+        name: String,
+    },
 }
 
 impl fmt::Display for CodegenError {
@@ -55,6 +61,10 @@ impl fmt::Display for CodegenError {
             CodegenError::UnsupportedOp { what } => {
                 write!(f, "unsupported construct for hardware mapping: {what}")
             }
+            CodegenError::CombinationalCycle { name } => write!(
+                f,
+                "combinational cycle through signal {name}; break the loop with a register"
+            ),
         }
     }
 }

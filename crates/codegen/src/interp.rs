@@ -9,12 +9,15 @@
 //! `rtl_interpreter_matches_simulation` integration test) without an
 //! external VHDL simulator.
 //!
-//! Evaluation order: combinational signals are evaluated in declaration
-//! order each cycle, which matches models whose statements assign signals
-//! in the order they were declared (all the workload models do). Register
-//! signals latch at [`RtlInterpreter::tick`]. A model that assigns wires
-//! out of declaration order will disagree with its simulation — the
-//! cross-check makes that visible rather than silently wrong.
+//! Evaluation order: combinational signals are evaluated in topological
+//! order of their wire-read dependencies (derived from the recorded
+//! graph), so models that assign wires out of declaration order still
+//! evaluate like their simulation. Register reads are state, not
+//! combinational dependencies — registers evaluate after the wires they
+//! sample and latch at [`RtlInterpreter::tick`]. A genuine combinational
+//! cycle (wires feeding each other with no register in the loop) has no
+//! valid order and is rejected with
+//! [`CodegenError::CombinationalCycle`].
 
 use std::collections::HashMap;
 
@@ -69,6 +72,9 @@ pub struct RtlInterpreter {
     /// Pending register values, committed at `tick`.
     next: Vec<Option<f64>>,
     index: HashMap<SignalId, usize>,
+    /// Indices of the evaluated (non-input, defined) signals in
+    /// topological order of their wire-read dependencies.
+    order: Vec<usize>,
 }
 
 impl RtlInterpreter {
@@ -85,7 +91,9 @@ impl RtlInterpreter {
     /// * [`CodegenError::UntypedSignal`] — a participating signal has no
     ///   decided type;
     /// * [`CodegenError::MultipleDefinitions`] — a signal has several
-    ///   structurally different definitions.
+    ///   structurally different definitions;
+    /// * [`CodegenError::CombinationalCycle`] — the wires form a
+    ///   dependency cycle with no register in the loop.
     pub fn new(design: &Design, graph: &Graph) -> Result<Self, CodegenError> {
         let mut signals = Vec::new();
         let mut index = HashMap::new();
@@ -134,12 +142,14 @@ impl RtlInterpreter {
         }
 
         let n = signals.len();
+        let order = eval_order(graph, &signals, &index)?;
         Ok(RtlInterpreter {
             graph: graph.clone(),
             signals,
             values: vec![0.0; n],
             next: vec![None; n],
             index,
+            order,
         })
     }
 
@@ -171,14 +181,12 @@ impl RtlInterpreter {
         self.values[idx] = quantize(value, &self.signals[idx].dtype).value;
     }
 
-    /// Evaluates one combinational cycle: every wire in declaration order,
-    /// every register's next value. Call [`RtlInterpreter::tick`] to latch
-    /// the registers.
+    /// Evaluates one combinational cycle: every wire in topological
+    /// dependency order, every register's next value. Call
+    /// [`RtlInterpreter::tick`] to latch the registers.
     pub fn step(&mut self) {
-        for i in 0..self.signals.len() {
-            if self.signals[i].is_input || self.signals[i].defs.is_empty() {
-                continue;
-            }
+        for k in 0..self.order.len() {
+            let i = self.order[k];
             let def = self.signals[i].defs[0];
             let raw = self.eval(def);
             let q = quantize(raw, &self.signals[i].dtype).value;
@@ -210,6 +218,15 @@ impl RtlInterpreter {
             .unwrap_or_else(|| panic!("{id} does not participate in the dataflow"))]
     }
 
+    /// The evaluation order over all evaluated signals, for tests.
+    #[cfg(test)]
+    fn order_names(&self) -> Vec<String> {
+        self.order
+            .iter()
+            .map(|&i| self.signals[i].name.clone())
+            .collect()
+    }
+
     fn eval(&self, root: NodeId) -> f64 {
         let node = self.graph.node(root).clone();
         match &node.op {
@@ -233,6 +250,78 @@ impl RtlInterpreter {
             }
         }
     }
+}
+
+/// Computes the topological evaluation order of the non-input, defined
+/// signals: a signal is ready once every *wire* it reads has been
+/// evaluated. Register reads are latched state (not combinational
+/// dependencies) and input values are externally driven, so neither
+/// constrains the order; among ready signals, declaration order breaks
+/// ties, keeping the order deterministic.
+fn eval_order(
+    graph: &Graph,
+    signals: &[SigInfo],
+    index: &HashMap<SignalId, usize>,
+) -> Result<Vec<usize>, CodegenError> {
+    // deps[i] = evaluated-wire indices signal i's definition reads.
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); signals.len()];
+    for (i, info) in signals.iter().enumerate() {
+        let Some(&def) = info.defs.first() else {
+            continue;
+        };
+        let mut stack = vec![def];
+        let mut seen = vec![def];
+        while let Some(node) = stack.pop() {
+            let n = graph.node(node);
+            if let Op::Read(sig) = n.op {
+                if let Some(&j) = index.get(&sig) {
+                    let dep = &signals[j];
+                    if !dep.is_input
+                        && !dep.defs.is_empty()
+                        && dep.kind == SignalKind::Wire
+                        && !deps[i].contains(&j)
+                    {
+                        deps[i].push(j);
+                    }
+                }
+            }
+            for &arg in &n.args {
+                if !seen.contains(&arg) {
+                    seen.push(arg);
+                    stack.push(arg);
+                }
+            }
+        }
+    }
+
+    let evaluated: Vec<usize> = (0..signals.len())
+        .filter(|&i| !signals[i].is_input && !signals[i].defs.is_empty())
+        .collect();
+    let mut placed = vec![false; signals.len()];
+    let mut order = Vec::with_capacity(evaluated.len());
+    while order.len() < evaluated.len() {
+        let mut progressed = false;
+        for &i in &evaluated {
+            if !placed[i] && deps[i].iter().all(|&j| placed[j]) {
+                placed[i] = true;
+                order.push(i);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            // Every unplaced signal waits on another unplaced wire: a
+            // genuine combinational cycle. Report a wire on it.
+            let culprit = evaluated
+                .iter()
+                .find(|&&i| !placed[i] && signals[i].kind == SignalKind::Wire)
+                .or_else(|| evaluated.iter().find(|&&i| !placed[i]))
+                .expect("unplaced signal exists when no progress is made");
+            return Err(CodegenError::CombinationalCycle {
+                name: signals[*culprit].name.clone(),
+            });
+        }
+    }
+    Ok(order)
 }
 
 #[cfg(test)]
@@ -348,6 +437,58 @@ mod tests {
             rtl.step();
             assert_eq!(rtl.value(y.id()), y.get().fix(), "at {v}");
         }
+    }
+
+    /// Wires declared in the *reverse* of their dependency order must
+    /// still evaluate like the simulation (regression: the interpreter
+    /// used to walk declaration order and silently disagreed).
+    #[test]
+    fn out_of_declaration_order_wires_match_simulation() {
+        let d = Design::new();
+        // Declaration order: z, y, x — but dataflow is x -> y -> z.
+        let z = d.sig_typed("z", tc(12, 8));
+        let y = d.sig_typed("y", tc(10, 8));
+        let x = d.sig_typed("x", tc(8, 6));
+        d.record_graph(true);
+        let drive = |v: f64| {
+            x.set(v);
+            y.set(x.get() * 0.5 + 0.25);
+            z.set(y.get() + x.get());
+        };
+        drive(0.1);
+        drive(-0.3);
+        let mut rtl = RtlInterpreter::new(&d, &d.graph()).expect("builds");
+        assert_eq!(rtl.order_names(), vec!["y", "z"], "dependency order");
+        for v in [0.7, -0.9, 0.33, -1.0] {
+            drive(v);
+            rtl.set_input(x.id(), v);
+            rtl.step();
+            assert_eq!(rtl.value(y.id()), y.get().fix(), "y at {v}");
+            assert_eq!(rtl.value(z.id()), z.get().fix(), "z at {v}");
+        }
+    }
+
+    /// A register in the loop breaks the cycle; pure wire loops error.
+    #[test]
+    fn combinational_cycle_rejected_register_loop_accepted() {
+        let d = Design::new();
+        let a = d.sig_typed("a", tc(8, 6));
+        let b = d.sig_typed("b", tc(8, 6));
+        d.record_graph(true);
+        // a and b feed each other combinationally.
+        a.set(b.get() + 0.25);
+        b.set(a.get() * 0.5);
+        let err = RtlInterpreter::new(&d, &d.graph()).unwrap_err();
+        assert!(matches!(err, CodegenError::CombinationalCycle { .. }));
+
+        let d2 = Design::new();
+        let w = d2.sig_typed("w", tc(8, 6));
+        let r = d2.reg_typed("r", tc(8, 6));
+        d2.record_graph(true);
+        // Same loop, but through a register: valid.
+        w.set(r.get() + 0.25);
+        r.set(w.get() * 0.5);
+        assert!(RtlInterpreter::new(&d2, &d2.graph()).is_ok());
     }
 
     #[test]

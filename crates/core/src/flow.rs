@@ -25,6 +25,7 @@ use std::time::{Duration, Instant};
 use fixref_fixed::{DType, Interval};
 use fixref_lint::{LintConfig, Linter, Severity as LintSeverity};
 use fixref_obs::{DefaultRecorder, Event, Phase, Recorder};
+use fixref_sim::tape::{BoundTrace, CompiledProgram};
 use fixref_sim::{Design, FaultPlan, OverflowEvent, SignalId, SignalStats};
 
 use crate::cache::{CachePlan, EvalCache};
@@ -430,6 +431,81 @@ pub trait SimDriver {
     fn resume_invalidation(&mut self, _dirty: usize) {}
 }
 
+/// Which evaluation engine the closure-based drivers use for monitored
+/// simulations.
+///
+/// Every backend is bit-identical to [`SimBackend::Interpreted`] — same
+/// statistics, overflow events and journal counters — or it is not used:
+/// a design whose first recorded iteration cannot be compiled (lint's
+/// FXL001 static-schedule verdict refuses it, lowering exceeds its
+/// budget, or the verification replay catches host control flow the tape
+/// cannot represent) falls back to the interpreter and journals
+/// [`Event::BackendFallback`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimBackend {
+    /// Run the host-code description for every simulation (the paper's
+    /// engine). Always available.
+    #[default]
+    Interpreted,
+    /// After the first recorded iteration, lower the captured execution
+    /// trace to a flat op tape and replay that for subsequent
+    /// iterations — no host-code walk, no per-assignment registry
+    /// lookups.
+    Compiled,
+    /// [`SimBackend::Compiled`], plus scenario sweeps batch same-shaped
+    /// scenario lanes through one structure-of-arrays pass. Sequential
+    /// (non-swept) runs treat this exactly like `Compiled`.
+    Batched,
+}
+
+impl SimBackend {
+    /// The name used in `backend.*` events and counters.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimBackend::Interpreted => "interpreted",
+            SimBackend::Compiled => "compiled",
+            SimBackend::Batched => "batched",
+        }
+    }
+}
+
+/// A compiled program plus its run binding, held by a driver once the
+/// record iteration compiled successfully.
+pub(crate) struct CompiledUnit {
+    pub(crate) program: CompiledProgram,
+    pub(crate) trace: BoundTrace,
+}
+
+/// Attempts to lower the captured record iteration into a compiled unit,
+/// enforcing the gates every backend user shares: lint's FXL001
+/// static-schedule verdict, the lowering budget, and the bitwise
+/// verification replay. `Ok` carries the unit; `Err` carries the
+/// human-readable fallback reason.
+pub(crate) fn compile_capture(
+    design: &Design,
+    trace: &fixref_sim::ExecTrace,
+) -> Result<CompiledUnit, String> {
+    let violations = fixref_lint::check_static_schedule(design);
+    if !violations.is_empty() {
+        return Err(format!(
+            "FXL001 static-schedule verdict refused the design ({} violation(s))",
+            violations.len()
+        ));
+    }
+    let (program, bound) = fixref_codegen::lower_trace(design, trace).map_err(|e| e.to_string())?;
+    if !design.verify_compiled(&program, &bound) {
+        return Err(
+            "verification replay diverged from the capture (host control flow is not \
+             tape-representable)"
+                .to_string(),
+        );
+    }
+    Ok(CompiledUnit {
+        program,
+        trace: bound,
+    })
+}
+
 /// The built-in driver: one sequential simulation of the flow's design,
 /// exactly as the paper's engine runs it.
 ///
@@ -443,20 +519,31 @@ pub trait SimDriver {
 pub struct SequentialDriver<F> {
     sim: F,
     cache: Option<EvalCache>,
+    backend: SimBackend,
+    /// The compiled record iteration, once the backend compiled one.
+    compiled: Option<CompiledUnit>,
+    /// Whether the one-shot [`Event::BackendFallback`] was journaled.
+    fallback_noted: bool,
 }
 
 impl<F: FnMut(&Design, usize)> SequentialDriver<F> {
     /// A plain driver: every simulation runs the stimulus in full.
     pub fn new(sim: F) -> Self {
-        SequentialDriver { sim, cache: None }
+        SequentialDriver {
+            sim,
+            cache: None,
+            backend: SimBackend::default(),
+            compiled: None,
+            fallback_noted: false,
+        }
     }
 
     /// A caching driver: clean iterations splice cached monitors instead
     /// of re-simulating.
     pub fn with_cache(sim: F) -> Self {
         SequentialDriver {
-            sim,
             cache: Some(EvalCache::new()),
+            ..Self::new(sim)
         }
     }
 
@@ -465,14 +552,70 @@ impl<F: FnMut(&Design, usize)> SequentialDriver<F> {
     /// bit-identical to the uninterrupted run.
     pub fn with_restored_cache(sim: F, cache: EvalCache) -> Self {
         SequentialDriver {
-            sim,
             cache: Some(cache),
+            ..Self::new(sim)
         }
+    }
+
+    /// Selects the evaluation backend. [`SimBackend::Batched`] behaves
+    /// like [`SimBackend::Compiled`] on the sequential driver (there are
+    /// no scenario lanes to batch).
+    pub fn set_backend(&mut self, backend: SimBackend) {
+        self.backend = backend;
     }
 
     /// The driver's cache, when caching is enabled.
     pub fn cache(&self) -> Option<&EvalCache> {
         self.cache.as_ref()
+    }
+
+    /// Whether a compiled program is armed for subsequent iterations.
+    pub fn has_compiled_program(&self) -> bool {
+        self.compiled.is_some()
+    }
+
+    /// Journals the one-shot fallback-to-interpreted event.
+    fn note_fallback(&mut self, recorder: &DefaultRecorder, reason: &str) {
+        if !self.fallback_noted {
+            self.fallback_noted = true;
+            recorder.record_event(Event::BackendFallback {
+                backend: self.backend.name().to_string(),
+                reason: reason.to_string(),
+            });
+            recorder.inc("backend.fallbacks", 1);
+        }
+    }
+
+    /// Runs the record iteration interpreted while capturing an execution
+    /// trace, then tries to compile the capture for subsequent
+    /// iterations.
+    fn record_and_compile(
+        &mut self,
+        design: &Design,
+        recorder: &DefaultRecorder,
+        iteration: usize,
+    ) {
+        design.clear_graph();
+        design.record_graph(true);
+        design.begin_capture();
+        (self.sim)(design, iteration);
+        design.record_graph(false);
+        let trace = design
+            .end_capture()
+            .expect("capture begun by this driver is still active");
+        match compile_capture(design, &trace) {
+            Ok(unit) => {
+                recorder.record_event(Event::BackendCompiled {
+                    backend: self.backend.name().to_string(),
+                    kinds: unit.program.kinds.len(),
+                    instructions: unit.program.instruction_count(),
+                    cycles: unit.trace.cycles,
+                });
+                recorder.inc("backend.programs", 1);
+                self.compiled = Some(unit);
+            }
+            Err(reason) => self.note_fallback(recorder, &reason),
+        }
     }
 }
 
@@ -499,6 +642,7 @@ impl<F: FnMut(&Design, usize)> SimDriver for SequentialDriver<F> {
         let signals = design.num_signals() as u64;
         design.reset_stats();
         design.reset_state();
+        let compiled_wanted = self.backend != SimBackend::Interpreted;
         Ok(match plan {
             CachePlan::Replay => {
                 let cache = self.cache.as_mut().expect("replay implies a cache");
@@ -508,7 +652,13 @@ impl<F: FnMut(&Design, usize)> SimDriver for SequentialDriver<F> {
             }
             CachePlan::Partial { clean } => {
                 design.set_passive(&clean);
-                (self.sim)(design, iteration);
+                match (compiled_wanted, &self.compiled) {
+                    (true, Some(unit)) => {
+                        design.replay_compiled(&unit.program, &unit.trace);
+                        recorder.inc("backend.compiled_runs", 1);
+                    }
+                    _ => (self.sim)(design, iteration),
+                }
                 design.clear_passive();
                 let cache = self.cache.as_mut().expect("partial implies a cache");
                 cache.splice_clean(design, &clean);
@@ -521,13 +671,18 @@ impl<F: FnMut(&Design, usize)> SimDriver for SequentialDriver<F> {
                 design.cycle()
             }
             CachePlan::Cold => {
-                if record_graph {
+                if record_graph && compiled_wanted {
+                    self.record_and_compile(design, recorder, iteration);
+                } else if record_graph {
                     design.clear_graph();
                     design.record_graph(true);
-                }
-                (self.sim)(design, iteration);
-                if record_graph {
+                    (self.sim)(design, iteration);
                     design.record_graph(false);
+                } else if let (true, Some(unit)) = (compiled_wanted, &self.compiled) {
+                    design.replay_compiled(&unit.program, &unit.trace);
+                    recorder.inc("backend.compiled_runs", 1);
+                } else {
+                    (self.sim)(design, iteration);
                 }
                 if let Some(cache) = &mut self.cache {
                     cache.note(recorder.as_ref(), 0, signals);
@@ -575,6 +730,9 @@ pub struct RefinementFlow {
     /// When set, the closure-based entry points (`run`, `run_msb`, …)
     /// drive their simulations through a caching [`SequentialDriver`].
     cache_enabled: bool,
+    /// Evaluation backend for the closure-based entry points (see
+    /// [`SimBackend`]).
+    backend: SimBackend,
     /// Per-code allow/warn/deny configuration of the pre-flight lint
     /// gate. The default warns on everything, so no existing flow fails.
     lint: LintConfig,
@@ -650,6 +808,7 @@ impl RefinementFlow {
             pinned_explosion: HashSet::new(),
             recorder,
             cache_enabled: false,
+            backend: SimBackend::default(),
             lint: LintConfig::new(),
             checkpoint: None,
             fault_plan: FaultPlan::default(),
@@ -677,6 +836,25 @@ impl RefinementFlow {
     /// recorder as `cache.hits` / `cache.misses`.
     pub fn enable_cache(&mut self) {
         self.cache_enabled = true;
+    }
+
+    /// Selects the evaluation backend for the closure-based entry points
+    /// (`run`, `run_msb`, …): [`SimBackend::Compiled`] lowers the first
+    /// recorded iteration to an op tape and replays it for subsequent
+    /// iterations, falling back to the interpreter (with a journaled
+    /// [`Event::BackendFallback`]) whenever the design refuses a static
+    /// schedule or the tape fails its verification replay. The refined
+    /// types, statistics and journal counters are bit-identical across
+    /// backends. Swept entry points batch scenario lanes when
+    /// [`SimBackend::Batched`] is selected on their [`SweepDriver`]
+    /// (see [`crate::sweep::SweepDriver::set_backend`]).
+    pub fn set_backend(&mut self, backend: SimBackend) {
+        self.backend = backend;
+    }
+
+    /// The selected evaluation backend.
+    pub fn backend(&self) -> SimBackend {
+        self.backend
     }
 
     /// Configures the pre-flight lint gate. After the first (recorded)
@@ -749,7 +927,7 @@ impl RefinementFlow {
     /// [`RefinementFlow::enable_cache`], pre-warming its cache from a
     /// checkpoint snapshot when resuming.
     fn driver_for<F: FnMut(&Design, usize)>(&mut self, sim: F) -> SequentialDriver<F> {
-        if self.cache_enabled {
+        let mut driver = if self.cache_enabled {
             match self.resume_cache.take() {
                 Some((stats, overflow, cycles)) => {
                     // The restored cache re-emits its own CacheInvalidated
@@ -765,7 +943,9 @@ impl RefinementFlow {
             }
         } else {
             SequentialDriver::new(sim)
-        }
+        };
+        driver.set_backend(self.backend);
+        driver
     }
 
     /// Directs the flow to write a checkpoint file at `path` after every

@@ -72,7 +72,7 @@ pub use cache::{CachePlan, EvalCache};
 pub use checkpoint::{CacheState, Checkpoint, CheckpointError, Cursor};
 pub use flow::{
     FlowError, FlowOutcome, FlowStatus, Intervention, RefinementFlow, RunBudget, SequentialDriver,
-    SimDriver, SimFault, SweepCoverage, VerifyOutcome,
+    SimBackend, SimDriver, SimFault, SweepCoverage, VerifyOutcome,
 };
 pub use lsb::{analyze_lsb, LsbAnalysis, LsbStatus};
 pub use msb::{analyze_msb, MsbAnalysis, MsbDecision};

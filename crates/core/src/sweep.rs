@@ -33,12 +33,12 @@ use std::time::Instant;
 
 use fixref_obs::{DefaultRecorder, Event, Recorder};
 use fixref_sim::{
-    run_shards_isolated, Design, FaultPlan, Graph, OverflowEvent, RetryPolicy, Scenario,
-    ScenarioSet, ShardOutcome, SignalId, SignalKind, SignalStats,
+    replay_compiled_batch, run_shards_isolated, Design, FaultPlan, Graph, OverflowEvent,
+    RetryPolicy, Scenario, ScenarioSet, ShardOutcome, SignalId, SignalKind, SignalStats,
 };
 
 use crate::cache::{plan_for, CachePlan};
-use crate::flow::{SimDriver, SimFault, SweepCoverage};
+use crate::flow::{compile_capture, CompiledUnit, SimBackend, SimDriver, SimFault, SweepCoverage};
 
 /// How the sweep reacts to a shard that fails all its attempts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -113,6 +113,47 @@ struct ShardResult {
     recorder: Arc<DefaultRecorder>,
     cycles: u64,
     wall_ns: u128,
+    /// The shard's lowered op tape (record iteration under a compiled
+    /// backend only): `Ok` carries the verified unit, `Err` the
+    /// human-readable fallback reason.
+    compiled: Option<Result<CompiledUnit, String>>,
+}
+
+/// Upper bound on scenario lanes batched through one structure-of-arrays
+/// pass; larger groups split so the per-lane working set stays cache-
+/// resident on the worker.
+const MAX_LANES: usize = 64;
+
+/// The sweep's compiled execution state: one verified `(program, bound
+/// trace)` unit per scenario, plus the lane grouping the batched replay
+/// executes. Invalidated whenever a new record iteration runs, a shard
+/// fails, or a scenario is quarantined.
+struct CompiledSweep {
+    /// One compiled unit per scenario, indexed by scenario index.
+    units: Vec<CompiledUnit>,
+    /// Scenario indices grouped by exact `(program, schedule)` shape —
+    /// see [`group_lanes`]. Each group replays as one batch.
+    groups: Vec<Vec<usize>>,
+}
+
+/// Groups scenario indices whose compiled tapes have bit-identical
+/// `(program, schedule)` shapes (fingerprint first, then exact word
+/// equality), splitting groups at `cap` lanes. Order within a group and
+/// across groups follows scenario order.
+fn group_lanes(units: &[CompiledUnit], cap: usize) -> Vec<Vec<usize>> {
+    let mut groups: Vec<(u64, Vec<u64>, Vec<usize>)> = Vec::new();
+    for (i, unit) in units.iter().enumerate() {
+        let fp = unit.trace.fingerprint(&unit.program);
+        let words = unit.trace.shape_words(&unit.program);
+        match groups
+            .iter_mut()
+            .find(|(f, w, g)| *f == fp && *w == words && g.len() < cap)
+        {
+            Some((_, _, g)) => g.push(i),
+            None => groups.push((fp, words, vec![i])),
+        }
+    }
+    groups.into_iter().map(|(_, _, g)| g).collect()
 }
 
 /// One shard's monitors retained for cache replay. A Replay simulation
@@ -157,6 +198,9 @@ pub struct SweepDriver {
     quarantined: BTreeSet<usize>,
     coverage: Option<SweepCoverage>,
     pending_invalidation: Option<usize>,
+    backend: SimBackend,
+    compiled: Option<Arc<CompiledSweep>>,
+    fallback_noted: bool,
 }
 
 impl std::fmt::Debug for SweepDriver {
@@ -183,6 +227,53 @@ impl SweepDriver {
             quarantined: BTreeSet::new(),
             coverage: None,
             pending_invalidation: None,
+            backend: SimBackend::default(),
+            compiled: None,
+            fallback_noted: false,
+        }
+    }
+
+    /// Selects the evaluation backend for this sweep.
+    ///
+    /// Under [`SimBackend::Compiled`] every shard of the record iteration
+    /// captures its execution trace, lowers it to a flat op tape, and
+    /// replays that tape on subsequent iterations instead of re-running
+    /// the stimulus. [`SimBackend::Batched`] additionally groups
+    /// scenarios whose tapes have identical `(program, schedule)` shapes
+    /// and evaluates up to 64 lanes per group through one
+    /// structure-of-arrays pass. The merged statistics, refined types and
+    /// journal are bit-identical to the interpreted sweep (modulo the
+    /// `backend.*` events/counters themselves).
+    ///
+    /// The sweep falls back to the interpreter — journaling a one-shot
+    /// [`Event::BackendFallback`] — whenever fault injection is active,
+    /// a scenario is quarantined, lint's FXL001 static-schedule verdict
+    /// refuses a shard design, or a capture fails its verification
+    /// replay.
+    pub fn set_backend(&mut self, backend: SimBackend) {
+        self.backend = backend;
+    }
+
+    /// The selected evaluation backend.
+    pub fn backend(&self) -> SimBackend {
+        self.backend
+    }
+
+    /// Whether the record iteration produced compiled tapes that the
+    /// next simulations will replay.
+    pub fn has_compiled_program(&self) -> bool {
+        self.compiled.is_some()
+    }
+
+    /// Journals the one-shot fallback-to-interpreted event.
+    fn note_fallback(&mut self, recorder: &DefaultRecorder, reason: &str) {
+        if !self.fallback_noted {
+            self.fallback_noted = true;
+            recorder.record_event(Event::BackendFallback {
+                backend: self.backend.name().to_string(),
+                reason: reason.to_string(),
+            });
+            recorder.inc("backend.fallbacks", 1);
         }
     }
 
@@ -290,6 +381,252 @@ impl SweepDriver {
     pub fn shard_summaries(&self) -> &[ShardSummary] {
         &self.last_shards
     }
+
+    /// Replays the compiled scenario tapes lane-grouped through the
+    /// structure-of-arrays executor, then folds the shards back with the
+    /// same scenario-order merge (and journal bracketing) as a live run.
+    ///
+    /// One worker job per lane group: the job builds every lane's design
+    /// fresh (the builder's post-build state is what the capture started
+    /// from), re-applies the master's annotations, passivates the clean
+    /// set on partial runs, and drives all lanes through
+    /// [`replay_compiled_batch`]. The stimulus closure is never called.
+    fn simulate_batched(
+        &mut self,
+        design: &Design,
+        recorder: &Arc<DefaultRecorder>,
+        compiled: &Arc<CompiledSweep>,
+        clean_names: &Arc<HashSet<String>>,
+        signals: u64,
+    ) -> Result<u64, SimFault> {
+        let all: Vec<Scenario> = self.scenarios.iter().cloned().collect();
+        let annotations = design.annotations();
+        let cached_shards: Arc<Vec<CachedShard>> = self
+            .cache
+            .as_ref()
+            .map(|c| c.shards.clone())
+            .unwrap_or_default();
+        let builder = &self.builder;
+        let reps: Vec<Scenario> = compiled.groups.iter().map(|g| all[g[0]].clone()).collect();
+
+        let outcomes = run_shards_isolated(
+            &reps,
+            self.workers,
+            RetryPolicy::attempts(self.fault_policy.max_attempts),
+            |rep, _attempt| {
+                let started = Instant::now();
+                let group = compiled
+                    .groups
+                    .iter()
+                    .find(|g| g[0] == rep.index)
+                    .expect("every representative indexes its own group");
+                let partial = !clean_names.is_empty();
+                let mut shards: Vec<Design> = Vec::with_capacity(group.len());
+                let mut recorders: Vec<Arc<DefaultRecorder>> = Vec::with_capacity(group.len());
+                for &si in group.iter() {
+                    let shard_recorder = Arc::new(DefaultRecorder::new());
+                    let ShardSim { design: shard, .. } = builder(&all[si]);
+                    shard.attach_recorder(shard_recorder.clone());
+                    shard
+                        .apply_annotations(&annotations)
+                        .unwrap_or_else(|e| panic!("shard builder contract violation: {e}"));
+                    if partial {
+                        let clean_ids: Vec<SignalId> =
+                            clean_names.iter().filter_map(|n| shard.find(n)).collect();
+                        shard.set_passive(&clean_ids);
+                    }
+                    shards.push(shard);
+                    recorders.push(shard_recorder);
+                }
+                {
+                    let lanes: Vec<(&Design, &fixref_sim::BoundTrace)> = group
+                        .iter()
+                        .zip(shards.iter())
+                        .map(|(&si, shard)| (shard, &compiled.units[si].trace))
+                        .collect();
+                    replay_compiled_batch(&compiled.units[group[0]].program, &lanes);
+                }
+                let mut results: Vec<(usize, ShardResult)> = Vec::with_capacity(group.len());
+                for ((&si, shard), shard_recorder) in group.iter().zip(shards.iter()).zip(recorders)
+                {
+                    if partial {
+                        shard.clear_passive();
+                        let cached = &cached_shards[si];
+                        let clean_stats: Vec<SignalStats> = cached
+                            .stats
+                            .iter()
+                            .filter(|s| clean_names.contains(&s.name))
+                            .cloned()
+                            .collect();
+                        shard
+                            .splice_stats(&clean_stats)
+                            .unwrap_or_else(|e| panic!("shard builder contract violation: {e}"));
+                        shard.splice_overflow_events(
+                            cached
+                                .overflow_events
+                                .iter()
+                                .filter(|e| clean_names.contains(&e.name))
+                                .cloned()
+                                .collect(),
+                        );
+                    }
+                    results.push((
+                        si,
+                        ShardResult {
+                            stats: shard.export_stats(),
+                            overflow_events: shard.take_overflow_events(),
+                            graph: None,
+                            recorder: shard_recorder,
+                            cycles: shard.cycle(),
+                            wall_ns: started.elapsed().as_nanos(),
+                            compiled: None,
+                        },
+                    ));
+                }
+                results
+            },
+        );
+
+        // Re-spread the group results into scenario order, handling group
+        // failures under the same fault policy as live shards. A failed
+        // group drops the compiled tapes entirely: replays are only
+        // trusted while they cover every scenario.
+        let mut slots: Vec<Option<ShardResult>> = Vec::new();
+        slots.resize_with(all.len(), || None);
+        let mut failures = 0usize;
+        for (group, outcome) in compiled.groups.iter().zip(outcomes) {
+            let attempts = match &outcome {
+                ShardOutcome::Completed { attempts, .. } => *attempts,
+                ShardOutcome::Failed(failure) => failure.attempts,
+            };
+            for attempt in 1..attempts {
+                recorder.record_event(Event::ShardRetried {
+                    shard: group[0],
+                    attempt,
+                });
+                recorder.inc("retry.attempts", 1);
+            }
+            match outcome {
+                ShardOutcome::Completed { value, .. } => {
+                    for (si, result) in value {
+                        slots[si] = Some(result);
+                    }
+                }
+                ShardOutcome::Failed(failure) => match self.fault_policy.mode {
+                    FaultMode::Strict => {
+                        if let Some(cache) = &mut self.cache {
+                            cache.shards = Arc::new(Vec::new());
+                        }
+                        self.compiled = None;
+                        let scenario = &all[group[0]];
+                        recorder.record_event(Event::ShardFailed {
+                            shard: scenario.index,
+                            scenario: scenario.label(),
+                            attempts: failure.attempts,
+                            cause: failure.error.to_string(),
+                        });
+                        recorder.inc("fault.shard_failures", 1);
+                        return Err(SimFault {
+                            shard: scenario.index,
+                            scenario: scenario.label(),
+                            attempts: failure.attempts,
+                            cause: failure.error.to_string(),
+                        });
+                    }
+                    FaultMode::Degraded => {
+                        self.compiled = None;
+                        for &si in group.iter() {
+                            let scenario = &all[si];
+                            failures += 1;
+                            recorder.record_event(Event::ShardFailed {
+                                shard: scenario.index,
+                                scenario: scenario.label(),
+                                attempts: failure.attempts,
+                                cause: failure.error.to_string(),
+                            });
+                            recorder.inc("fault.shard_failures", 1);
+                            self.quarantined.insert(si);
+                            recorder.record_event(Event::ShardQuarantined {
+                                shard: scenario.index,
+                                scenario: scenario.label(),
+                            });
+                            recorder.inc("retry.quarantined", 1);
+                        }
+                    }
+                },
+            }
+        }
+
+        recorder.inc("backend.compiled_runs", 1);
+        self.last_shards.clear();
+        let mut total_cycles = 0u64;
+        let mut completed = 0usize;
+        let mut lanes_merged = 0u64;
+        let mut retained: Vec<CachedShard> = Vec::with_capacity(all.len());
+        for (scenario, slot) in all.iter().zip(slots) {
+            let Some(result) = slot else { continue };
+            completed += 1;
+            lanes_merged += 1;
+            recorder.record_event(Event::ShardStarted {
+                shard: scenario.index,
+                seed: scenario.seed,
+                snr_db: scenario.snr_db,
+                samples: scenario.samples,
+            });
+            recorder.absorb(&result.recorder);
+            let merged_signals = result.stats.len();
+            design
+                .absorb_stats(&result.stats)
+                .unwrap_or_else(|e| panic!("shard builder contract violation: {e}"));
+            design.absorb_overflow_events(result.overflow_events.clone());
+            recorder.record_event(Event::ShardMerged {
+                shard: scenario.index,
+                cycles: result.cycles,
+                signals: merged_signals,
+            });
+            total_cycles = total_cycles.saturating_add(result.cycles);
+            self.last_shards.push(ShardSummary {
+                scenario: scenario.clone(),
+                cycles: result.cycles,
+                wall_ns: result.wall_ns,
+            });
+            if self.cache.is_some() {
+                retained.push(CachedShard {
+                    stats: result.stats,
+                    overflow_events: result.overflow_events,
+                    recorder: result.recorder,
+                    cycles: result.cycles,
+                    wall_ns: result.wall_ns,
+                });
+            }
+        }
+        recorder.inc("backend.batched_lanes", lanes_merged);
+        self.coverage = Some(SweepCoverage {
+            completed,
+            total: self.scenarios.len(),
+            quarantined: self
+                .scenarios
+                .iter()
+                .filter(|s| self.quarantined.contains(&s.index))
+                .map(Scenario::label)
+                .collect(),
+        });
+        if let Some(cache) = &mut self.cache {
+            if failures == 0 && self.quarantined.is_empty() {
+                cache.shards = Arc::new(retained);
+            } else {
+                cache.shards = Arc::new(Vec::new());
+            }
+            let spliced = clean_names.len() as u64;
+            cache.hits += spliced;
+            cache.misses += signals - spliced;
+            if spliced > 0 {
+                recorder.inc("cache.hits", spliced);
+            }
+            recorder.inc("cache.misses", signals - spliced);
+        }
+        Ok(total_cycles)
+    }
 }
 
 impl SimDriver for SweepDriver {
@@ -354,6 +691,9 @@ impl SimDriver for SweepDriver {
 
         if record_graph {
             design.clear_graph();
+            // A new record iteration supersedes any previously compiled
+            // tapes (the structural recording may have changed).
+            self.compiled = None;
         }
         // Passivation set for a partial run, resolved per shard by name
         // (shard ids match the master's only by builder convention, names
@@ -367,6 +707,34 @@ impl SimDriver for SweepDriver {
             .as_ref()
             .map(|c| c.shards.clone())
             .unwrap_or_default();
+
+        let compiled_wanted = self.backend != SimBackend::Interpreted;
+        // Replay iterations with compiled tapes skip the stimulus
+        // entirely and batch scenario lanes through the op tapes.
+        if compiled_wanted && !record_graph {
+            if !self.faults.is_empty() {
+                self.note_fallback(recorder, "fault injection is active");
+            } else if let Some(compiled) = self.compiled.clone() {
+                return self.simulate_batched(design, recorder, &compiled, &clean_names, signals);
+            }
+        }
+        // The record iteration under a compiled backend captures every
+        // shard's execution trace for lowering; fault injection and
+        // reduced coverage refuse the capture up front.
+        let capture_here = if record_graph && compiled_wanted {
+            if !self.faults.is_empty() {
+                self.note_fallback(recorder, "fault injection is active");
+                false
+            } else if !self.quarantined.is_empty() {
+                self.note_fallback(recorder, "quarantined scenarios reduce coverage");
+                false
+            } else {
+                true
+            }
+        } else {
+            false
+        };
+
         // Snapshot the master's refinement state once; every shard
         // re-applies it to its fresh design.
         let annotations = design.annotations();
@@ -409,13 +777,19 @@ impl SimDriver for SweepDriver {
                 shard
                     .apply_annotations(&annotations)
                     .unwrap_or_else(|e| panic!("shard builder contract violation: {e}"));
-                // Only one shard records a graph — all shards execute the
-                // same description, so one structural recording suffices
-                // and the master inherits it below.
+                // Only one shard records a graph *for the master* — all
+                // shards execute the same description, so one structural
+                // recording suffices and the master inherits it below.
+                // Under a compiled backend every shard records privately:
+                // the capture's assign steps reference recorded nodes,
+                // and each shard lowers its own stimulus trace.
                 let record_here = record_graph && scenario.index == graph_shard;
-                if record_here {
+                if record_here || capture_here {
                     shard.clear_graph();
                     shard.record_graph(true);
+                }
+                if capture_here {
+                    shard.begin_capture();
                 }
                 let partial = !clean_names.is_empty();
                 if partial {
@@ -465,9 +839,15 @@ impl SimDriver for SweepDriver {
                             .collect(),
                     );
                 }
-                if record_here {
+                if record_here || capture_here {
                     shard.record_graph(false);
                 }
+                let compiled = capture_here.then(|| {
+                    let trace = shard
+                        .end_capture()
+                        .expect("capture begun by this job is still active");
+                    compile_capture(&shard, &trace)
+                });
                 ShardResult {
                     stats: shard.export_stats(),
                     overflow_events: shard.take_overflow_events(),
@@ -475,6 +855,7 @@ impl SimDriver for SweepDriver {
                     recorder: shard_recorder,
                     cycles: shard.cycle(),
                     wall_ns: started.elapsed().as_nanos(),
+                    compiled,
                 }
             },
         );
@@ -487,6 +868,9 @@ impl SimDriver for SweepDriver {
         let mut completed = 0usize;
         let mut failures = 0usize;
         let mut retained: Vec<CachedShard> = Vec::with_capacity(outcomes.len());
+        let mut units: Vec<CompiledUnit> =
+            Vec::with_capacity(if capture_here { active.len() } else { 0 });
+        let mut compile_failure: Option<String> = None;
         for (scenario, outcome) in active.iter().zip(outcomes) {
             if self.faults.nan_burst_for(scenario.index).is_some() {
                 recorder.inc("fault.nan_bursts", 1);
@@ -502,7 +886,7 @@ impl SimDriver for SweepDriver {
                 });
                 recorder.inc("retry.attempts", 1);
             }
-            let result = match outcome {
+            let mut result = match outcome {
                 ShardOutcome::Completed { value, .. } => value,
                 ShardOutcome::Failed(failure) => {
                     failures += 1;
@@ -540,6 +924,13 @@ impl SimDriver for SweepDriver {
                 }
             };
             completed += 1;
+            match result.compiled.take() {
+                Some(Ok(unit)) => units.push(unit),
+                Some(Err(reason)) if compile_failure.is_none() => {
+                    compile_failure = Some(reason);
+                }
+                _ => {}
+            }
             recorder.record_event(Event::ShardStarted {
                 shard: scenario.index,
                 seed: scenario.seed,
@@ -574,6 +965,34 @@ impl SimDriver for SweepDriver {
                     cycles: result.cycles,
                     wall_ns: result.wall_ns,
                 });
+            }
+        }
+        // A capture only becomes the sweep's compiled program when every
+        // scenario both survived and lowered: a batched replay must cover
+        // exactly what the interpreter would have simulated.
+        if capture_here {
+            if failures == 0 && self.quarantined.is_empty() && units.len() == self.scenarios.len() {
+                let cap = match self.backend {
+                    SimBackend::Batched => MAX_LANES,
+                    _ => 1,
+                };
+                let groups = group_lanes(&units, cap);
+                for group in &groups {
+                    let unit = &units[group[0]];
+                    recorder.record_event(Event::BackendCompiled {
+                        backend: self.backend.name().to_string(),
+                        kinds: unit.program.kinds.len(),
+                        instructions: unit.program.instruction_count(),
+                        cycles: unit.trace.cycles,
+                    });
+                }
+                recorder.inc("backend.programs", groups.len() as u64);
+                self.compiled = Some(Arc::new(CompiledSweep { units, groups }));
+            } else {
+                let reason = compile_failure.unwrap_or_else(|| {
+                    "record iteration lost shards before compilation".to_string()
+                });
+                self.note_fallback(recorder, &reason);
             }
         }
         self.coverage = Some(SweepCoverage {
@@ -706,6 +1125,60 @@ mod tests {
         let (types4, journal4) = run_flow(&mut sweep(scenarios, 4));
         assert_eq!(types1, types4);
         assert_eq!(journal1, journal4);
+    }
+
+    /// Drops the `backend.*` journal entries: the compiled path journals
+    /// its own compilation, everything else must match bitwise.
+    fn strip_backend_events(journal: Vec<Event>) -> Vec<Event> {
+        journal
+            .into_iter()
+            .filter(|e| {
+                !matches!(
+                    e,
+                    Event::BackendCompiled { .. } | Event::BackendFallback { .. }
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_backend_sweep_matches_interpreted_bit_identically() {
+        let scenarios = ScenarioSet::grid(&[3, 5, 11, 17], &[24.0], &[], &[300]);
+        let (types_i, journal_i) = run_flow(&mut sweep(scenarios.clone(), 2));
+
+        let mut batched = sweep(scenarios, 2);
+        batched.set_backend(SimBackend::Batched);
+        let (types_b, journal_b) = run_flow(&mut batched);
+
+        assert!(
+            batched.has_compiled_program(),
+            "the record iteration should have compiled every scenario"
+        );
+        assert_eq!(types_i, types_b);
+        assert_eq!(
+            strip_backend_events(journal_i),
+            strip_backend_events(journal_b)
+        );
+    }
+
+    #[test]
+    fn compiled_backend_falls_back_under_fault_injection() {
+        let scenarios = ScenarioSet::grid(&[3, 5], &[24.0], &[], &[200]);
+        let mut driver = sweep(scenarios, 2);
+        driver.set_backend(SimBackend::Compiled);
+        driver.set_fault_policy(FaultPolicy {
+            mode: FaultMode::Strict,
+            max_attempts: 2,
+        });
+        driver.inject_faults(FaultPlan::seeded(9).panic_on(1, 0));
+        let (_, journal) = run_flow(&mut driver);
+        assert!(
+            !driver.has_compiled_program(),
+            "fault injection must refuse the capture"
+        );
+        assert!(journal
+            .iter()
+            .any(|e| matches!(e, Event::BackendFallback { .. })));
     }
 
     #[test]

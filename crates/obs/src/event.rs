@@ -286,6 +286,29 @@ pub enum Event {
         /// Which budget ran out and where (human-readable).
         reason: String,
     },
+    /// A design's captured execution trace was lowered to a straight-line
+    /// bytecode program, enabling compiled (and batched) re-simulation.
+    BackendCompiled {
+        /// The backend that compiled (`"compiled"` / `"batched"`).
+        backend: String,
+        /// Deduplicated cycle kinds in the program.
+        kinds: usize,
+        /// Total bytecode instructions across all kinds.
+        instructions: usize,
+        /// Scheduled simulation cycles per replay.
+        cycles: u64,
+    },
+    /// A compiled/batched backend request fell back to the interpreted
+    /// simulator — the static-schedule lint refused the design, lowering
+    /// failed, or the run mode (armed fault plan, checkpoint resume) is
+    /// only supported interpreted. The run proceeds with identical
+    /// results, just without the speedup.
+    BackendFallback {
+        /// The backend that was requested (`"compiled"` / `"batched"`).
+        backend: String,
+        /// Why the fallback happened (e.g. `"FXL001"`).
+        reason: String,
+    },
 }
 
 impl Event {
@@ -316,6 +339,8 @@ impl Event {
             Event::CheckpointFailed { .. } => "checkpoint_failed",
             Event::ResumedFromCheckpoint { .. } => "resumed_from_checkpoint",
             Event::BudgetExhausted { .. } => "budget_exhausted",
+            Event::BackendCompiled { .. } => "backend_compiled",
+            Event::BackendFallback { .. } => "backend_fallback",
         }
     }
 
@@ -487,6 +512,20 @@ impl Event {
                 r#"{{"event":"{kind}","phase":"{phase}","simulations":{simulations},"reason":"{}"}}"#,
                 escape(reason)
             ),
+            Event::BackendCompiled {
+                backend,
+                kinds,
+                instructions,
+                cycles,
+            } => format!(
+                r#"{{"event":"{kind}","backend":"{}","kinds":{kinds},"instructions":{instructions},"cycles":{cycles}}}"#,
+                escape(backend)
+            ),
+            Event::BackendFallback { backend, reason } => format!(
+                r#"{{"event":"{kind}","backend":"{}","reason":"{}"}}"#,
+                escape(backend),
+                escape(reason)
+            ),
         }
     }
 
@@ -654,6 +693,16 @@ impl Event {
                 simulations: u("simulations")?,
                 reason: s("reason")?,
             }),
+            "backend_compiled" => Ok(Event::BackendCompiled {
+                backend: s("backend")?,
+                kinds: u("kinds")? as usize,
+                instructions: u("instructions")? as usize,
+                cycles: u("cycles")?,
+            }),
+            "backend_fallback" => Ok(Event::BackendFallback {
+                backend: s("backend")?,
+                reason: s("reason")?,
+            }),
             other => Err(JsonError {
                 message: format!("unknown event tag {other:?}"),
                 offset: 0,
@@ -803,6 +852,18 @@ impl fmt::Display for Event {
                 f,
                 "budget exhausted in {phase} phase after {simulations} simulation(s): {reason}"
             ),
+            Event::BackendCompiled {
+                backend,
+                kinds,
+                instructions,
+                cycles,
+            } => write!(
+                f,
+                "{backend} backend compiled: {kinds} cycle kind(s), {instructions} instruction(s), {cycles} cycles"
+            ),
+            Event::BackendFallback { backend, reason } => {
+                write!(f, "{backend} backend fell back to interpreted: {reason}")
+            }
         }
     }
 }
@@ -928,6 +989,16 @@ mod tests {
                 phase: Phase::Msb,
                 simulations: 2,
                 reason: "simulation budget of 2 exhausted".into(),
+            },
+            Event::BackendCompiled {
+                backend: "batched".into(),
+                kinds: 3,
+                instructions: 412,
+                cycles: 4000,
+            },
+            Event::BackendFallback {
+                backend: "compiled".into(),
+                reason: "FXL001".into(),
             },
         ]
     }

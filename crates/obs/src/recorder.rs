@@ -70,6 +70,18 @@ pub trait Recorder: Send + Sync {
     /// Records one observation into the histogram `name`.
     fn observe(&self, name: &str, value: f64);
 
+    /// Records a batch of observations into the histogram `name`, folding
+    /// them in slice order. Equivalent to calling [`Recorder::observe`]
+    /// once per value — implementations may override it to amortize
+    /// locking and lookup, but must keep the fold bit-identical to the
+    /// one-at-a-time form (the compiled simulation backend buffers
+    /// per-signal quantization errors and flushes them through this).
+    fn observe_seq(&self, name: &str, values: &[f64]) {
+        for &v in values {
+            self.observe(name, v);
+        }
+    }
+
     /// Appends an event to the journal.
     fn record_event(&self, event: Event);
 
@@ -361,6 +373,35 @@ impl Recorder for DefaultRecorder {
         }
     }
 
+    fn observe_seq(&self, name: &str, values: &[f64]) {
+        let Some((&first, rest)) = values.split_first() else {
+            return;
+        };
+        let mut inner = self.lock();
+        // Same sequential fold as `observe`, one value at a time
+        // (including the first-observation insert), so a buffered flush is
+        // bitwise identical to per-assignment recording.
+        use std::collections::hash_map::Entry;
+        let (h, tail) = match inner.hists.entry(name.to_string()) {
+            Entry::Occupied(e) => (e.into_mut(), values),
+            Entry::Vacant(e) => (
+                e.insert(Hist {
+                    count: 1,
+                    sum: first,
+                    min: first,
+                    max: first,
+                }),
+                rest,
+            ),
+        };
+        for &v in tail {
+            h.count += 1;
+            h.sum += v;
+            h.min = h.min.min(v);
+            h.max = h.max.max(v);
+        }
+    }
+
     fn record_event(&self, event: Event) {
         self.lock().events.push(event);
     }
@@ -433,6 +474,33 @@ mod tests {
         assert_eq!(h.max, 2.0);
         assert_eq!(h.mean(), 0.0);
         assert!(r.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn observe_seq_matches_one_at_a_time() {
+        let a = DefaultRecorder::new();
+        let b = DefaultRecorder::new();
+        let values = [0.25, -0.75, 0.0, -0.0, 3.5];
+        for v in values {
+            a.observe("h", v);
+        }
+        // Flush in two chunks: one that creates the histogram, one that
+        // extends it.
+        b.observe_seq("h", &values[..2]);
+        b.observe_seq("h", &values[2..]);
+        let (ha, hb) = (a.histogram("h").unwrap(), b.histogram("h").unwrap());
+        assert_eq!(ha.count, hb.count);
+        assert_eq!(ha.sum.to_bits(), hb.sum.to_bits());
+        assert_eq!(ha.min.to_bits(), hb.min.to_bits());
+        assert_eq!(ha.max.to_bits(), hb.max.to_bits());
+        // Seeding with `observe` first, then batching, also matches.
+        let c = DefaultRecorder::new();
+        c.observe("h", values[0]);
+        c.observe_seq("h", &values[1..]);
+        assert_eq!(c.histogram("h"), a.histogram("h"));
+        // Empty flush is a no-op and never creates the histogram.
+        c.observe_seq("empty", &[]);
+        assert!(c.histogram("empty").is_none());
     }
 
     #[test]

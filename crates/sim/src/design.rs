@@ -24,6 +24,7 @@ use fixref_obs::{Event, Recorder};
 
 use crate::graph::Graph;
 use crate::report::SignalReport;
+use crate::tape::{BoundTrace, CompiledProgram, ExecTrace, InputSample, Instr, TraceStep};
 use crate::value::Value;
 
 /// Stable identifier of a signal within its [`Design`].
@@ -257,6 +258,18 @@ struct DesignInner {
     /// saturation counters, per-signal quantization-error histograms and
     /// `OverflowDetected` events all land here when attached.
     recorder: Option<Arc<dyn Recorder>>,
+    /// When capturing (compiled-backend lowering), every assignment and
+    /// tick appends a step here. Requires graph recording, which supplies
+    /// the expression roots the steps refer to.
+    capture: Option<CaptureBuf>,
+}
+
+/// In-flight capture state between [`Design::begin_capture`] and
+/// [`Design::end_capture`].
+struct CaptureBuf {
+    /// Per-signal `(flt, fix)` at capture start.
+    start: Vec<(f64, f64)>,
+    steps: Vec<TraceStep>,
 }
 
 /// The signal registry and simulation clock of one processor description.
@@ -323,6 +336,7 @@ impl Design {
                 dirty: BTreeSet::new(),
                 static_schedule: false,
                 recorder: None,
+                capture: None,
             })),
         }
     }
@@ -528,6 +542,9 @@ impl Design {
             }
         }
         inner.cycle += 1;
+        if let Some(cap) = &mut inner.capture {
+            cap.steps.push(TraceStep::Tick);
+        }
         if let Some(rec) = &inner.recorder {
             rec.inc("sim.ticks", 1);
         }
@@ -553,6 +570,45 @@ impl Design {
     /// A snapshot of the recorded signal-flow graph.
     pub fn graph(&self) -> Graph {
         self.inner.borrow().graph.clone()
+    }
+
+    /// The design's error-injection RNG seed (reinstated by
+    /// [`Design::reset_state`]).
+    pub fn seed(&self) -> u64 {
+        self.inner.borrow().seed
+    }
+
+    /// Starts capturing an execution trace for compiled-backend lowering:
+    /// every subsequent assignment and tick is appended as a
+    /// [`TraceStep`] until [`Design::end_capture`]. Capture requires
+    /// graph recording ([`Design::record_graph`]) to be enabled for the
+    /// captured run — assignments executed while recording is off are
+    /// silently absent from the trace, which lowering rejects via its
+    /// verification replay.
+    pub fn begin_capture(&self) {
+        let mut inner = self.inner.borrow_mut();
+        let start = inner.signals.iter().map(|st| (st.flt, st.fix)).collect();
+        inner.capture = Some(CaptureBuf {
+            start,
+            steps: Vec::new(),
+        });
+    }
+
+    /// Stops capturing and returns the trace: the recorded steps, the
+    /// current per-signal read counts and the current cycle count. The
+    /// read and cycle totals are meaningful when the capture spanned one
+    /// whole run that started from freshly reset statistics. Returns
+    /// `None` if [`Design::begin_capture`] was not active.
+    pub fn end_capture(&self) -> Option<ExecTrace> {
+        let mut inner = self.inner.borrow_mut();
+        let cap = inner.capture.take()?;
+        let reads = inner.signals.iter().map(|st| st.reads).collect();
+        Some(ExecTrace {
+            start: cap.start,
+            steps: cap.steps,
+            reads,
+            cycles: inner.cycle,
+        })
     }
 
     /// Discards the recorded signal-flow graph.
@@ -1248,6 +1304,15 @@ impl Design {
                     .add(crate::graph::Op::Const(value.fix()), vec![])
             });
             inner.graph.record_def(id, root);
+            if let Some(cap) = &mut inner.capture {
+                cap.steps.push(TraceStep::Assign {
+                    sig: id,
+                    root,
+                    flt: value.flt(),
+                    fix: value.fix(),
+                    itv: value.interval(),
+                });
+            }
         }
 
         match st.kind {
@@ -1260,6 +1325,619 @@ impl Design {
             }
         }
     }
+
+    /// Executes a lowered program against this design, reproducing one
+    /// interpreted run bit-for-bit: every `Store` runs the full monitored
+    /// assignment pipeline (quantization, range stats, propagation, error
+    /// injection from the live RNG stream), read counts are spliced from
+    /// the capture, and recorder counters / quantization-error histograms
+    /// / overflow events are flushed once at the end through the same
+    /// fold order the interpreter would have produced. Types, range
+    /// overrides and error models are read *live*, so one tape survives
+    /// annotation changes between refinement iterations.
+    ///
+    /// The design must be in the same starting state the capture began
+    /// from (freshly reset, or freshly built for sweep shards). Returns
+    /// the cycle count after the replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program and trace are inconsistent with this design
+    /// (wrong signal ids, malformed stack discipline) — callers are
+    /// expected to have proven the pair with [`Design::verify_compiled`].
+    pub fn replay_compiled(&self, program: &CompiledProgram, trace: &BoundTrace) -> u64 {
+        let recorder = self.inner.borrow().recorder.clone();
+        let (cycles, flush) = {
+            let mut inner = self.inner.borrow_mut();
+            let inner = &mut *inner;
+            let mut sink = ReplaySink::new(inner.signals.len());
+            let mut stack: Vec<Value> = Vec::with_capacity(program.max_stack());
+            let mut cursor = 0usize;
+            for seg in &trace.schedule {
+                let kind = &program.kinds[seg.kind as usize];
+                replay_segment(
+                    inner,
+                    &mut sink,
+                    kind,
+                    &program.dtypes,
+                    &trace.inputs,
+                    &mut cursor,
+                    &mut stack,
+                );
+                if seg.tick_after {
+                    tick_replay(inner, &mut sink);
+                }
+            }
+            for (st, &reads) in inner.signals.iter_mut().zip(&trace.reads) {
+                st.reads = reads;
+            }
+            (inner.cycle, sink.into_flush(inner))
+        };
+        if let Some(rec) = &recorder {
+            flush.apply(rec.as_ref());
+        }
+        cycles
+    }
+
+    /// Replays `(program, trace)` against scratch state to prove the tape
+    /// reproduces the captured run: every computed store's incoming
+    /// `(flt, fix)` must match the capture bitwise, and both the input
+    /// stream and the expectation stream must be consumed exactly. Runs
+    /// under the design's *current* annotations (call it right after the
+    /// capture, before annotations change) with a fresh RNG stream from
+    /// the design seed; the design itself is untouched.
+    ///
+    /// A `false` verdict means the tape cannot faithfully re-execute the
+    /// host description — typically because host code kept a read value in
+    /// a local across an intervening reassignment of the same signal (a
+    /// "stale read" the per-use `Read` ops cannot see). Callers must then
+    /// fall back to the interpreted backend.
+    pub fn verify_compiled(&self, program: &CompiledProgram, trace: &BoundTrace) -> bool {
+        let inner = self.inner.borrow();
+        let nsig = inner.signals.len();
+        if trace.start.len() != nsig {
+            return false;
+        }
+        let mut flt: Vec<f64> = trace.start.iter().map(|p| p.0).collect();
+        let mut fix: Vec<f64> = trace.start.iter().map(|p| p.1).collect();
+        let mut next: Vec<Option<(f64, f64)>> = vec![None; nsig];
+        let mut rng = Rng64::seed_from_u64(inner.seed);
+        let mut stack: Vec<Value> = Vec::with_capacity(program.max_stack());
+        let mut in_cursor = 0usize;
+        let mut exp_cursor = 0usize;
+
+        // Scratch store: quantization + error injection + wire/register
+        // commit, on the scratch arrays only. Propagated intervals do not
+        // feed the flt/fix paths, so scratch reads use point intervals.
+        let store = |st: &SignalState,
+                     i: usize,
+                     in_flt: f64,
+                     in_fix: f64,
+                     flt: &mut [f64],
+                     fix: &mut [f64],
+                     next: &mut [Option<(f64, f64)>],
+                     rng: &mut Rng64| {
+            let mut new_fix = in_fix;
+            if let Some(dt) = &st.dtype {
+                new_fix = quantize(in_fix, dt).value;
+            }
+            let new_flt = match st.error_override {
+                Some(sigma) if sigma > 0.0 => new_fix + rng.symmetric(sigma * 3f64.sqrt()),
+                Some(_) => new_fix,
+                None => in_flt,
+            };
+            match st.kind {
+                SignalKind::Wire => {
+                    flt[i] = new_flt;
+                    fix[i] = new_fix;
+                }
+                SignalKind::Register => next[i] = Some((new_flt, new_fix)),
+            }
+        };
+
+        for seg in &trace.schedule {
+            let Some(kind) = program.kinds.get(seg.kind as usize) else {
+                return false;
+            };
+            for instr in &kind.instrs {
+                match instr {
+                    Instr::Const(c) => stack.push(Value::with_paths(*c, *c, Interval::point(*c))),
+                    Instr::Read(id) => {
+                        let i = id.0 as usize;
+                        if i >= nsig {
+                            return false;
+                        }
+                        stack.push(Value::with_paths(flt[i], fix[i], Interval::point(fix[i])));
+                    }
+                    Instr::Add | Instr::Sub | Instr::Mul | Instr::Div | Instr::Min | Instr::Max => {
+                        let (Some(r), Some(l)) = (stack.pop(), stack.pop()) else {
+                            return false;
+                        };
+                        stack.push(match instr {
+                            Instr::Add => l + r,
+                            Instr::Sub => l - r,
+                            Instr::Mul => l * r,
+                            Instr::Div => l / r,
+                            Instr::Min => l.min(r),
+                            _ => l.max(r),
+                        });
+                    }
+                    Instr::Neg => {
+                        let Some(v) = stack.pop() else { return false };
+                        stack.push(-v);
+                    }
+                    Instr::Abs => {
+                        let Some(v) = stack.pop() else { return false };
+                        stack.push(v.abs());
+                    }
+                    Instr::Cast(k) => {
+                        let Some(v) = stack.pop() else { return false };
+                        let Some(dt) = program.dtypes.get(*k as usize) else {
+                            return false;
+                        };
+                        stack.push(v.cast(dt));
+                    }
+                    Instr::Select => {
+                        let (Some(e), Some(t), Some(c)) = (stack.pop(), stack.pop(), stack.pop())
+                        else {
+                            return false;
+                        };
+                        stack.push(c.select_positive(t, e));
+                    }
+                    Instr::Store(id) => {
+                        let i = id.0 as usize;
+                        let Some(v) = stack.pop() else { return false };
+                        if i >= nsig {
+                            return false;
+                        }
+                        let Some(&(eflt, efix)) = trace.expected.get(exp_cursor) else {
+                            return false;
+                        };
+                        exp_cursor += 1;
+                        if v.flt().to_bits() != eflt.to_bits()
+                            || v.fix().to_bits() != efix.to_bits()
+                        {
+                            return false;
+                        }
+                        store(
+                            &inner.signals[i],
+                            i,
+                            v.flt(),
+                            v.fix(),
+                            &mut flt,
+                            &mut fix,
+                            &mut next,
+                            &mut rng,
+                        );
+                    }
+                    Instr::StoreInput(id) => {
+                        let i = id.0 as usize;
+                        if i >= nsig {
+                            return false;
+                        }
+                        let Some(s) = trace.inputs.get(in_cursor).copied() else {
+                            return false;
+                        };
+                        in_cursor += 1;
+                        store(
+                            &inner.signals[i],
+                            i,
+                            s.flt,
+                            s.fix,
+                            &mut flt,
+                            &mut fix,
+                            &mut next,
+                            &mut rng,
+                        );
+                    }
+                }
+            }
+            if seg.tick_after {
+                for i in 0..nsig {
+                    if let Some((f, x)) = next[i].take() {
+                        flt[i] = f;
+                        fix[i] = x;
+                    }
+                }
+            }
+        }
+        stack.is_empty() && exp_cursor == trace.expected.len() && in_cursor == trace.inputs.len()
+    }
+}
+
+/// Executes one compiled program over several scenario lanes in a single
+/// structure-of-arrays pass: the operand stack holds all lanes of each
+/// slot contiguously and one shared stack pointer advances through the
+/// identical instruction stream, so the inner lane loop stays tight while
+/// every lane's monitors fold exactly as its own sequential replay would.
+/// All lanes must share the program's shape — callers group scenarios by
+/// [`BoundTrace::fingerprint`] plus exact
+/// [`BoundTrace::shape_words`] equality before batching.
+///
+/// Returns the per-lane cycle counts, in lane order.
+///
+/// # Panics
+///
+/// Panics on program/trace/design inconsistencies (wrong signal ids,
+/// mismatched schedules); callers are expected to have proven every lane
+/// with [`Design::verify_compiled`].
+pub fn replay_compiled_batch(
+    program: &CompiledProgram,
+    lanes: &[(&Design, &BoundTrace)],
+) -> Vec<u64> {
+    if lanes.is_empty() {
+        return Vec::new();
+    }
+    let n = lanes.len();
+    let recorders: Vec<_> = lanes
+        .iter()
+        .map(|(d, _)| d.inner.borrow().recorder.clone())
+        .collect();
+    let mut borrows: Vec<std::cell::RefMut<'_, DesignInner>> =
+        lanes.iter().map(|(d, _)| d.inner.borrow_mut()).collect();
+    let mut sinks: Vec<ReplaySink> = borrows
+        .iter()
+        .map(|b| ReplaySink::new(b.signals.len()))
+        .collect();
+    let mut cursors = vec![0usize; n];
+    let mut stack: Vec<Value> = vec![Value::default(); program.max_stack() * n];
+    let mut sp = 0usize;
+
+    let schedule = &lanes[0].1.schedule;
+    for seg in schedule {
+        let kind = &program.kinds[seg.kind as usize];
+        for instr in &kind.instrs {
+            match instr {
+                Instr::Const(c) => {
+                    for slot in &mut stack[sp * n..(sp + 1) * n] {
+                        *slot = Value::with_paths(*c, *c, Interval::point(*c));
+                    }
+                    sp += 1;
+                }
+                Instr::Read(id) => {
+                    for (lane, inner) in borrows.iter().enumerate() {
+                        let st = &inner.signals[id.0 as usize];
+                        let itv = match st.range_override {
+                            Some(r) => r,
+                            None if st.prop.is_empty() => Interval::point(st.fix),
+                            None => st.prop,
+                        };
+                        stack[sp * n + lane] = Value::with_paths(st.flt, st.fix, itv);
+                    }
+                    sp += 1;
+                }
+                Instr::Add | Instr::Sub | Instr::Mul | Instr::Div | Instr::Min | Instr::Max => {
+                    for lane in 0..n {
+                        let r = std::mem::take(&mut stack[(sp - 1) * n + lane]);
+                        let l = std::mem::take(&mut stack[(sp - 2) * n + lane]);
+                        stack[(sp - 2) * n + lane] = match instr {
+                            Instr::Add => l + r,
+                            Instr::Sub => l - r,
+                            Instr::Mul => l * r,
+                            Instr::Div => l / r,
+                            Instr::Min => l.min(r),
+                            _ => l.max(r),
+                        };
+                    }
+                    sp -= 1;
+                }
+                Instr::Neg => {
+                    for slot in &mut stack[(sp - 1) * n..sp * n] {
+                        *slot = -std::mem::take(slot);
+                    }
+                }
+                Instr::Abs => {
+                    for slot in &mut stack[(sp - 1) * n..sp * n] {
+                        *slot = std::mem::take(slot).abs();
+                    }
+                }
+                Instr::Cast(k) => {
+                    let dt = &program.dtypes[*k as usize];
+                    for slot in &mut stack[(sp - 1) * n..sp * n] {
+                        *slot = std::mem::take(slot).cast(dt);
+                    }
+                }
+                Instr::Select => {
+                    for lane in 0..n {
+                        let e = std::mem::take(&mut stack[(sp - 1) * n + lane]);
+                        let t = std::mem::take(&mut stack[(sp - 2) * n + lane]);
+                        let c = std::mem::take(&mut stack[(sp - 3) * n + lane]);
+                        stack[(sp - 3) * n + lane] = c.select_positive(t, e);
+                    }
+                    sp -= 2;
+                }
+                Instr::Store(id) => {
+                    for (lane, inner) in borrows.iter_mut().enumerate() {
+                        let v = std::mem::take(&mut stack[(sp - 1) * n + lane]);
+                        assign_replay(inner, &mut sinks[lane], *id, v);
+                    }
+                    sp -= 1;
+                }
+                Instr::StoreInput(id) => {
+                    for (lane, inner) in borrows.iter_mut().enumerate() {
+                        let s = lanes[lane].1.inputs[cursors[lane]];
+                        cursors[lane] += 1;
+                        assign_replay(
+                            inner,
+                            &mut sinks[lane],
+                            *id,
+                            Value::with_paths(s.flt, s.fix, s.itv),
+                        );
+                    }
+                }
+            }
+        }
+        if seg.tick_after {
+            for (lane, inner) in borrows.iter_mut().enumerate() {
+                tick_replay(inner, &mut sinks[lane]);
+            }
+        }
+    }
+
+    let mut cycles = Vec::with_capacity(n);
+    let mut flushes = Vec::with_capacity(n);
+    for (lane, sink) in sinks.into_iter().enumerate() {
+        let inner = &mut *borrows[lane];
+        for (st, &reads) in inner.signals.iter_mut().zip(&lanes[lane].1.reads) {
+            st.reads = reads;
+        }
+        cycles.push(inner.cycle);
+        flushes.push(sink.into_flush(inner));
+    }
+    drop(borrows);
+    for (flush, rec) in flushes.into_iter().zip(&recorders) {
+        if let Some(rec) = rec {
+            flush.apply(rec.as_ref());
+        }
+    }
+    cycles
+}
+
+/// Monitor side effects of a compiled replay, buffered while the single
+/// design borrow is held and flushed to the recorder afterwards in the
+/// same per-name order the interpreter would have produced.
+struct ReplaySink {
+    assignments: u64,
+    saturations: u64,
+    overflows: u64,
+    ticks: u64,
+    /// Per-signal quantization-error observations, in assignment order.
+    quant: Vec<Vec<f64>>,
+    events: Vec<Event>,
+}
+
+impl ReplaySink {
+    fn new(num_signals: usize) -> Self {
+        ReplaySink {
+            assignments: 0,
+            saturations: 0,
+            overflows: 0,
+            ticks: 0,
+            quant: vec![Vec::new(); num_signals],
+            events: Vec::new(),
+        }
+    }
+
+    fn into_flush(self, inner: &DesignInner) -> ReplayFlush {
+        let observes = self
+            .quant
+            .into_iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(i, v)| (format!("sim.quant_error.{}", inner.signals[i].name), v))
+            .collect();
+        ReplayFlush {
+            assignments: self.assignments,
+            saturations: self.saturations,
+            overflows: self.overflows,
+            ticks: self.ticks,
+            observes,
+            events: self.events,
+        }
+    }
+}
+
+/// The recorder-facing residue of a [`ReplaySink`], applied after the
+/// design borrow is released.
+struct ReplayFlush {
+    assignments: u64,
+    saturations: u64,
+    overflows: u64,
+    ticks: u64,
+    observes: Vec<(String, Vec<f64>)>,
+    events: Vec<Event>,
+}
+
+impl ReplayFlush {
+    fn apply(self, rec: &dyn Recorder) {
+        // Counters are flushed only when nonzero so an untouched counter
+        // stays absent, exactly as under per-assignment `inc` calls.
+        if self.assignments > 0 {
+            rec.inc("sim.assignments", self.assignments);
+        }
+        if self.saturations > 0 {
+            rec.inc("sim.saturations", self.saturations);
+        }
+        if self.overflows > 0 {
+            rec.inc("sim.overflows", self.overflows);
+        }
+        if self.ticks > 0 {
+            rec.inc("sim.ticks", self.ticks);
+        }
+        for (name, values) in &self.observes {
+            rec.observe_seq(name, values);
+        }
+        for ev in self.events {
+            rec.record_event(ev);
+        }
+    }
+}
+
+/// One cycle-kind execution for the single-lane replay.
+fn replay_segment(
+    inner: &mut DesignInner,
+    sink: &mut ReplaySink,
+    kind: &crate::tape::CycleKind,
+    dtypes: &[DType],
+    inputs: &[InputSample],
+    cursor: &mut usize,
+    stack: &mut Vec<Value>,
+) {
+    const UNDERFLOW: &str = "compiled tape stack underflow";
+    for instr in &kind.instrs {
+        match instr {
+            Instr::Const(c) => stack.push(Value::with_paths(*c, *c, Interval::point(*c))),
+            Instr::Read(id) => {
+                let st = &inner.signals[id.0 as usize];
+                let itv = match st.range_override {
+                    Some(r) => r,
+                    None if st.prop.is_empty() => Interval::point(st.fix),
+                    None => st.prop,
+                };
+                stack.push(Value::with_paths(st.flt, st.fix, itv));
+            }
+            Instr::Add | Instr::Sub | Instr::Mul | Instr::Div | Instr::Min | Instr::Max => {
+                let r = stack.pop().expect(UNDERFLOW);
+                let l = stack.pop().expect(UNDERFLOW);
+                stack.push(match instr {
+                    Instr::Add => l + r,
+                    Instr::Sub => l - r,
+                    Instr::Mul => l * r,
+                    Instr::Div => l / r,
+                    Instr::Min => l.min(r),
+                    _ => l.max(r),
+                });
+            }
+            Instr::Neg => {
+                let v = stack.pop().expect(UNDERFLOW);
+                stack.push(-v);
+            }
+            Instr::Abs => {
+                let v = stack.pop().expect(UNDERFLOW);
+                stack.push(v.abs());
+            }
+            Instr::Cast(k) => {
+                let v = stack.pop().expect(UNDERFLOW);
+                stack.push(v.cast(&dtypes[*k as usize]));
+            }
+            Instr::Select => {
+                let e = stack.pop().expect(UNDERFLOW);
+                let t = stack.pop().expect(UNDERFLOW);
+                let c = stack.pop().expect(UNDERFLOW);
+                stack.push(c.select_positive(t, e));
+            }
+            Instr::Store(id) => {
+                let v = stack.pop().expect(UNDERFLOW);
+                assign_replay(inner, sink, *id, v);
+            }
+            Instr::StoreInput(id) => {
+                let s = inputs[*cursor];
+                *cursor += 1;
+                assign_replay(inner, sink, *id, Value::with_paths(s.flt, s.fix, s.itv));
+            }
+        }
+    }
+}
+
+/// The monitored assignment pipeline of [`Design::assign`], with recorder
+/// calls redirected into the [`ReplaySink`] (no graph recording: replays
+/// only run on non-record iterations).
+fn assign_replay(inner: &mut DesignInner, sink: &mut ReplaySink, id: SignalId, value: Value) {
+    let st = &mut inner.signals[id.0 as usize];
+    let passive = st.passive;
+    if !passive {
+        st.writes += 1;
+        st.stat.record(value.fix());
+        st.consumed.record(value.flt() - value.fix());
+        sink.assignments += 1;
+    }
+
+    let mut new_fix = value.fix();
+    if let Some(dt) = &st.dtype {
+        let q = quantize(value.fix(), dt);
+        if !passive {
+            sink.quant[id.0 as usize].push(q.rounding_error);
+        }
+        if q.overflowed && !passive {
+            st.overflows += 1;
+            match dt.overflow() {
+                OverflowMode::Saturate => sink.saturations += 1,
+                _ => sink.overflows += 1,
+            }
+            if dt.overflow() == OverflowMode::Error {
+                sink.events.push(Event::OverflowDetected {
+                    signal: st.name.clone(),
+                    value: value.fix(),
+                    cycle: inner.cycle,
+                });
+                if inner.overflow_events.len() < inner.overflow_event_cap {
+                    inner.overflow_events.push(OverflowEvent {
+                        signal: id,
+                        name: st.name.clone(),
+                        value: value.fix(),
+                        cycle: inner.cycle,
+                    });
+                }
+            }
+        }
+        new_fix = q.value;
+    }
+
+    let new_flt = match st.error_override {
+        Some(sigma) if sigma > 0.0 => {
+            let half = sigma * 3f64.sqrt();
+            new_fix + inner.rng.symmetric(half)
+        }
+        Some(_) => new_fix,
+        None => value.flt(),
+    };
+    if !passive {
+        st.produced.record(new_flt - new_fix);
+        if new_fix != 0.0 && !st.non_dyadic {
+            match dyadic_lsb(new_fix) {
+                Some(l) => {
+                    st.granularity = Some(st.granularity.map_or(l, |g| g.min(l)));
+                }
+                None => {
+                    st.non_dyadic = true;
+                    st.granularity = None;
+                }
+            }
+        }
+    }
+
+    if st.range_override.is_none() {
+        let mut incoming = value.interval();
+        if let Some(dt) = &st.dtype {
+            if dt.overflow() == OverflowMode::Saturate {
+                incoming = incoming.clamp_to(&Interval::from_dtype(dt));
+            }
+        }
+        st.prop = st.prop.union(&incoming);
+    }
+
+    match st.kind {
+        SignalKind::Wire => {
+            st.flt = new_flt;
+            st.fix = new_fix;
+        }
+        SignalKind::Register => {
+            st.next = Some((new_flt, new_fix));
+        }
+    }
+}
+
+/// The [`Design::tick`] pipeline with the tick counter redirected into
+/// the [`ReplaySink`].
+fn tick_replay(inner: &mut DesignInner, sink: &mut ReplaySink) {
+    for st in &mut inner.signals {
+        if let Some((flt, fix)) = st.next.take() {
+            st.flt = flt;
+            st.fix = fix;
+        }
+    }
+    inner.cycle += 1;
+    sink.ticks += 1;
 }
 
 /// Common interface of [`Sig`] and [`Reg`] handles.

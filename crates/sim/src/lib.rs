@@ -74,10 +74,12 @@ pub mod graph;
 pub mod pool;
 pub mod report;
 pub mod scenario;
+pub mod tape;
 pub mod trace;
 pub mod value;
 
 pub use analyze::{analyze_ranges, analyze_ranges_with, AnalyzeOptions, RangeAnalysis, RangeMemo};
+pub use design::replay_compiled_batch;
 pub use design::{
     Design, OverflowEvent, Reg, RegArray, Sig, SigArray, SignalAnnotation, SignalId, SignalKind,
     SignalRef, SignalStats, UnknownSignalError,
@@ -90,5 +92,8 @@ pub use pool::{
 };
 pub use report::SignalReport;
 pub use scenario::{Scenario, ScenarioSet};
+pub use tape::{
+    BoundTrace, CompiledProgram, CycleKind, ExecTrace, InputSample, Instr, Segment, TraceStep,
+};
 pub use trace::Trace;
 pub use value::Value;

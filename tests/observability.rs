@@ -95,7 +95,7 @@ fn lms_journal_round_trips_through_jsonl() {
 #[test]
 fn table1_report_json_round_trips() {
     // The exact JSON the `table1 --json` bin prints and writes to
-    // BENCH_flow.json must parse back into an equal report.
+    // BENCH_table1.json must parse back into an equal report.
     let (_, _, report) = run_table1_report(LMS_SAMPLES).expect("table1 converges");
     let rendered = report.render_json();
     let back = MetricsReport::parse_json(&rendered).expect("bin output is valid JSON");
