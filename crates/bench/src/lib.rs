@@ -22,6 +22,7 @@ pub mod faultbench;
 pub mod lintbench;
 pub mod microbench;
 pub mod sweep;
+pub mod verifybench;
 
 use std::collections::HashMap;
 
@@ -48,6 +49,7 @@ pub use sweep::{
     lms_paper_scenario, lms_scenario_stimulus, lms_seed_grid, lms_shard_builder, run_sweep_bench,
     run_table1_swept, run_table2_swept, timing_shard_builder, ShardRow, SweepBenchResult,
 };
+pub use verifybench::{run_verify_bench, verify_example_designs, ExampleVerify, VerifyBenchResult};
 
 /// Writes a rendered bench/report JSON document to `BENCH_{stem}.json`,
 /// asserting first that the document's own `name`/`bench` key agrees with

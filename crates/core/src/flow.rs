@@ -23,10 +23,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fixref_fixed::{DType, Interval};
-use fixref_lint::{LintConfig, Linter, Severity as LintSeverity};
+use fixref_lint::{LintConfig, Linter, Severity as LintSeverity, Verdict};
 use fixref_obs::{DefaultRecorder, Event, Phase, Recorder};
 use fixref_sim::tape::{BoundTrace, CompiledProgram};
 use fixref_sim::{Design, FaultPlan, OverflowEvent, SignalId, SignalStats};
+use fixref_verify::{Verifier, VerifyOptions, Witness};
 
 use crate::cache::{CachePlan, EvalCache};
 use crate::checkpoint::{CacheState, Checkpoint, CheckpointError, Cursor};
@@ -55,6 +56,20 @@ pub enum FlowError {
         findings: usize,
         /// The signals those findings are anchored to.
         signals: Vec<String>,
+    },
+    /// The pre-flight verification pass found a machine-checked
+    /// counterexample for a lint finding: a concrete stimulus drives the
+    /// design into the flagged hazard, so refinement on the current
+    /// annotations would bake in a broken word length.
+    LintRefuted {
+        /// The refuted diagnostic code (`"FXL002"`, …).
+        code: String,
+        /// The diagnostic's anchor signal.
+        signal: String,
+        /// The counterexample: input streams plus the register trace.
+        /// `witness.to_scenario_set(seed)` yields a replayable stimulus
+        /// for the sweep engine. (Boxed: traces are long, errors travel.)
+        witness: Box<Witness>,
     },
     /// A scenario shard failed under a `Strict` fault policy.
     ShardFailed {
@@ -98,6 +113,16 @@ impl fmt::Display for FlowError {
                 f,
                 "pre-flight lint gate denied {code}: {findings} finding(s) on {}",
                 signals.join(", ")
+            ),
+            FlowError::LintRefuted {
+                code,
+                signal,
+                witness,
+            } => write!(
+                f,
+                "pre-flight verification refuted {code} at {signal}: {} in {} tick(s)",
+                witness.hazard.describe(),
+                witness.steps
             ),
             FlowError::ShardFailed {
                 shard,
@@ -736,6 +761,11 @@ pub struct RefinementFlow {
     /// Per-code allow/warn/deny configuration of the pre-flight lint
     /// gate. The default warns on everything, so no existing flow fails.
     lint: LintConfig,
+    /// When set, the pre-flight gate model-checks every checkable lint
+    /// finding: proofs discharge denied warnings, counterexamples abort
+    /// the flow with the witness attached. `None` (the default) keeps the
+    /// gate purely heuristic and byte-identical to earlier releases.
+    verify: Option<VerifyOptions>,
     /// Checkpoint sink: when set, the flow snapshots its state here after
     /// every completed MSB/LSB iteration.
     checkpoint: Option<PathBuf>,
@@ -810,6 +840,7 @@ impl RefinementFlow {
             cache_enabled: false,
             backend: SimBackend::default(),
             lint: LintConfig::new(),
+            verify: None,
             checkpoint: None,
             fault_plan: FaultPlan::default(),
             resume: None,
@@ -872,12 +903,49 @@ impl RefinementFlow {
         &self.lint
     }
 
+    /// Turns on formal verification inside the pre-flight gate. Every
+    /// checkable finding (FXL002/FXL004 overflow, FXL005 limit cycle) is
+    /// model-checked with the given budgets: a finding *proved* safe no
+    /// longer trips a `Deny` code, and a finding with a machine-checked
+    /// counterexample aborts the flow with [`FlowError::LintRefuted`] —
+    /// witness attached — regardless of the configured action. Undecided
+    /// findings keep their heuristic treatment.
+    pub fn enable_verification(&mut self, options: VerifyOptions) {
+        self.verify = Some(options);
+    }
+
+    /// The verification budgets, when verification is enabled.
+    pub fn verification(&self) -> Option<&VerifyOptions> {
+        self.verify.as_ref()
+    }
+
     /// The pre-flight lint gate: lints the design right after the first
     /// recorded MSB iteration (graph and monitor counters are fresh),
     /// journals every finding, mirrors severity counts onto the
     /// `lint.*` recorder counters, and aborts on any denied code.
     fn preflight_lint(&self) -> Result<(), FlowError> {
-        let report = Linter::with_config(self.lint.clone()).run(&self.design);
+        let mut report = Linter::with_config(self.lint.clone()).run(&self.design);
+        if let Some(options) = &self.verify {
+            let verified = Verifier::with_options(*options).verify_design(
+                &self.design,
+                &report,
+                Some(self.recorder.as_ref()),
+            );
+            if let Some(refuted) = verified.counterexamples().next() {
+                self.recorder.inc("verify.flow_gate_failures", 1);
+                return Err(FlowError::LintRefuted {
+                    code: refuted.code.as_str().into(),
+                    signal: refuted.signal.clone(),
+                    witness: Box::new(
+                        refuted
+                            .witness
+                            .clone()
+                            .expect("counterexample outcomes carry a witness"),
+                    ),
+                });
+            }
+            report = verified.report;
+        }
         for d in &report.diagnostics {
             self.recorder.record_event(Event::LintDiagnostic {
                 code: d.code.as_str().into(),
@@ -903,7 +971,20 @@ impl RefinementFlow {
                 self.recorder.inc(counter, n as u64);
             }
         }
-        let denied = report.denied(&self.lint);
+        // A denied finding that verification proved safe is discharged:
+        // the machine-checked proof outranks the heuristic pattern.
+        let all_denied = report.denied(&self.lint);
+        let discharged = all_denied
+            .iter()
+            .filter(|d| d.verdict == Some(Verdict::Proved))
+            .count();
+        if discharged > 0 {
+            self.recorder.inc("verify.discharged", discharged as u64);
+        }
+        let denied: Vec<&fixref_lint::Diagnostic> = all_denied
+            .into_iter()
+            .filter(|d| d.verdict != Some(Verdict::Proved))
+            .collect();
         if let Some(first) = denied.first() {
             let code = first.code;
             let offenders: Vec<&&fixref_lint::Diagnostic> =

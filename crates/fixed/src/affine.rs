@@ -1,0 +1,481 @@
+//! Affine arithmetic — the correlation-tracking refinement of
+//! [`Interval`] range propagation.
+//!
+//! Plain interval arithmetic treats every operand as independent, so the
+//! expression `acc - acc * mu` widens by `(1 + mu) * width(acc)` even
+//! though the true output width is `(1 - mu) * width(acc)` — which is
+//! exactly why the analytical fixpoint of `analyze_ranges` rails to
+//! [`Interval::UNBOUNDED`] on feedback loops written in that additive
+//! style. An [`AffineForm`] represents a quantity as
+//!
+//! ```text
+//! x̂ = c + Σᵢ aᵢ·εᵢ + r·ε*     with εᵢ, ε* ∈ [-1, 1]
+//! ```
+//!
+//! — a center `c`, first-order coefficients `aᵢ` over shared *noise
+//! symbols* `εᵢ`, and a non-negative residual `r` over an anonymous
+//! symbol. Two forms that share a symbol are correlated: `x̂ - x̂` is
+//! exactly zero, `x̂ - x̂·mu` has width `(1 - mu)·width(x̂)`. That is the
+//! tightening affine arithmetic buys over intervals (Stolfi & de
+//! Figueiredo's classic construction, applied here to the paper's §4.1
+//! range propagation).
+//!
+//! Soundness contract: [`AffineForm::to_interval`] always contains every
+//! value the form can take, and every operation here is *conservative* —
+//! the result form's concretization contains the true image of the
+//! operand concretizations. Nonlinear operations (multiplication,
+//! absolute value, min/max, …) push the curvature into the residual.
+//! Note that affine multiplication of *independent* operands can be
+//! looser than interval multiplication (`[0,2]·[0,2]` concretizes to
+//! `[-2, 4]` affinely but `[0, 4]` as intervals), so a combined
+//! propagator should intersect both envelopes; see
+//! `fixref_sim::analyze_ranges_affine`.
+
+use std::fmt;
+
+use crate::dtype::{DType, OverflowMode};
+use crate::interval::Interval;
+
+/// Allocator for fresh noise-symbol identifiers.
+///
+/// Symbols are plain `u32`s; forms built from the same allocator share
+/// correlation structure. The allocator is deterministic (a counter), so
+/// analyses that create symbols in a sorted order are reproducible.
+#[derive(Debug, Clone, Default)]
+pub struct NoiseSymbols {
+    next: u32,
+}
+
+impl NoiseSymbols {
+    /// A fresh allocator starting at symbol 0.
+    pub fn new() -> Self {
+        NoiseSymbols::default()
+    }
+
+    /// Allocates the next unused symbol id.
+    pub fn fresh(&mut self) -> u32 {
+        let s = self.next;
+        self.next += 1;
+        s
+    }
+
+    /// Number of symbols allocated so far.
+    pub fn len(&self) -> usize {
+        self.next as usize
+    }
+
+    /// Whether no symbol has been allocated yet.
+    pub fn is_empty(&self) -> bool {
+        self.next == 0
+    }
+}
+
+/// An affine form `c + Σ aᵢ·εᵢ + r·ε*` over shared noise symbols.
+///
+/// Terms are kept sorted by symbol id with no zero coefficients, so
+/// equality and iteration are canonical. A form with a non-finite center,
+/// coefficient or residual concretizes to [`Interval::UNBOUNDED`] — the
+/// honest "I know nothing" answer, mirroring interval explosion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffineForm {
+    center: f64,
+    /// `(symbol, coefficient)` pairs, sorted by symbol, no zeros.
+    terms: Vec<(u32, f64)>,
+    /// Non-negative residual radius over an anonymous symbol.
+    resid: f64,
+}
+
+impl AffineForm {
+    /// The constant form `c` (no uncertainty).
+    pub fn constant(c: f64) -> Self {
+        AffineForm {
+            center: c,
+            terms: Vec::new(),
+            resid: 0.0,
+        }
+    }
+
+    /// A form spanning `itv`, anchored on the noise symbol `symbol`:
+    /// `mid(itv) + rad(itv)·ε_symbol`. An empty interval becomes the
+    /// constant 0 (the simulation reset value); an exploded interval
+    /// becomes the unbounded form.
+    pub fn from_interval(itv: &Interval, symbol: u32) -> Self {
+        if itv.is_empty() {
+            return AffineForm::constant(0.0);
+        }
+        if !itv.lo.is_finite() || !itv.hi.is_finite() {
+            return AffineForm::top();
+        }
+        let mid = (itv.lo + itv.hi) / 2.0;
+        // Round the radius up so mid ± rad still covers the endpoints
+        // after the f64 midpoint rounding.
+        let rad = (itv.hi - mid).max(mid - itv.lo);
+        let mut terms = Vec::new();
+        if rad > 0.0 {
+            terms.push((symbol, rad));
+        }
+        AffineForm {
+            center: mid,
+            terms,
+            resid: 0.0,
+        }
+    }
+
+    /// The unbounded form (concretizes to [`Interval::UNBOUNDED`]).
+    pub fn top() -> Self {
+        AffineForm {
+            center: 0.0,
+            terms: Vec::new(),
+            resid: f64::INFINITY,
+        }
+    }
+
+    /// Whether the form carries any infinite or NaN component.
+    pub fn is_finite(&self) -> bool {
+        self.center.is_finite()
+            && self.resid.is_finite()
+            && self.terms.iter().all(|(_, a)| a.is_finite())
+    }
+
+    /// The center `c`.
+    pub fn center(&self) -> f64 {
+        self.center
+    }
+
+    /// Total deviation radius `Σ|aᵢ| + r`.
+    pub fn radius(&self) -> f64 {
+        self.terms.iter().map(|(_, a)| a.abs()).sum::<f64>() + self.resid
+    }
+
+    /// The coefficient of a symbol (0 when absent).
+    pub fn coefficient(&self, symbol: u32) -> f64 {
+        self.terms
+            .binary_search_by_key(&symbol, |&(s, _)| s)
+            .map(|i| self.terms[i].1)
+            .unwrap_or(0.0)
+    }
+
+    /// The tightest interval containing every value of the form.
+    pub fn to_interval(&self) -> Interval {
+        if !self.is_finite() {
+            return Interval::UNBOUNDED;
+        }
+        let r = self.radius();
+        // r can overflow to inf even with finite components.
+        if !(self.center - r).is_finite() || !(self.center + r).is_finite() {
+            return Interval::UNBOUNDED;
+        }
+        Interval::new(self.center - r, self.center + r)
+    }
+
+    /// Evaluates the form at a concrete assignment of noise symbols
+    /// (absent symbols read as 0, the residual term reads `resid_eps`).
+    /// Every `eps` and `resid_eps` must lie in `[-1, 1]` for the result
+    /// to be a point of the form.
+    pub fn eval(&self, eps: &dyn Fn(u32) -> f64, resid_eps: f64) -> f64 {
+        let mut v = self.center;
+        for &(s, a) in &self.terms {
+            v += a * eps(s);
+        }
+        v + self.resid * resid_eps
+    }
+
+    /// Merges term lists with `f(a, b)` applied per symbol.
+    fn zip_terms(&self, other: &AffineForm, f: impl Fn(f64, f64) -> f64) -> Vec<(u32, f64)> {
+        let mut out = Vec::with_capacity(self.terms.len() + other.terms.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.terms.len() || j < other.terms.len() {
+            let next = match (self.terms.get(i), other.terms.get(j)) {
+                (Some(&(sa, a)), Some(&(sb, b))) => {
+                    if sa == sb {
+                        i += 1;
+                        j += 1;
+                        (sa, f(a, b))
+                    } else if sa < sb {
+                        i += 1;
+                        (sa, f(a, 0.0))
+                    } else {
+                        j += 1;
+                        (sb, f(0.0, b))
+                    }
+                }
+                (Some(&(sa, a)), None) => {
+                    i += 1;
+                    (sa, f(a, 0.0))
+                }
+                (None, Some(&(sb, b))) => {
+                    j += 1;
+                    (sb, f(0.0, b))
+                }
+                (None, None) => break,
+            };
+            if next.1 != 0.0 {
+                out.push(next);
+            }
+        }
+        out
+    }
+
+    /// `self + other` (exact in affine arithmetic, up to f64 rounding
+    /// absorbed into the residual).
+    pub fn add(&self, other: &AffineForm) -> AffineForm {
+        AffineForm {
+            center: self.center + other.center,
+            terms: self.zip_terms(other, |a, b| a + b),
+            resid: self.resid + other.resid,
+        }
+        .denan()
+    }
+
+    /// `self - other`. Shared symbols cancel: `x.sub(&x)` is exactly the
+    /// constant 0 (plus residuals).
+    pub fn sub(&self, other: &AffineForm) -> AffineForm {
+        AffineForm {
+            center: self.center - other.center,
+            terms: self.zip_terms(other, |a, b| a - b),
+            resid: self.resid + other.resid,
+        }
+        .denan()
+    }
+
+    /// `-self` (exact).
+    pub fn neg(&self) -> AffineForm {
+        AffineForm {
+            center: -self.center,
+            terms: self.terms.iter().map(|&(s, a)| (s, -a)).collect(),
+            resid: self.resid,
+        }
+    }
+
+    /// `self * k` for a constant `k` (exact).
+    pub fn scale(&self, k: f64) -> AffineForm {
+        if k == 0.0 {
+            return AffineForm::constant(0.0);
+        }
+        AffineForm {
+            center: self.center * k,
+            terms: self
+                .terms
+                .iter()
+                .map(|&(s, a)| (s, a * k))
+                .filter(|&(_, a)| a != 0.0)
+                .collect(),
+            resid: self.resid * k.abs(),
+        }
+        .denan()
+    }
+
+    /// `self + k` for a constant `k` (exact).
+    pub fn offset(&self, k: f64) -> AffineForm {
+        AffineForm {
+            center: self.center + k,
+            terms: self.terms.clone(),
+            resid: self.resid,
+        }
+        .denan()
+    }
+
+    /// `self * other`: linear part is exact, the quadratic cross term is
+    /// pushed into the residual (`R₁·R₂ + |c₁|·r₂ + |c₂|·r₁` with `Rᵢ`
+    /// the operand radii) — the standard conservative affine product.
+    pub fn mul(&self, other: &AffineForm) -> AffineForm {
+        // Fast path: multiplying by an exact constant stays exact.
+        if other.terms.is_empty() && other.resid == 0.0 {
+            return self.scale(other.center);
+        }
+        if self.terms.is_empty() && self.resid == 0.0 {
+            return other.scale(self.center);
+        }
+        let r1 = self.radius();
+        let r2 = other.radius();
+        let terms = self.zip_terms(other, |a, b| self.center.mul_add(b, other.center * a));
+        AffineForm {
+            center: self.center * other.center,
+            terms,
+            resid: r1 * r2 + self.center.abs() * other.resid + other.center.abs() * self.resid,
+        }
+        .denan()
+    }
+
+    /// Clamps the form into `bounds` — the effect of a saturating cast.
+    /// Clamping is nonlinear, so correlation survives only when the form
+    /// provably stays inside the bounds; otherwise the result is a fresh
+    /// uncorrelated form over the clamped interval, anchored on `symbol`.
+    pub fn clamp_to(&self, bounds: &Interval, symbol: u32) -> AffineForm {
+        let itv = self.to_interval();
+        if bounds.contains_interval(&itv) {
+            return self.clone();
+        }
+        AffineForm::from_interval(&itv.clamp_to(bounds), symbol)
+    }
+
+    /// The effect of quantizing the form through `dtype`: widens by half
+    /// an LSB of rounding slack (a full LSB for floor rounding, which is
+    /// biased but still bounded by one step), then saturating types clamp
+    /// to the representable range. Wrap and error modes only add the
+    /// rounding slack — aliasing is a *hazard*, not a bound, and the
+    /// range analysis reports it separately.
+    pub fn quantize(&self, dtype: &DType, symbol: u32) -> AffineForm {
+        let step = dtype.resolution();
+        let widened = AffineForm {
+            center: self.center,
+            terms: self.terms.clone(),
+            resid: self.resid + step,
+        }
+        .denan();
+        if dtype.overflow() == OverflowMode::Saturate {
+            widened.clamp_to(&Interval::from_dtype(dtype), symbol)
+        } else {
+            widened
+        }
+    }
+
+    /// NaN components (e.g. `0 · ∞`) degrade the whole form to
+    /// [`AffineForm::top`] — mirroring [`Interval`]'s denan policy.
+    fn denan(self) -> AffineForm {
+        if self.center.is_nan() || self.resid.is_nan() || self.terms.iter().any(|(_, a)| a.is_nan())
+        {
+            AffineForm::top()
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Display for AffineForm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.center)?;
+        for &(s, a) in &self.terms {
+            write!(f, " {} {}·ε{}", if a < 0.0 { "-" } else { "+" }, a.abs(), s)?;
+        }
+        if self.resid != 0.0 {
+            write!(f, " ± {}", self.resid)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_and_interval_forms_concretize_back() {
+        assert_eq!(
+            AffineForm::constant(2.5).to_interval(),
+            Interval::point(2.5)
+        );
+        let mut syms = NoiseSymbols::new();
+        let x = AffineForm::from_interval(&Interval::new(-1.0, 3.0), syms.fresh());
+        assert_eq!(x.to_interval(), Interval::new(-1.0, 3.0));
+        assert_eq!(x.center(), 1.0);
+        assert_eq!(x.radius(), 2.0);
+    }
+
+    #[test]
+    fn shared_symbols_cancel_in_subtraction() {
+        let x = AffineForm::from_interval(&Interval::new(-1.0, 1.0), 0);
+        let diff = x.sub(&x);
+        assert_eq!(diff.to_interval(), Interval::point(0.0));
+        // Independent symbols do not cancel.
+        let y = AffineForm::from_interval(&Interval::new(-1.0, 1.0), 1);
+        assert_eq!(x.sub(&y).to_interval(), Interval::new(-2.0, 2.0));
+    }
+
+    #[test]
+    fn leaky_feedback_contracts_where_intervals_widen() {
+        // acc - acc*0.25: true width factor 0.75; intervals give 1.25.
+        let acc = AffineForm::from_interval(&Interval::new(-2.0, 2.0), 0);
+        let leaked = acc.sub(&acc.scale(0.25));
+        assert_eq!(leaked.to_interval(), Interval::new(-1.5, 1.5));
+        let itv = Interval::new(-2.0, 2.0);
+        let interval_answer = itv - itv * Interval::point(0.25);
+        assert_eq!(interval_answer, Interval::new(-2.5, 2.5));
+    }
+
+    #[test]
+    fn multiplication_is_conservative() {
+        let x = AffineForm::from_interval(&Interval::new(0.0, 2.0), 0);
+        let sq = x.mul(&x);
+        // x² over [0,2] is [0,4]; the affine product must contain it.
+        let itv = sq.to_interval();
+        assert!(itv.contains_interval(&Interval::new(0.0, 4.0)), "{itv}");
+    }
+
+    #[test]
+    fn mul_by_constant_is_exact() {
+        let x = AffineForm::from_interval(&Interval::new(-1.0, 3.0), 0);
+        let k = AffineForm::constant(-2.0);
+        assert_eq!(x.mul(&k).to_interval(), Interval::new(-6.0, 2.0));
+        assert_eq!(k.mul(&x).to_interval(), Interval::new(-6.0, 2.0));
+    }
+
+    #[test]
+    fn eval_stays_inside_the_concretization() {
+        let x = AffineForm::from_interval(&Interval::new(-1.0, 2.0), 0);
+        let y = AffineForm::from_interval(&Interval::new(0.5, 1.5), 1);
+        let expr = x.mul(&y).add(&x.scale(0.5)).offset(-0.25);
+        let itv = expr.to_interval();
+        for i in 0..=10 {
+            let e0 = -1.0 + 0.2 * i as f64;
+            for j in 0..=10 {
+                let e1 = -1.0 + 0.2 * j as f64;
+                let eps = move |s: u32| if s == 0 { e0 } else { e1 };
+                // The affine product is conservative, so evaluating the
+                // *operands* concretely and combining must stay inside.
+                let xv = x.eval(&eps, 0.0);
+                let yv = y.eval(&eps, 0.0);
+                let concrete = xv * yv + 0.5 * xv - 0.25;
+                assert!(itv.contains(concrete), "{concrete} outside {itv}");
+            }
+        }
+    }
+
+    #[test]
+    fn clamp_preserves_correlation_only_when_inside() {
+        let x = AffineForm::from_interval(&Interval::new(-0.5, 0.5), 0);
+        let inside = x.clamp_to(&Interval::new(-1.0, 1.0), 7);
+        assert_eq!(inside, x, "no clamp needed: form unchanged");
+        let outside = x.clamp_to(&Interval::new(-0.25, 0.25), 7);
+        assert_eq!(outside.to_interval(), Interval::new(-0.25, 0.25));
+        assert_eq!(outside.coefficient(0), 0.0, "correlation dropped");
+    }
+
+    #[test]
+    fn quantize_widens_by_a_step_and_saturates() {
+        let dt: DType = "<6,4,tc,st,rd>".parse().expect("valid");
+        let x = AffineForm::from_interval(&Interval::new(-0.5, 0.5), 0);
+        let q = x.quantize(&dt, 9);
+        let itv = q.to_interval();
+        assert!(itv.contains_interval(&Interval::new(-0.5, 0.5)));
+        assert!(itv.lo >= dt.min_value() && itv.hi <= dt.max_value());
+        // A huge form saturates to the representable range.
+        let big = AffineForm::from_interval(&Interval::new(-100.0, 100.0), 1);
+        assert_eq!(
+            big.quantize(&dt, 9).to_interval(),
+            Interval::from_dtype(&dt)
+        );
+    }
+
+    #[test]
+    fn non_finite_components_degrade_to_top() {
+        let top = AffineForm::top();
+        assert!(!top.is_finite());
+        assert_eq!(top.to_interval(), Interval::UNBOUNDED);
+        let x = AffineForm::from_interval(&Interval::UNBOUNDED, 0);
+        assert_eq!(x.to_interval(), Interval::UNBOUNDED);
+        let zero = AffineForm::constant(0.0);
+        // 0 · top concretizes soundly (0·∞ handled by denan, not NaN).
+        let p = zero.mul(&top);
+        assert!(p.to_interval().contains(0.0));
+    }
+
+    #[test]
+    fn noise_symbol_allocator_is_a_counter() {
+        let mut syms = NoiseSymbols::new();
+        assert!(syms.is_empty());
+        assert_eq!(syms.fresh(), 0);
+        assert_eq!(syms.fresh(), 1);
+        assert_eq!(syms.len(), 2);
+    }
+}

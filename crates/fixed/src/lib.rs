@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod affine;
 pub mod dtype;
 pub mod error;
 pub mod fixed;
@@ -60,6 +61,7 @@ pub mod rng;
 pub mod sqnr;
 pub mod stats;
 
+pub use affine::{AffineForm, NoiseSymbols};
 pub use dtype::{DType, DTypeBuilder, OverflowMode, RoundingMode, Signedness};
 pub use error::{DTypeError, FixError, OverflowError, ParseDTypeError};
 pub use fixed::Fixed;

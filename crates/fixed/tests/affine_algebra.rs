@@ -1,0 +1,242 @@
+//! Seeded-sweep property tests for affine-arithmetic soundness.
+//!
+//! The affine propagator in `fixref-sim` intersects affine and interval
+//! envelopes, which is only sound if every [`AffineForm`] operation is
+//! itself conservative: a concrete evaluation of the operand forms,
+//! combined with the true arithmetic, must land inside the result form's
+//! concretization — *and* inside the corresponding [`Interval`] result,
+//! so both envelopes are simultaneously valid.
+//!
+//! Each property runs over 64 seeds in the style of
+//! `crates/sim/tests/div_clamp_algebra.rs`: random forms over a small
+//! shared symbol pool (so correlations actually occur), random concrete
+//! noise assignments, exact containment assertions tagged with the seed.
+
+use fixref_fixed::{
+    quantize, AffineForm, DType, Interval, OverflowMode, Rng64, RoundingMode, Signedness,
+};
+
+const SEEDS: u64 = 64;
+/// Slack for f64 roundoff in the concrete evaluation path (the envelopes
+/// themselves are compared exactly).
+const EVAL_TOL: f64 = 1e-9;
+
+/// A random affine form over symbols `0..pool`, returned with one concrete
+/// evaluation point drawn from the shared assignment `eps`.
+fn random_form(rng: &mut Rng64, pool: u32, eps: &[f64]) -> (AffineForm, f64) {
+    let center = rng.symmetric(4.0);
+    let mut form = AffineForm::constant(center);
+    let mut value = center;
+    let terms = (rng.next_u64() % 4) as usize;
+    for _ in 0..terms {
+        let sym = (rng.next_u64() % pool as u64) as u32;
+        let coeff = rng.symmetric(2.0);
+        // Build `form + coeff·ε_sym` from primitives: a fresh unit
+        // interval anchored on `sym`, scaled by the coefficient.
+        let unit = AffineForm::from_interval(&Interval::new(-1.0, 1.0), sym);
+        form = form.add(&unit.scale(coeff));
+        value += coeff * eps[sym as usize];
+    }
+    (form, value)
+}
+
+/// A random concrete assignment of the symbol pool to `[-1, 1]`.
+fn random_eps(rng: &mut Rng64, pool: u32) -> Vec<f64> {
+    (0..pool).map(|_| rng.symmetric(1.0)).collect()
+}
+
+fn assert_inside(itv: &Interval, v: f64, seed: u64, ctx: &str) {
+    assert!(
+        itv.contains(v) || (v - itv.lo).abs() <= EVAL_TOL || (v - itv.hi).abs() <= EVAL_TOL,
+        "seed {seed}: {ctx}: concrete value {v} escapes envelope {itv}"
+    );
+}
+
+fn random_dtype(rng: &mut Rng64, tag: u64) -> DType {
+    let w = 4 + (rng.next_u64() % 9) as i32; // 4..=12 bits
+    let iw = (rng.next_u64() % (w as u64)) as i32;
+    let overflow = match rng.next_u64() % 3 {
+        0 => OverflowMode::Wrap,
+        1 => OverflowMode::Saturate,
+        _ => OverflowMode::Error,
+    };
+    let rounding = if rng.next_u64().is_multiple_of(2) {
+        RoundingMode::Round
+    } else {
+        RoundingMode::Floor
+    };
+    DType::new(
+        format!("T{tag}"),
+        w,
+        w - iw,
+        Signedness::TwosComplement,
+        overflow,
+        rounding,
+    )
+    .expect("constructed widths are valid")
+}
+
+#[test]
+fn add_sub_mul_keep_concrete_values_inside_both_envelopes() {
+    for seed in 0..SEEDS {
+        let mut rng = Rng64::seed_from_u64(seed.wrapping_mul(0x9E37_79B9) + 1);
+        let pool = 4;
+        let eps = random_eps(&mut rng, pool);
+        let (a, av) = random_form(&mut rng, pool, &eps);
+        let (b, bv) = random_form(&mut rng, pool, &eps);
+        let (ai, bi) = (a.to_interval(), b.to_interval());
+
+        let cases: [(&str, AffineForm, Interval, f64); 4] = [
+            ("add", a.add(&b), ai + bi, av + bv),
+            ("sub", a.sub(&b), ai - bi, av - bv),
+            ("mul", a.mul(&b), ai * bi, av * bv),
+            ("neg", a.neg(), -ai, -av),
+        ];
+        for (name, form, itv, concrete) in cases {
+            let affine_itv = form.to_interval();
+            assert_inside(&affine_itv, concrete, seed, name);
+            assert_inside(&itv, concrete, seed, &format!("{name} (interval)"));
+        }
+    }
+}
+
+#[test]
+fn correlated_subtraction_is_exact_and_interval_is_not() {
+    for seed in 0..SEEDS {
+        let mut rng = Rng64::seed_from_u64(seed.wrapping_mul(0xDA7E_1999) + 1);
+        let pool = 3;
+        let eps = random_eps(&mut rng, pool);
+        let (a, av) = random_form(&mut rng, pool, &eps);
+        let diff = a.sub(&a);
+        let itv = diff.to_interval();
+        assert!(
+            itv.width() <= EVAL_TOL,
+            "seed {seed}: x - x should collapse, got {itv}"
+        );
+        assert_inside(&itv, av - av, seed, "x - x");
+        // The interval answer is the sound-but-loose baseline the affine
+        // form must stay inside of.
+        let ai = a.to_interval();
+        assert!(
+            (ai - ai).contains_interval(&itv),
+            "seed {seed}: affine result {itv} not inside interval result"
+        );
+    }
+}
+
+fn contains_with_slack(outer: &Interval, inner: &Interval) -> bool {
+    // Ulp-scale slack: the affine envelope reconstructs endpoints as
+    // center ± radius, which can differ from direct endpoint arithmetic
+    // in the last bit. The combined propagator intersects both, so this
+    // slack never leaks into analysis results.
+    let tol = EVAL_TOL * (1.0 + outer.max_abs());
+    outer.lo - tol <= inner.lo && inner.hi <= outer.hi + tol
+}
+
+#[test]
+fn affine_envelope_of_linear_ops_is_inside_the_interval_envelope() {
+    // For the linear ops (add/sub/scale) affine arithmetic is at least as
+    // tight as interval arithmetic; this is the `affine ⊆ interval`
+    // direction the combined propagator asserts per definition.
+    for seed in 0..SEEDS {
+        let mut rng = Rng64::seed_from_u64(seed.wrapping_mul(0x0A11_CAFE) + 1);
+        let pool = 4;
+        let eps = random_eps(&mut rng, pool);
+        let (a, _) = random_form(&mut rng, pool, &eps);
+        let (b, _) = random_form(&mut rng, pool, &eps);
+        let (ai, bi) = (a.to_interval(), b.to_interval());
+        let k = rng.symmetric(3.0);
+
+        let sum = a.add(&b).to_interval();
+        assert!(
+            contains_with_slack(&(ai + bi), &sum),
+            "seed {seed}: add: {sum} vs {}",
+            ai + bi
+        );
+        let diff = a.sub(&b).to_interval();
+        assert!(
+            contains_with_slack(&(ai - bi), &diff),
+            "seed {seed}: sub: {diff} vs {}",
+            ai - bi
+        );
+        let scaled = a.scale(k).to_interval();
+        assert!(
+            contains_with_slack(&(ai * Interval::point(k)), &scaled),
+            "seed {seed}: scale by {k}: {scaled}"
+        );
+    }
+}
+
+#[test]
+fn quantize_envelope_contains_the_bit_exact_quantizer_output() {
+    for seed in 0..SEEDS {
+        let mut rng = Rng64::seed_from_u64(seed.wrapping_mul(0x5EED_0007) + 1);
+        let pool = 3;
+        let eps = random_eps(&mut rng, pool);
+        let (a, av) = random_form(&mut rng, pool, &eps);
+        let dt = random_dtype(&mut rng, seed);
+        let q = a.quantize(&dt, pool + seed as u32);
+        let itv = q.to_interval();
+
+        let out = quantize(av, &dt);
+        // Wrap aliasing is a hazard tracked separately (FXL004 / the
+        // checker), not a bound the range analysis claims — so the
+        // envelope promise only holds when no overflow occurred.
+        if !out.overflowed {
+            assert_inside(&itv, out.value, seed, "quantize");
+        }
+        // Saturating types must still bound the clamped output.
+        if dt.overflow() == OverflowMode::Saturate {
+            assert_inside(&itv, out.value, seed, "quantize (saturated)");
+            let repr = Interval::from_dtype(&dt);
+            assert!(
+                repr.lo <= itv.lo + EVAL_TOL || itv.lo >= repr.lo - EVAL_TOL,
+                "seed {seed}: saturated envelope {itv} below representable {repr}"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_expression_trees_stay_sound_under_shared_symbols() {
+    // Deep random expressions over a *shared* pool: the acid test that
+    // residual bookkeeping composes (every internal node is conservative).
+    for seed in 0..SEEDS {
+        let mut rng = Rng64::seed_from_u64(seed.wrapping_mul(0xB16_B00B5) + 1);
+        let pool = 4;
+        let eps = random_eps(&mut rng, pool);
+        let (mut form, mut value) = random_form(&mut rng, pool, &eps);
+        for depth in 0..6 {
+            let (rhs, rv) = random_form(&mut rng, pool, &eps);
+            match rng.next_u64() % 4 {
+                0 => {
+                    form = form.add(&rhs);
+                    value += rv;
+                }
+                1 => {
+                    form = form.sub(&rhs);
+                    value -= rv;
+                }
+                2 => {
+                    form = form.mul(&rhs);
+                    value *= rv;
+                }
+                _ => {
+                    let k = rng.symmetric(1.5);
+                    form = form.scale(k).offset(rv);
+                    value = value * k + rv;
+                }
+            }
+            let itv = form.to_interval();
+            // Relative tolerance: deep products grow large and f64 error
+            // grows with magnitude.
+            let tol = EVAL_TOL * (1.0 + value.abs());
+            assert!(
+                itv.contains(value)
+                    || (value - itv.lo).abs() <= tol
+                    || (value - itv.hi).abs() <= tol,
+                "seed {seed}: depth {depth}: {value} escapes {itv}"
+            );
+        }
+    }
+}

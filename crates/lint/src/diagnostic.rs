@@ -175,6 +175,47 @@ impl LintConfig {
     }
 }
 
+/// A formal verdict attached to a diagnostic by the verification layer.
+///
+/// Lint passes are heuristic: they *flag* hazards. The bounded model
+/// checker in `fixref-verify` upgrades a flag to one of three states — a
+/// machine-checked proof that the hazard cannot occur, a concrete input
+/// sequence that triggers it, or an honest "could not decide" with the
+/// reason. Diagnostics without a verdict (`verdict: None`) render exactly
+/// as before the verification layer existed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The reachable state space closed without the hazard: the warning
+    /// is discharged. Gates treat a proved denied code as allowed.
+    Proved,
+    /// A concrete stimulus drives the design into the hazard. Gates
+    /// treat this as a hard deny, with the witness attached.
+    CounterexampleFound,
+    /// The checker could not decide within its bounds.
+    Unknown {
+        /// Why (`"state_too_large"`, `"input_alphabet_too_large"`, …).
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// The stable wire form (`"proved"` / `"counterexample"` /
+    /// `"unknown(reason)"`).
+    pub fn as_str(&self) -> String {
+        match self {
+            Verdict::Proved => "proved".to_string(),
+            Verdict::CounterexampleFound => "counterexample".to_string(),
+            Verdict::Unknown { reason } => format!("unknown({reason})"),
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.as_str())
+    }
+}
+
 /// One finding of a lint pass.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Diagnostic {
@@ -188,6 +229,8 @@ pub struct Diagnostic {
     pub message: String,
     /// Other signals involved (cycle members, mismatched producers, …).
     pub related: Vec<String>,
+    /// Formal verdict, if the verification layer ran on this finding.
+    pub verdict: Option<Verdict>,
 }
 
 impl Diagnostic {
@@ -201,8 +244,12 @@ impl Diagnostic {
             .map(|r| format!("\"{}\"", escape(r)))
             .collect::<Vec<_>>()
             .join(",");
+        let verdict = match &self.verdict {
+            None => String::new(),
+            Some(v) => format!(r#","verdict":"{}""#, escape(&v.as_str())),
+        };
         format!(
-            r#"{{"code":"{}","severity":"{}","signal":"{}","message":"{}","related":[{related}]}}"#,
+            r#"{{"code":"{}","severity":"{}","signal":"{}","message":"{}","related":[{related}]{verdict}}}"#,
             self.code,
             self.severity,
             escape(&self.signal),
@@ -220,6 +267,9 @@ impl fmt::Display for Diagnostic {
         )?;
         if !self.related.is_empty() {
             write!(f, " [{}]", self.related.join(", "))?;
+        }
+        if let Some(v) = &self.verdict {
+            write!(f, " <{v}>")?;
         }
         Ok(())
     }
@@ -341,6 +391,7 @@ mod tests {
             signal: signal.into(),
             message: "m".into(),
             related: vec![],
+            verdict: None,
         }
     }
 
@@ -372,6 +423,7 @@ mod tests {
             signal: "a\"b".into(),
             message: "back\\slash".into(),
             related: vec!["x".into(), "y".into()],
+            verdict: None,
         };
         let json = d.to_json();
         assert!(json.contains(r#""signal":"a\"b""#), "{json}");
@@ -389,5 +441,39 @@ mod tests {
         let text = report.render_text();
         assert!(text.contains("FXL001 warning mu: m"));
         assert!(text.ends_with("0 error(s), 1 warning(s), 0 info(s)\n"));
+    }
+
+    #[test]
+    fn verdictless_diagnostics_render_exactly_as_before() {
+        // Byte-identity with the pre-verification renderers: no trailing
+        // verdict marker in text, no "verdict" key in JSON.
+        let d = diag(Code::UnclampedFeedback, "b");
+        assert_eq!(d.to_string(), "FXL002 warning b: m");
+        assert_eq!(
+            d.to_json(),
+            r#"{"code":"FXL002","severity":"warning","signal":"b","message":"m","related":[]}"#
+        );
+    }
+
+    #[test]
+    fn verdicts_render_in_text_and_json() {
+        let mut d = diag(Code::UnclampedFeedback, "b");
+        d.verdict = Some(Verdict::Proved);
+        assert!(d.to_string().ends_with("<proved>"), "{d}");
+        assert!(
+            d.to_json().ends_with(r#""verdict":"proved"}"#),
+            "{}",
+            d.to_json()
+        );
+
+        d.verdict = Some(Verdict::CounterexampleFound);
+        assert!(d.to_string().ends_with("<counterexample>"));
+
+        d.verdict = Some(Verdict::Unknown {
+            reason: "state_too_large".into(),
+        });
+        assert!(d.to_string().ends_with("<unknown(state_too_large)>"));
+        // Every variant still parses back as JSON.
+        assert!(fixref_obs::Json::parse(&d.to_json()).is_ok());
     }
 }

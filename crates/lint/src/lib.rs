@@ -59,6 +59,6 @@ mod diagnostic;
 mod input;
 mod passes;
 
-pub use diagnostic::{Action, Code, Diagnostic, LintConfig, LintReport, Severity};
+pub use diagnostic::{Action, Code, Diagnostic, LintConfig, LintReport, Severity, Verdict};
 pub use input::{LintInput, SignalInfo};
 pub use passes::{check_static_schedule, Linter};

@@ -61,6 +61,7 @@ pub(crate) fn pass_static_schedule(input: &LintInput) -> Vec<Diagnostic> {
                      scheduled signal has exactly one dataflow expression"
                 ),
                 related: vec![],
+                verdict: None,
             });
         }
         let mut mismatched: Vec<&str> = Vec::new();
@@ -89,6 +90,7 @@ pub(crate) fn pass_static_schedule(input: &LintInput) -> Vec<Diagnostic> {
                     info.writes
                 ),
                 related: mismatched.iter().map(|s| s.to_string()).collect(),
+                verdict: None,
             });
         }
     }
@@ -121,6 +123,7 @@ pub(crate) fn pass_unclamped_feedback(input: &LintInput) -> Vec<Diagnostic> {
                 names.len()
             ),
             related: names,
+            verdict: None,
         });
     }
     out
@@ -172,6 +175,7 @@ pub(crate) fn pass_wrap_control(input: &LintInput) -> Vec<Diagnostic> {
                  prove the range"
             ),
             related: vec![],
+            verdict: None,
         });
     }
     out
@@ -221,6 +225,7 @@ pub(crate) fn pass_wrap_narrower(input: &LintInput) -> Vec<Diagnostic> {
                 fmt_range(evidence.lo, evidence.hi),
             ),
             related: vec![],
+            verdict: None,
         });
     }
     out
@@ -255,6 +260,7 @@ pub(crate) fn pass_truncation_in_feedback(input: &LintInput) -> Vec<Diagnostic> 
                      (Section 5.2) — use rd rounding here"
                 ),
                 related: names,
+                verdict: None,
             });
         }
     }
@@ -281,6 +287,7 @@ pub(crate) fn pass_dead_or_multiply_defined(input: &LintInput) -> Vec<Diagnostic
                     info.writes
                 ),
                 related: vec![],
+                verdict: None,
             });
         }
         let defs = non_const_defs(input, info.id);
@@ -294,6 +301,7 @@ pub(crate) fn pass_dead_or_multiply_defined(input: &LintInput) -> Vec<Diagnostic
                      a mux arm in generated HDL)"
                 ),
                 related: vec![],
+                verdict: None,
             });
         }
     }

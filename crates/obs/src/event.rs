@@ -184,6 +184,16 @@ pub enum Event {
         /// Upper clamped bound.
         hi: f64,
     },
+    /// A signal's analytical range was widened to unbounded after
+    /// exceeding the growth-pass budget on a feedback path — the "MSB
+    /// explosion" the paper warns about, journaled instead of silently
+    /// railing to `Interval::UNBOUNDED`.
+    RangeExploded {
+        /// The signal whose range exploded.
+        signal: String,
+        /// Growing passes observed before the analysis gave up.
+        passes: usize,
+    },
     /// One static-lint finding (pre-flight diagnostics over the recorded
     /// signal-flow graph).
     LintDiagnostic {
@@ -215,6 +225,50 @@ pub enum Event {
         code: String,
         /// Number of findings with that code.
         findings: usize,
+    },
+    /// A formal verification run (bounded model check of one lint
+    /// finding) started.
+    VerifyStarted {
+        /// Diagnostic code under check (`"FXL002"`, …).
+        code: String,
+        /// Anchor signal of the property being checked.
+        signal: String,
+        /// Number of state-holding registers in the extracted model.
+        registers: usize,
+    },
+    /// The checker proved the property: the reachable state space closed
+    /// with no bad state, discharging the diagnostic.
+    VerifyProved {
+        /// Diagnostic code discharged.
+        code: String,
+        /// Anchor signal of the property.
+        signal: String,
+        /// Distinct states in the closed reachable set.
+        states: usize,
+        /// Exploration depth (ticks) at closure.
+        depth: usize,
+    },
+    /// The checker found a concrete input sequence driving the design
+    /// into the hazard the diagnostic warned about.
+    VerifyCounterexample {
+        /// Diagnostic code refuted.
+        code: String,
+        /// Anchor signal of the property.
+        signal: String,
+        /// Length of the witness stimulus in ticks.
+        steps: usize,
+    },
+    /// The checker gave up without a verdict: state space or input
+    /// alphabet exceeded its bounds, or the model was not finite-state.
+    VerifyBoundExhausted {
+        /// Diagnostic code left undecided.
+        code: String,
+        /// Anchor signal of the property.
+        signal: String,
+        /// Why the check was inconclusive (`"state_too_large"`, …).
+        reason: String,
+        /// States explored before giving up.
+        states: usize,
     },
     /// A scenario shard failed — panicked or lost its result — after
     /// every permitted attempt. Under a `Strict` fault policy the sweep
@@ -329,9 +383,14 @@ impl Event {
             Event::ShardMerged { .. } => "shard_merged",
             Event::CacheInvalidated { .. } => "cache_invalidated",
             Event::RangeClamped { .. } => "range_clamped",
+            Event::RangeExploded { .. } => "range_exploded",
             Event::LintDiagnostic { .. } => "lint_diagnostic",
             Event::LintCompleted { .. } => "lint_completed",
             Event::LintGateFailed { .. } => "lint_gate_failed",
+            Event::VerifyStarted { .. } => "verify_started",
+            Event::VerifyProved { .. } => "verify_proved",
+            Event::VerifyCounterexample { .. } => "verify_counterexample",
+            Event::VerifyBoundExhausted { .. } => "verify_bound_exhausted",
             Event::ShardFailed { .. } => "shard_failed",
             Event::ShardRetried { .. } => "shard_retried",
             Event::ShardQuarantined { .. } => "shard_quarantined",
@@ -440,6 +499,10 @@ impl Event {
                 fmt_f64(*lo),
                 fmt_f64(*hi)
             ),
+            Event::RangeExploded { signal, passes } => format!(
+                r#"{{"event":"{kind}","signal":"{}","passes":{passes}}}"#,
+                escape(signal)
+            ),
             Event::LintDiagnostic {
                 code,
                 severity,
@@ -467,6 +530,45 @@ impl Event {
                 r#"{{"event":"{kind}","context":"{}","code":"{}","findings":{findings}}}"#,
                 escape(context),
                 escape(code)
+            ),
+            Event::VerifyStarted {
+                code,
+                signal,
+                registers,
+            } => format!(
+                r#"{{"event":"{kind}","code":"{}","signal":"{}","registers":{registers}}}"#,
+                escape(code),
+                escape(signal)
+            ),
+            Event::VerifyProved {
+                code,
+                signal,
+                states,
+                depth,
+            } => format!(
+                r#"{{"event":"{kind}","code":"{}","signal":"{}","states":{states},"depth":{depth}}}"#,
+                escape(code),
+                escape(signal)
+            ),
+            Event::VerifyCounterexample {
+                code,
+                signal,
+                steps,
+            } => format!(
+                r#"{{"event":"{kind}","code":"{}","signal":"{}","steps":{steps}}}"#,
+                escape(code),
+                escape(signal)
+            ),
+            Event::VerifyBoundExhausted {
+                code,
+                signal,
+                reason,
+                states,
+            } => format!(
+                r#"{{"event":"{kind}","code":"{}","signal":"{}","reason":"{}","states":{states}}}"#,
+                escape(code),
+                escape(signal),
+                escape(reason)
             ),
             Event::ShardFailed {
                 shard,
@@ -643,6 +745,10 @@ impl Event {
                 lo: f("lo")?,
                 hi: f("hi")?,
             }),
+            "range_exploded" => Ok(Event::RangeExploded {
+                signal: s("signal")?,
+                passes: u("passes")? as usize,
+            }),
             "lint_diagnostic" => Ok(Event::LintDiagnostic {
                 code: s("code")?,
                 severity: s("severity")?,
@@ -658,6 +764,28 @@ impl Event {
                 context: s("context")?,
                 code: s("code")?,
                 findings: u("findings")? as usize,
+            }),
+            "verify_started" => Ok(Event::VerifyStarted {
+                code: s("code")?,
+                signal: s("signal")?,
+                registers: u("registers")? as usize,
+            }),
+            "verify_proved" => Ok(Event::VerifyProved {
+                code: s("code")?,
+                signal: s("signal")?,
+                states: u("states")? as usize,
+                depth: u("depth")? as usize,
+            }),
+            "verify_counterexample" => Ok(Event::VerifyCounterexample {
+                code: s("code")?,
+                signal: s("signal")?,
+                steps: u("steps")? as usize,
+            }),
+            "verify_bound_exhausted" => Ok(Event::VerifyBoundExhausted {
+                code: s("code")?,
+                signal: s("signal")?,
+                reason: s("reason")?,
+                states: u("states")? as usize,
             }),
             "shard_failed" => Ok(Event::ShardFailed {
                 shard: u("shard")? as usize,
@@ -787,6 +915,12 @@ impl fmt::Display for Event {
             Event::RangeClamped { signal, lo, hi } => {
                 write!(f, "division range of {signal} clamped to [{lo}, {hi}]")
             }
+            Event::RangeExploded { signal, passes } => {
+                write!(
+                    f,
+                    "analytical range of {signal} exploded after {passes} growing pass(es)"
+                )
+            }
             Event::LintDiagnostic {
                 code,
                 severity,
@@ -808,6 +942,40 @@ impl fmt::Display for Event {
             } => write!(
                 f,
                 "lint gate {context} failed: {findings} {code} finding(s)"
+            ),
+            Event::VerifyStarted {
+                code,
+                signal,
+                registers,
+            } => write!(
+                f,
+                "verifying {code} at {signal}: {registers} register(s) of state"
+            ),
+            Event::VerifyProved {
+                code,
+                signal,
+                states,
+                depth,
+            } => write!(
+                f,
+                "{code} at {signal} proved safe: {states} reachable state(s) closed at depth {depth}"
+            ),
+            Event::VerifyCounterexample {
+                code,
+                signal,
+                steps,
+            } => write!(
+                f,
+                "{code} at {signal} refuted: counterexample in {steps} tick(s)"
+            ),
+            Event::VerifyBoundExhausted {
+                code,
+                signal,
+                reason,
+                states,
+            } => write!(
+                f,
+                "{code} at {signal} undecided ({reason}) after {states} state(s)"
             ),
             Event::ShardFailed {
                 shard,
@@ -940,6 +1108,10 @@ mod tests {
                 lo: -8.0,
                 hi: 7.9375,
             },
+            Event::RangeExploded {
+                signal: "acc".into(),
+                passes: 64,
+            },
             Event::LintDiagnostic {
                 code: "FXL001".into(),
                 severity: "error".into(),
@@ -955,6 +1127,28 @@ mod tests {
                 context: "cache.partial".into(),
                 code: "FXL001".into(),
                 findings: 3,
+            },
+            Event::VerifyStarted {
+                code: "FXL002".into(),
+                signal: "b".into(),
+                registers: 2,
+            },
+            Event::VerifyProved {
+                code: "FXL002".into(),
+                signal: "b".into(),
+                states: 1024,
+                depth: 9,
+            },
+            Event::VerifyCounterexample {
+                code: "FXL004".into(),
+                signal: "y1".into(),
+                steps: 6,
+            },
+            Event::VerifyBoundExhausted {
+                code: "FXL002".into(),
+                signal: "phase".into(),
+                reason: "state_too_large".into(),
+                states: 0,
             },
             Event::ShardFailed {
                 shard: 1,

@@ -23,7 +23,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use fixref_fixed::{Interval, OverflowMode};
+use fixref_fixed::{AffineForm, Interval, OverflowMode};
 use fixref_obs::{Event, Recorder};
 
 use crate::design::SignalId;
@@ -260,6 +260,38 @@ pub fn analyze_ranges_with(
     memo: &mut RangeMemo,
     recorder: Option<&dyn Recorder>,
 ) -> RangeAnalysis {
+    analyze_inner(graph, seeds, options, memo, recorder, false)
+}
+
+/// [`analyze_ranges_with`] with the **affine-arithmetic refinement**: every
+/// definition is evaluated both as a plain interval and as an
+/// [`AffineForm`] over per-signal noise symbols, and the two envelopes are
+/// intersected. Shared symbols let correlated re-reads cancel (`acc +
+/// x - acc*mu` contracts by `1 - mu` instead of growing by `1 + mu`), so
+/// feedback loops that the interval fixpoint widens to
+/// [`Interval::UNBOUNDED`] can converge here. Since every operator is
+/// monotone and the intersection is taken per definition, the affine
+/// result is contained in the plain interval result by induction —
+/// asserted per evaluation in debug builds. Tightened evaluations bump the
+/// `analyze.affine_tightened` counter on an attached recorder.
+pub fn analyze_ranges_affine(
+    graph: &Graph,
+    seeds: &HashMap<SignalId, Interval>,
+    options: &AnalyzeOptions,
+    memo: &mut RangeMemo,
+    recorder: Option<&dyn Recorder>,
+) -> RangeAnalysis {
+    analyze_inner(graph, seeds, options, memo, recorder, true)
+}
+
+fn analyze_inner(
+    graph: &Graph,
+    seeds: &HashMap<SignalId, Interval>,
+    options: &AnalyzeOptions,
+    memo: &mut RangeMemo,
+    recorder: Option<&dyn Recorder>,
+    affine: bool,
+) -> RangeAnalysis {
     let mut ranges: HashMap<SignalId, Interval> = seeds.clone();
     let mut growth: HashMap<SignalId, usize> = HashMap::new();
     let mut exploded: HashSet<SignalId> = HashSet::new();
@@ -284,6 +316,47 @@ pub fn analyze_ranges_with(
             }
         }
     };
+    let note_explode = |sig: SignalId, passes: usize, exploded: &mut HashSet<SignalId>| {
+        if exploded.insert(sig) {
+            if let Some(rec) = recorder {
+                rec.inc("analyze.range_exploded", 1);
+                rec.record_event(Event::RangeExploded {
+                    signal: sig.to_string(),
+                    passes,
+                });
+            }
+        }
+    };
+    // In affine mode every definition gets the tighter of the interval
+    // and affine envelopes; both are sound, so their intersection is too.
+    let eval_combined = |memo: &mut RangeMemo,
+                         def: NodeId,
+                         ranges: &HashMap<SignalId, Interval>|
+     -> (Interval, bool) {
+        let (itv, was_clamped) = memo.eval(graph, def, ranges);
+        if !affine {
+            return (itv, was_clamped);
+        }
+        let aff = eval_affine(graph, def, ranges).to_interval();
+        let tight = itv.intersect(&aff);
+        if tight.is_empty() {
+            // Both envelopes contain the true image, so a truly empty
+            // intersection cannot happen; guard against f64 edge cases
+            // by falling back to the interval answer.
+            debug_assert!(false, "disjoint envelopes: {itv} vs {aff}");
+            return (itv, was_clamped);
+        }
+        debug_assert!(
+            itv.contains_interval(&tight),
+            "affine-combined {tight} not inside interval {itv}"
+        );
+        if tight != itv {
+            if let Some(rec) = recorder {
+                rec.inc("analyze.affine_tightened", 1);
+            }
+        }
+        (tight, was_clamped)
+    };
 
     let mut passes = 0;
     let mut fixpoint = false;
@@ -297,7 +370,7 @@ pub fn analyze_ranges_with(
             let mut incoming = Interval::EMPTY;
             let mut any_clamped = false;
             for &def in graph.defs(sig) {
-                let (itv, was_clamped) = memo.eval(graph, def, &ranges);
+                let (itv, was_clamped) = eval_combined(memo, def, &ranges);
                 incoming = incoming.union(&itv);
                 any_clamped |= was_clamped;
             }
@@ -311,7 +384,7 @@ pub fn analyze_ranges_with(
                 *g += 1;
                 if *g >= options.widen_after {
                     new = Interval::UNBOUNDED;
-                    exploded.insert(sig);
+                    note_explode(sig, *g, &mut exploded);
                     widened.insert(sig);
                 }
                 ranges.insert(sig, new);
@@ -332,13 +405,17 @@ pub fn analyze_ranges_with(
             }
             let mut incoming = Interval::EMPTY;
             for &def in graph.defs(sig) {
-                let (itv, _) = memo.eval(graph, def, &ranges);
+                let (itv, _) = eval_combined(memo, def, &ranges);
                 incoming = incoming.union(&itv);
             }
             let old = ranges.get(&sig).copied().unwrap_or(Interval::EMPTY);
             if old.union(&incoming) != old {
                 ranges.insert(sig, Interval::UNBOUNDED);
-                exploded.insert(sig);
+                note_explode(
+                    sig,
+                    growth.get(&sig).copied().unwrap_or(passes),
+                    &mut exploded,
+                );
                 widened.insert(sig);
             }
         }
@@ -423,6 +500,81 @@ fn eval_uncached(
         memo.insert(id, itv);
     }
     (memo[&root], clamped)
+}
+
+/// High bit marks noise symbols that belong to graph nodes (nonlinear
+/// fallbacks) rather than signals, so the two namespaces cannot collide.
+const NODE_SYMBOL: u32 = 0x8000_0000;
+
+/// Evaluates one definition subtree in affine arithmetic.
+///
+/// Every `Op::Read` of a signal is anchored on that signal's noise symbol
+/// (its raw id), so multiple reads of the same signal inside one
+/// definition are fully correlated — the source of the tightening over
+/// plain intervals. Nonlinear operators without a useful affine form
+/// (division, abs, min/max, select) fall back to interval evaluation of
+/// their operands' concretizations, anchored on a per-node symbol; the
+/// result is sound but uncorrelated, exactly like the interval path.
+fn eval_affine(graph: &Graph, root: NodeId, ranges: &HashMap<SignalId, Interval>) -> AffineForm {
+    let mut memo: HashMap<NodeId, AffineForm> = HashMap::new();
+    let mut stack = vec![(root, false)];
+    while let Some((id, expanded)) = stack.pop() {
+        if memo.contains_key(&id) {
+            continue;
+        }
+        let node = graph.node(id);
+        if !expanded && !node.args.is_empty() {
+            stack.push((id, true));
+            for &a in &node.args {
+                stack.push((a, false));
+            }
+            continue;
+        }
+        let fresh = NODE_SYMBOL | id.0;
+        let arg = |i: usize| &memo[&node.args[i]];
+        let form = match &node.op {
+            Op::Const(c) => AffineForm::constant(*c),
+            Op::Read(s) => AffineForm::from_interval(&effective_range(ranges, *s), s.raw()),
+            Op::Add => arg(0).add(arg(1)),
+            Op::Sub => arg(0).sub(arg(1)),
+            Op::Mul => arg(0).mul(arg(1)),
+            Op::Div => {
+                // Same clamp rule as the interval path: a zero-spanning
+                // quotient with a cast dividend bounds to the cast type.
+                let q = arg(0).to_interval() / arg(1).to_interval();
+                let q = if q.is_exploded() {
+                    if let Op::Cast(dt) = &graph.node(node.args[0]).op {
+                        q.clamp_to(&Interval::from_dtype(dt))
+                    } else {
+                        q
+                    }
+                } else {
+                    q
+                };
+                AffineForm::from_interval(&q, fresh)
+            }
+            Op::Neg => arg(0).neg(),
+            Op::Abs => AffineForm::from_interval(&arg(0).to_interval().abs(), fresh),
+            Op::Min => {
+                AffineForm::from_interval(&arg(0).to_interval().min(&arg(1).to_interval()), fresh)
+            }
+            Op::Max => {
+                AffineForm::from_interval(&arg(0).to_interval().max(&arg(1).to_interval()), fresh)
+            }
+            Op::Cast(dt) => {
+                if dt.overflow() == OverflowMode::Saturate {
+                    arg(0).clamp_to(&Interval::from_dtype(dt), fresh)
+                } else {
+                    arg(0).clone()
+                }
+            }
+            Op::Select => {
+                AffineForm::from_interval(&arg(1).to_interval().union(&arg(2).to_interval()), fresh)
+            }
+        };
+        memo.insert(id, form);
+    }
+    memo[&root].clone()
 }
 
 #[cfg(test)]
@@ -736,6 +888,121 @@ mod tests {
         let third = analyze_ranges_with(&g, &seeds, &AnalyzeOptions::default(), &mut memo, None);
         assert_eq!(third.range_of(sid(1)).unwrap(), Interval::new(-1.0, 1.0));
         assert!(memo.misses() > cold_misses);
+    }
+
+    /// Satellite: explosion is journaled (event + counter), not silent.
+    #[test]
+    fn widening_emits_range_exploded_event_and_counter() {
+        use fixref_obs::DefaultRecorder;
+        let mut g = Graph::new();
+        let acc = g.add(Op::Read(sid(0)), vec![]);
+        let x = g.add(Op::Read(sid(1)), vec![]);
+        let s = g.add(Op::Add, vec![acc, x]);
+        g.record_def(sid(0), s);
+
+        let mut seeds = HashMap::new();
+        seeds.insert(sid(1), Interval::new(-1.0, 1.0));
+        let opts = AnalyzeOptions {
+            max_passes: 100,
+            widen_after: 16,
+        };
+        let rec = DefaultRecorder::new();
+        let r = analyze_ranges_with(&g, &seeds, &opts, &mut RangeMemo::new(), Some(&rec));
+        assert!(r.is_exploded(sid(0)));
+        assert_eq!(rec.counter("analyze.range_exploded"), 1);
+        let ev: Vec<_> = rec
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e, Event::RangeExploded { .. }))
+            .collect();
+        assert_eq!(ev.len(), 1, "one event per exploded signal");
+        match &ev[0] {
+            Event::RangeExploded { signal, passes } => {
+                assert_eq!(signal, "s0");
+                assert_eq!(*passes, 16);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Tentpole: the additively-written leaky accumulator
+    /// `acc = acc + x - acc*mu` explodes under interval arithmetic (the
+    /// two `acc` reads decorrelate, net growth factor `1 + mu`) but
+    /// converges under the affine propagator (shared noise symbol, net
+    /// contraction `1 - mu`).
+    #[test]
+    fn affine_converges_where_intervals_explode() {
+        let mut g = Graph::new();
+        let acc = g.add(Op::Read(sid(0)), vec![]);
+        let x = g.add(Op::Read(sid(1)), vec![]);
+        let mu = g.add(Op::Const(0.25), vec![]);
+        let leak = g.add(Op::Mul, vec![acc, mu]);
+        let grown = g.add(Op::Add, vec![acc, x]);
+        let s = g.add(Op::Sub, vec![grown, leak]);
+        g.record_def(sid(0), s);
+
+        let mut seeds = HashMap::new();
+        seeds.insert(sid(1), Interval::new(-1.0, 1.0));
+        // Geometric convergence at factor 0.75 takes ~125 passes to
+        // settle in f64; give both analyses the same generous budget —
+        // the interval iteration truly diverges (growth factor 1.25), so
+        // no budget saves it.
+        let opts = AnalyzeOptions {
+            max_passes: 512,
+            widen_after: 256,
+        };
+
+        let interval = analyze_ranges(&g, &seeds, &opts);
+        assert!(
+            interval.is_exploded(sid(0)),
+            "interval analysis should rail: {:?}",
+            interval.range_of(sid(0))
+        );
+
+        let affine = analyze_ranges_affine(&g, &seeds, &opts, &mut RangeMemo::new(), None);
+        assert!(affine.converged(), "affine analysis should converge");
+        let r = affine.range_of(sid(0)).expect("range derived");
+        assert!(r.is_bounded(), "affine range still unbounded: {r}");
+        // True fixpoint of |acc| <= 0.75*|acc| + 1 is [-4, 4].
+        assert!(r.hi <= 4.0 + 1e-6 && r.hi >= 3.0, "loose/overtight: {r}");
+    }
+
+    /// The affine result is contained in the interval result (soundness
+    /// direction asserted per-definition in debug builds, checked here on
+    /// whole analyses), and on straight-line code the two agree.
+    #[test]
+    fn affine_result_is_inside_interval_result() {
+        use fixref_obs::DefaultRecorder;
+        let mut g = Graph::new();
+        let a = g.add(Op::Read(sid(0)), vec![]);
+        let b = g.add(Op::Read(sid(1)), vec![]);
+        let d = g.add(Op::Sub, vec![a, a]); // correlated: exactly 0
+        let m = g.add(Op::Mul, vec![a, b]);
+        let s = g.add(Op::Add, vec![d, m]);
+        g.record_def(sid(2), s);
+
+        let mut seeds = HashMap::new();
+        seeds.insert(sid(0), Interval::new(-1.0, 1.0));
+        seeds.insert(sid(1), Interval::new(0.0, 2.0));
+        let interval = analyze_ranges(&g, &seeds, &AnalyzeOptions::default());
+        let rec = DefaultRecorder::new();
+        let affine = analyze_ranges_affine(
+            &g,
+            &seeds,
+            &AnalyzeOptions::default(),
+            &mut RangeMemo::new(),
+            Some(&rec),
+        );
+        let ir = interval.range_of(sid(2)).expect("interval range");
+        let ar = affine.range_of(sid(2)).expect("affine range");
+        assert!(
+            ir.contains_interval(&ar),
+            "affine {ar} escapes interval {ir}"
+        );
+        // a - a decorrelates to [-2,2] in interval arithmetic, so the
+        // affine envelope is strictly tighter and the counter says so.
+        assert!(ar.width() < ir.width());
+        assert!(rec.counter("analyze.affine_tightened") > 0);
     }
 
     /// The memo resets itself when the graph changes underneath it.

@@ -78,7 +78,10 @@ pub mod tape;
 pub mod trace;
 pub mod value;
 
-pub use analyze::{analyze_ranges, analyze_ranges_with, AnalyzeOptions, RangeAnalysis, RangeMemo};
+pub use analyze::{
+    analyze_ranges, analyze_ranges_affine, analyze_ranges_with, AnalyzeOptions, RangeAnalysis,
+    RangeMemo,
+};
 pub use design::replay_compiled_batch;
 pub use design::{
     Design, OverflowEvent, Reg, RegArray, Sig, SigArray, SignalAnnotation, SignalId, SignalKind,

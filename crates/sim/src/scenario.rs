@@ -22,6 +22,13 @@ pub struct Scenario {
     pub channel_taps: Vec<f64>,
     /// Number of stimulus samples to simulate.
     pub samples: usize,
+    /// Explicit per-input stimulus overriding the seeded generators:
+    /// `(input signal name, one value per tick)`. Empty for ordinary
+    /// swept scenarios; populated when a scenario replays a concrete
+    /// witness (e.g. a model-checker counterexample). Runners that honor
+    /// it drive the named inputs from these streams for
+    /// `stimulus_len()` ticks instead of generating `samples` samples.
+    pub stimulus: Vec<(String, Vec<f64>)>,
 }
 
 impl Scenario {
@@ -32,6 +39,29 @@ impl Scenario {
             "s{} seed={} snr={}dB n={}",
             self.index, self.seed, self.snr_db, self.samples
         )
+    }
+
+    /// Whether this scenario carries an explicit witness stimulus.
+    pub fn has_stimulus(&self) -> bool {
+        !self.stimulus.is_empty()
+    }
+
+    /// The explicit stimulus stream for one input signal, if present.
+    pub fn stimulus_for(&self, name: &str) -> Option<&[f64]> {
+        self.stimulus
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Number of ticks covered by the explicit stimulus (the longest
+    /// stream; 0 without one).
+    pub fn stimulus_len(&self) -> usize {
+        self.stimulus
+            .iter()
+            .map(|(_, v)| v.len())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -46,6 +76,24 @@ impl ScenarioSet {
     /// sweep engine reproduces the sequential flow bit-identically.
     pub fn single(seed: u64, snr_db: f64, samples: usize) -> Self {
         Self::grid(&[seed], &[snr_db], &[], &[samples])
+    }
+
+    /// A single-scenario set that replays an explicit witness stimulus:
+    /// the named input streams drive the design for exactly the witness
+    /// length. This is how a model-checker counterexample re-enters the
+    /// sweep engine as an adversarial scenario.
+    pub fn replay(seed: u64, stimulus: Vec<(String, Vec<f64>)>) -> Self {
+        let samples = stimulus.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+        Self {
+            scenarios: vec![Scenario {
+                index: 0,
+                seed,
+                snr_db: f64::INFINITY, // noiseless: the witness is exact
+                channel_taps: Vec::new(),
+                samples,
+                stimulus,
+            }],
+        }
     }
 
     /// Cartesian grid over seeds x SNRs x channel profiles x sample
@@ -75,6 +123,7 @@ impl ScenarioSet {
                             snr_db,
                             channel_taps: taps.clone(),
                             samples,
+                            stimulus: Vec::new(),
                         });
                     }
                 }
@@ -153,5 +202,26 @@ mod tests {
         let s = set.get(0).unwrap();
         assert_eq!((s.seed, s.snr_db, s.samples), (7, 28.0, 4000));
         assert_eq!(s.label(), "s0 seed=7 snr=28dB n=4000");
+        assert!(!s.has_stimulus());
+        assert_eq!(s.stimulus_len(), 0);
+    }
+
+    #[test]
+    fn replay_set_carries_the_witness_streams() {
+        let set = ScenarioSet::replay(
+            3,
+            vec![
+                ("x".into(), vec![1.0, -1.0, 1.0]),
+                ("gain".into(), vec![0.5]),
+            ],
+        );
+        assert_eq!(set.len(), 1);
+        let s = set.get(0).unwrap();
+        assert!(s.has_stimulus());
+        assert_eq!(s.samples, 3);
+        assert_eq!(s.stimulus_len(), 3);
+        assert_eq!(s.stimulus_for("x"), Some(&[1.0, -1.0, 1.0][..]));
+        assert_eq!(s.stimulus_for("gain"), Some(&[0.5][..]));
+        assert_eq!(s.stimulus_for("missing"), None);
     }
 }

@@ -1,0 +1,330 @@
+//! Explicit-state bounded model checking over an extracted [`Model`].
+//!
+//! State = the vector of register mantissas (exact integers, so hashing
+//! is bit-exact); transition = one [`Model::step`] per input combination.
+//! Exploration is breadth-first with a deterministic successor order
+//! (states dequeued FIFO, input combinations enumerated lexicographically
+//! over the sorted inputs), so witnesses, state counts and depths are
+//! identical on every run and platform.
+//!
+//! Two properties are checked:
+//!
+//! * **overflow freedom** — no typed assignment in a watch set ever
+//!   raises the quantizer's overflow flag on any reachable path. When
+//!   the reachable set closes without a hit, the hazard is *proved*
+//!   absent (reachability closure is exhaustive, not just bounded);
+//!   when a hit is found, the BFS path is a shortest witness.
+//! * **zero-input limit cycles** — from every reachable state, driving
+//!   all inputs with 0 must eventually reach the all-zeros fixpoint (or
+//!   a cycle of states that are all zero). A nonzero cycle is the DC
+//!   limit cycle of the paper's truncation hazard, and the witness is
+//!   the excitation prefix plus the zero-driven loop.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+use fixref_lint::Verdict;
+use fixref_sim::ScenarioSet;
+
+use crate::model::Model;
+
+/// Exploration limits for the checker.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckLimits {
+    /// Maximum distinct reachable states before giving up.
+    pub max_states: usize,
+    /// Maximum BFS depth (ticks) before giving up.
+    pub max_depth: usize,
+}
+
+/// What the checker observed about one trigger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Hazard {
+    /// A typed assignment overflowed.
+    Overflow {
+        /// The overflowing signal.
+        signal: String,
+    },
+    /// A zero-input cycle through nonzero state.
+    LimitCycle {
+        /// Cycle length in ticks.
+        period: usize,
+    },
+}
+
+impl Hazard {
+    /// Short human rendering for reports.
+    pub fn describe(&self) -> String {
+        match self {
+            Hazard::Overflow { signal } => format!("overflow of {signal}"),
+            Hazard::LimitCycle { period } => format!("limit cycle of period {period}"),
+        }
+    }
+}
+
+/// A machine-checked counterexample: concrete input streams plus the
+/// register trace they induce from reset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Witness {
+    /// What the trace triggers.
+    pub hazard: Hazard,
+    /// Per-input stimulus streams, `(name, samples)` — one sample per
+    /// tick, aligned across streams.
+    pub inputs: Vec<(String, Vec<f64>)>,
+    /// Register values *after* each tick, `(name, value)` pairs in
+    /// register order; `trace.len() == steps`.
+    pub trace: Vec<Vec<(String, f64)>>,
+    /// Number of ticks in the witness.
+    pub steps: usize,
+}
+
+impl Witness {
+    /// Lowers the witness to a replayable [`ScenarioSet`]: one noiseless
+    /// scenario whose stimulus streams are exactly these input samples,
+    /// so the sweep engine re-executes the counterexample bit-exactly.
+    pub fn to_scenario_set(&self, seed: u64) -> ScenarioSet {
+        ScenarioSet::replay(seed, self.inputs.clone())
+    }
+}
+
+/// The result of one property check.
+#[derive(Debug, Clone)]
+pub struct CheckResult {
+    /// Proved / counterexample / unknown.
+    pub verdict: Verdict,
+    /// Distinct states visited.
+    pub states: usize,
+    /// Deepest tick explored.
+    pub depth: usize,
+    /// The counterexample, when `verdict` is
+    /// [`Verdict::CounterexampleFound`].
+    pub witness: Option<Witness>,
+}
+
+/// The reachable state space, with enough book-keeping to rebuild the
+/// shortest input path to any state.
+struct Reachable {
+    /// Arena of distinct states in discovery order; index 0 is initial.
+    states: Vec<Vec<i64>>,
+    /// For each state: `(predecessor index, input combination index)`;
+    /// the initial state has no entry.
+    parent: Vec<Option<(usize, u64)>>,
+    /// BFS depth of each state.
+    depth: Vec<usize>,
+    /// Whether exploration closed (completed) within the limits.
+    closed: bool,
+    /// Why it did not close, when it did not.
+    exhausted: Option<String>,
+}
+
+/// Explores the full reachable set breadth-first. If `stop_on_overflow`
+/// is set, returns early with a witness path the moment a step raises an
+/// overflow on a watched signal.
+fn explore(
+    model: &Model,
+    limits: &CheckLimits,
+    watch: Option<&[String]>,
+) -> (Reachable, Option<(usize, u64, String)>) {
+    let mut seen: HashMap<Vec<i64>, usize> = HashMap::new();
+    let initial = model.initial_state();
+    let mut reach = Reachable {
+        states: vec![initial.clone()],
+        parent: vec![None],
+        depth: vec![0],
+        closed: false,
+        exhausted: None,
+    };
+    seen.insert(initial, 0);
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    queue.push_back(0);
+    let branching = model.branching();
+    while let Some(s) = queue.pop_front() {
+        if reach.depth[s] >= limits.max_depth {
+            reach.exhausted = Some("depth_exhausted".to_string());
+            return (reach, None);
+        }
+        let state = reach.states[s].clone();
+        for k in 0..branching {
+            let inputs = model.input_combo(k);
+            let out = model.step(&state, &inputs);
+            if let Some(watched) = watch {
+                if let Some(sig) = out
+                    .overflows
+                    .iter()
+                    .find(|o| watched.iter().any(|w| w == *o))
+                {
+                    return (reach, Some((s, k, sig.clone())));
+                }
+            }
+            match seen.entry(out.next.clone()) {
+                Entry::Occupied(_) => {}
+                Entry::Vacant(v) => {
+                    if reach.states.len() >= limits.max_states {
+                        reach.exhausted = Some("state_budget_exhausted".to_string());
+                        return (reach, None);
+                    }
+                    let idx = reach.states.len();
+                    v.insert(idx);
+                    reach.states.push(out.next);
+                    reach.parent.push(Some((s, k)));
+                    reach.depth.push(reach.depth[s] + 1);
+                    queue.push_back(idx);
+                }
+            }
+        }
+    }
+    reach.closed = true;
+    (reach, None)
+}
+
+/// Rebuilds the input-combination path from the initial state to state
+/// `target` (exclusive of any further step).
+fn path_to(reach: &Reachable, target: usize) -> Vec<u64> {
+    let mut combos = Vec::new();
+    let mut at = target;
+    while let Some((prev, k)) = reach.parent[at] {
+        combos.push(k);
+        at = prev;
+    }
+    combos.reverse();
+    combos
+}
+
+/// Replays a combo path (plus optional trailing zero-input ticks) into a
+/// full witness: stimulus streams and the post-tick register trace.
+fn build_witness(model: &Model, combos: &[u64], zero_ticks: usize, hazard: Hazard) -> Witness {
+    let steps = combos.len() + zero_ticks;
+    let mut streams: Vec<(String, Vec<f64>)> = model
+        .inputs
+        .iter()
+        .map(|i| (i.name.clone(), Vec::with_capacity(steps)))
+        .collect();
+    let mut trace = Vec::with_capacity(steps);
+    let mut state = model.initial_state();
+    for t in 0..steps {
+        let inputs = if t < combos.len() {
+            model.input_combo(combos[t])
+        } else {
+            model.zero_inputs()
+        };
+        for (stream, &v) in streams.iter_mut().zip(&inputs) {
+            stream.1.push(v);
+        }
+        let out = model.step(&state, &inputs);
+        state = out.next;
+        trace.push(model.state_values(&state));
+    }
+    Witness {
+        hazard,
+        inputs: streams,
+        trace,
+        steps,
+    }
+}
+
+/// Checks overflow freedom of the signals in `watch` over the complete
+/// reachable set.
+pub fn check_overflow(model: &Model, watch: &[String], limits: &CheckLimits) -> CheckResult {
+    let (reach, hit) = explore(model, limits, Some(watch));
+    let states = reach.states.len();
+    let depth = reach.depth.iter().copied().max().unwrap_or(0);
+    if let Some((from, combo, signal)) = hit {
+        let mut combos = path_to(&reach, from);
+        combos.push(combo);
+        let witness = build_witness(model, &combos, 0, Hazard::Overflow { signal });
+        return CheckResult {
+            verdict: Verdict::CounterexampleFound,
+            states,
+            depth: witness.steps,
+            witness: Some(witness),
+        };
+    }
+    if !reach.closed {
+        let reason = reach
+            .exhausted
+            .unwrap_or_else(|| "state_budget_exhausted".to_string());
+        return CheckResult {
+            verdict: Verdict::Unknown { reason },
+            states,
+            depth,
+            witness: None,
+        };
+    }
+    CheckResult {
+        verdict: Verdict::Proved,
+        states,
+        depth,
+        witness: None,
+    }
+}
+
+/// Checks absence of zero-input limit cycles: from every reachable
+/// state, the zero-driven trajectory must end in a cycle whose states
+/// are all zero (the silent fixpoint). Any nonzero cycle state is a
+/// sustained oscillation with no input — the classic truncation limit
+/// cycle — and yields a witness: the shortest excitation reaching the
+/// offending state, then zeros through one full period.
+pub fn check_limit_cycle(model: &Model, limits: &CheckLimits) -> CheckResult {
+    let (reach, _) = explore(model, limits, None);
+    let states = reach.states.len();
+    let depth = reach.depth.iter().copied().max().unwrap_or(0);
+    if !reach.closed {
+        let reason = reach
+            .exhausted
+            .unwrap_or_else(|| "state_budget_exhausted".to_string());
+        return CheckResult {
+            verdict: Verdict::Unknown { reason },
+            states,
+            depth,
+            witness: None,
+        };
+    }
+    let zero = model.zero_inputs();
+    // clean[s]: Some(true) = trajectory from s settles silently,
+    // Some(false) = it hits a nonzero cycle. Memoized across starts —
+    // zero-input stepping is deterministic, so trajectories merge.
+    let mut clean: HashMap<Vec<i64>, bool> = HashMap::new();
+    for start in 0..reach.states.len() {
+        let mut chain: Vec<Vec<i64>> = Vec::new();
+        let mut pos: HashMap<Vec<i64>, usize> = HashMap::new();
+        let mut state = reach.states[start].clone();
+        let verdict_for_chain;
+        loop {
+            if let Some(&v) = clean.get(&state) {
+                verdict_for_chain = v;
+                break;
+            }
+            if let Some(&at) = pos.get(&state) {
+                // Found the cycle: chain[at..] repeats forever.
+                let dirty = chain[at..].iter().any(|s| s.iter().any(|&m| m != 0));
+                if dirty {
+                    let period = chain.len() - at;
+                    let combos = path_to(&reach, start);
+                    let zero_ticks = at + period;
+                    let witness =
+                        build_witness(model, &combos, zero_ticks, Hazard::LimitCycle { period });
+                    return CheckResult {
+                        verdict: Verdict::CounterexampleFound,
+                        states,
+                        depth: witness.steps,
+                        witness: Some(witness),
+                    };
+                }
+                verdict_for_chain = true;
+                break;
+            }
+            pos.insert(state.clone(), chain.len());
+            chain.push(state.clone());
+            state = model.step(&state, &zero).next;
+        }
+        for s in chain {
+            clean.insert(s, verdict_for_chain);
+        }
+    }
+    CheckResult {
+        verdict: Verdict::Proved,
+        states,
+        depth,
+        witness: None,
+    }
+}

@@ -14,6 +14,9 @@
 //!   loop and the DSP blocks they are built from;
 //! * [`lint`] — static diagnostics over the signal-flow graph: the
 //!   `FXL###` pass registry and the static-schedule checker;
+//! * [`verify`] — formal verification of lint findings: bounded model
+//!   checking of overflow, wrap and limit-cycle hazards, with proofs
+//!   that discharge warnings and counterexamples that replay;
 //! * [`codegen`] — the VHDL back-end;
 //! * [`obs`] — observability: recorders, the structured event journal and
 //!   metrics reports every layer above feeds.
@@ -42,6 +45,7 @@ pub use fixref_fixed as fixed;
 pub use fixref_lint as lint;
 pub use fixref_obs as obs;
 pub use fixref_sim as sim;
+pub use fixref_verify as verify;
 
 /// The common imports for describing and refining a design:
 ///
