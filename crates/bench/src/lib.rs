@@ -21,6 +21,7 @@ pub mod compilebench;
 pub mod faultbench;
 pub mod lintbench;
 pub mod microbench;
+pub mod servebench;
 pub mod sweep;
 pub mod verifybench;
 
@@ -45,6 +46,7 @@ pub use cachebench::{run_cache_bench, CacheBenchResult};
 pub use compilebench::{run_compile_bench, CompileBenchResult};
 pub use faultbench::{run_fault_bench, FaultBenchResult};
 pub use lintbench::{lint_example_designs, ExampleLint};
+pub use servebench::{run_serve_bench, DepthRow, ServeBenchResult};
 pub use sweep::{
     lms_paper_scenario, lms_scenario_stimulus, lms_seed_grid, lms_shard_builder, run_sweep_bench,
     run_table1_swept, run_table2_swept, timing_shard_builder, ShardRow, SweepBenchResult,

@@ -1,0 +1,237 @@
+//! Job-server throughput, latency and recovery benchmark.
+//!
+//! Three questions, answered with wall clocks rather than claims:
+//!
+//! 1. **Throughput** — jobs/sec through the server at queue depths 1, 8
+//!    and 64: each round submits `depth` identical LMS refinement jobs,
+//!    then measures from first submit to last completion with a worker
+//!    thread draining the queue.
+//! 2. **Latency** — per-job submit-to-complete wall time (p50/p99 over
+//!    the round), observed by polling job status at sub-millisecond
+//!    granularity.
+//! 3. **Recovery** — after an injected `kill -9`-equivalent crash
+//!    ([`fixref_sim::FaultPlan::server_crash_after_n_checkpoints`])
+//!    mid-job with a full queue behind it: how long the restart takes
+//!    to replay the jobs log and re-queue (open), and how long until
+//!    every recovered job is finished (drain).
+//!
+//! Honesty note: these are single-machine wall-clock numbers over a
+//! deliberately small stimulus (the default 120-sample LMS job takes
+//! ~10 ms), so the *ratios* between queue depths and the recovery split
+//! are the signal; the absolute jobs/sec mostly measures the refinement
+//! flow itself, and the p50/p99 split at depth 64 shows queueing delay,
+//! not server overhead. Latency observation by polling adds up to the
+//! poll interval (100 µs) per sample.
+
+use std::time::{Duration, Instant};
+
+use fixref_core::{FlowSpec, JobSpec};
+use fixref_obs::json::fmt_f64;
+use fixref_serve::{JobState, Server, ServerConfig};
+use fixref_sim::{DesignSpec, FaultPlan, ScenarioSet};
+
+/// Throughput/latency measurements at one queue depth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepthRow {
+    /// Jobs submitted before the worker starts draining.
+    pub depth: usize,
+    /// First-submit to last-completion wall time, ns.
+    pub wall_ns: u128,
+    /// Completed jobs per second over the round.
+    pub jobs_per_sec: f64,
+    /// Median submit-to-complete latency, ns.
+    pub p50_ns: u128,
+    /// 99th-percentile submit-to-complete latency, ns.
+    pub p99_ns: u128,
+}
+
+/// Result of [`run_serve_bench`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBenchResult {
+    /// LMS stimulus length per job.
+    pub samples: usize,
+    /// One row per measured queue depth.
+    pub rows: Vec<DepthRow>,
+    /// Jobs queued behind the crash in the recovery measurement.
+    pub recovery_jobs: usize,
+    /// Restart cost: jobs-log replay + re-queue (`Server::open`), ns.
+    pub recovery_open_ns: u128,
+    /// Drain cost: finishing every recovered job after restart, ns.
+    pub recovery_drain_ns: u128,
+    /// Every recovered job finished `"complete"`.
+    pub recovery_complete: bool,
+}
+
+fn lms_job(samples: usize, tenant: &str) -> JobSpec {
+    JobSpec::new(
+        tenant,
+        DesignSpec::new("lms").with_input_dtype("<7,5,tc,st,rd>"),
+        ScenarioSet::single(7, 28.0, samples),
+    )
+    .with_flow(FlowSpec::default())
+}
+
+fn data_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fixref_servebench_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn percentile(sorted: &[u128], pct: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// One throughput round: submit `depth` jobs, drain with a worker
+/// thread, observe per-job completion by polling.
+fn run_depth(samples: usize, depth: usize) -> DepthRow {
+    let mut config = ServerConfig::new(data_dir(&format!("depth{depth}")));
+    config.queue_capacity = depth.max(1);
+    config.tenant_queue_capacity = depth.max(1);
+    let server = std::sync::Arc::new(Server::open(config).expect("server opens"));
+
+    let t0 = Instant::now();
+    let jobs: Vec<(String, Instant)> = (0..depth)
+        .map(|_| {
+            let submitted = Instant::now();
+            let job = server.submit(lms_job(samples, "bench")).expect("accepted");
+            (job, submitted)
+        })
+        .collect();
+    let worker = {
+        let server = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || server.run_until_idle())
+    };
+    let mut latencies_ns: Vec<u128> = Vec::with_capacity(depth);
+    let mut pending: Vec<(String, Instant)> = jobs;
+    while !pending.is_empty() {
+        pending.retain(|(job, submitted)| match server.status(job) {
+            Some(s) if s.state == JobState::Finished => {
+                latencies_ns.push(submitted.elapsed().as_nanos());
+                false
+            }
+            _ => true,
+        });
+        if !pending.is_empty() {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+    let wall_ns = t0.elapsed().as_nanos();
+    assert_eq!(worker.join().expect("worker"), depth);
+
+    latencies_ns.sort_unstable();
+    DepthRow {
+        depth,
+        wall_ns,
+        jobs_per_sec: depth as f64 / (wall_ns as f64 / 1e9),
+        p50_ns: percentile(&latencies_ns, 50.0),
+        p99_ns: percentile(&latencies_ns, 99.0),
+    }
+}
+
+/// Crash-recovery timing: `jobs` queued, server killed after 2
+/// checkpoints (mid job 1), restarted, drained.
+fn run_recovery(samples: usize, jobs: usize) -> (usize, u128, u128, bool) {
+    let dir = data_dir("recovery");
+    let mut config = ServerConfig::new(&dir);
+    config.queue_capacity = jobs.max(1);
+    config.tenant_queue_capacity = jobs.max(1);
+    config.fault_plan = FaultPlan::seeded(0xBE4C).server_crash_after_n_checkpoints(2);
+    let server = Server::open(config).expect("server opens");
+    let ids: Vec<String> = (0..jobs)
+        .map(|_| server.submit(lms_job(samples, "bench")).expect("accepted"))
+        .collect();
+    server.run_until_idle();
+    assert!(server.crashed(), "injected crash must fire");
+    drop(server);
+
+    let start = Instant::now();
+    let server = Server::open(ServerConfig::new(&dir)).expect("server re-opens");
+    let open_ns = start.elapsed().as_nanos();
+    let recovered = server.queue_depth();
+    let start = Instant::now();
+    server.run_until_idle();
+    let drain_ns = start.elapsed().as_nanos();
+    let complete = ids
+        .iter()
+        .all(|j| server.result(j).is_some_and(|r| r.status == "complete"));
+    (recovered, open_ns, drain_ns, complete)
+}
+
+/// Runs the full server benchmark over the given queue depths.
+pub fn run_serve_bench(samples: usize, depths: &[usize]) -> ServeBenchResult {
+    let rows: Vec<DepthRow> = depths.iter().map(|&d| run_depth(samples, d)).collect();
+    let recovery_jobs = 8;
+    let (recovered, open_ns, drain_ns, complete) = run_recovery(samples, recovery_jobs);
+    ServeBenchResult {
+        samples,
+        rows,
+        recovery_jobs: recovered,
+        recovery_open_ns: open_ns,
+        recovery_drain_ns: drain_ns,
+        recovery_complete: complete,
+    }
+}
+
+impl ServeBenchResult {
+    /// Renders the result as the `BENCH_serve.json` document.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"serve\",\n");
+        out.push_str("  \"design\": \"lms\",\n");
+        out.push_str(&format!("  \"samples\": {},\n", self.samples));
+        out.push_str("  \"depths\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"depth\": {}, \"wall_ns\": {}, \"jobs_per_sec\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}{}\n",
+                row.depth,
+                row.wall_ns,
+                fmt_f64(row.jobs_per_sec),
+                row.p50_ns,
+                row.p99_ns,
+                if i + 1 == self.rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"recovery\": {\n");
+        out.push_str(&format!("    \"jobs\": {},\n", self.recovery_jobs));
+        out.push_str(&format!("    \"open_ns\": {},\n", self.recovery_open_ns));
+        out.push_str(&format!("    \"drain_ns\": {},\n", self.recovery_drain_ns));
+        out.push_str(&format!("    \"complete\": {}\n", self.recovery_complete));
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_bench_runs_and_renders_valid_json() {
+        let result = run_serve_bench(100, &[1, 2]);
+        assert_eq!(result.rows.len(), 2);
+        assert!(result.rows.iter().all(|r| r.jobs_per_sec > 0.0));
+        assert!(result.rows.iter().all(|r| r.p50_ns <= r.p99_ns));
+        assert!(result.recovery_complete, "recovered jobs must all finish");
+        assert_eq!(result.recovery_jobs, 8);
+        let json = result.render_json();
+        let parsed = fixref_obs::Json::parse(&json).expect("well-formed JSON");
+        assert_eq!(
+            parsed.get("bench").and_then(fixref_obs::Json::as_str),
+            Some("serve")
+        );
+        assert_eq!(
+            parsed
+                .get("depths")
+                .and_then(fixref_obs::Json::as_arr)
+                .map(<[fixref_obs::Json]>::len),
+            Some(2)
+        );
+    }
+}

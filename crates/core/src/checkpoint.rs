@@ -21,6 +21,9 @@
 //! live sweep.
 
 use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 
 use fixref_fixed::{
     DType, ErrorStats, Interval, OverflowMode, RangeStats, RoundingMode, Signedness,
@@ -139,6 +142,136 @@ impl fmt::Display for CheckpointError {
 }
 
 impl std::error::Error for CheckpointError {}
+
+// ---------------------------------------------------------------------------
+// File store
+// ---------------------------------------------------------------------------
+
+impl Checkpoint {
+    /// Atomically persists the checkpoint at `path`: the document is
+    /// written to a `*.tmp` sibling, fsynced, and renamed over the
+    /// destination. A crash at any point leaves either the previous
+    /// complete checkpoint or the new complete checkpoint — never a
+    /// truncated one. (A stray `*.tmp` from a crashed write is inert:
+    /// readers only ever open the destination path.)
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on any filesystem failure; the
+    /// destination is untouched in that case.
+    pub fn write_atomic(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let path = path.as_ref();
+        let io = |e: std::io::Error| CheckpointError::Io(format!("{}: {e}", path.display()));
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let mut file = fs::File::create(&tmp).map_err(io)?;
+        file.write_all(self.to_json().as_bytes()).map_err(io)?;
+        file.sync_all().map_err(io)?;
+        drop(file);
+        fs::rename(&tmp, path).map_err(io)?;
+        // Best-effort directory sync so the rename itself is durable;
+        // not all filesystems support opening a directory for sync.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads and decodes the checkpoint at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when the file cannot be read,
+    /// [`CheckpointError::Parse`] when it is not a complete version-1
+    /// document (e.g. a torn write from a non-atomic writer).
+    pub fn read(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
+        let path = path.as_ref();
+        let text = fs::read_to_string(path)
+            .map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))?;
+        Checkpoint::from_json(&text)
+    }
+}
+
+/// A directory of named checkpoints with atomic persistence — the store
+/// the job server keeps one checkpoint per job in. Names are sanitized
+/// to a flat `<name>.ckpt` file each; saves go through
+/// [`Checkpoint::write_atomic`].
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) the store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, CheckpointError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)
+            .map_err(|e| CheckpointError::Io(format!("{}: {e}", dir.display())))?;
+        Ok(CheckpointStore { dir })
+    }
+
+    /// The file path a named checkpoint lives at. Path separators and
+    /// other non-filename characters in `name` are flattened to `_` so a
+    /// job id can never escape the store directory.
+    pub fn path_of(&self, name: &str) -> PathBuf {
+        let safe: String = name
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        self.dir.join(format!("{safe}.ckpt"))
+    }
+
+    /// Atomically saves `cp` under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Checkpoint::write_atomic`].
+    pub fn save(&self, name: &str, cp: &Checkpoint) -> Result<(), CheckpointError> {
+        cp.write_atomic(self.path_of(name))
+    }
+
+    /// Loads the checkpoint saved under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Checkpoint::read`].
+    pub fn load(&self, name: &str) -> Result<Checkpoint, CheckpointError> {
+        Checkpoint::read(self.path_of(name))
+    }
+
+    /// Whether a checkpoint is saved under `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.path_of(name).is_file()
+    }
+
+    /// Removes the checkpoint saved under `name` (no-op when absent).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on a filesystem failure other than the
+    /// file not existing.
+    pub fn remove(&self, name: &str) -> Result<(), CheckpointError> {
+        let path = self.path_of(name);
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(CheckpointError::Io(format!("{}: {e}", path.display()))),
+        }
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Writer
@@ -880,5 +1013,50 @@ mod tests {
             Checkpoint::from_json(&doc),
             Err(CheckpointError::Parse(_))
         ));
+    }
+
+    #[test]
+    fn store_saves_atomically_and_sanitizes_names() {
+        let dir = std::env::temp_dir().join("fixref_ckpt_store_test");
+        let _ = fs::remove_dir_all(&dir);
+        let store = CheckpointStore::open(&dir).expect("store opens");
+        let cp = sample();
+
+        // Path traversal and separators flatten to plain filenames.
+        let path = store.path_of("../evil/job 1");
+        assert_eq!(path.parent(), Some(dir.as_path()));
+        assert_eq!(
+            path.file_name().and_then(|n| n.to_str()),
+            Some(".._evil_job_1.ckpt")
+        );
+
+        assert!(!store.contains("j-1"));
+        store.save("j-1", &cp).expect("saves");
+        assert!(store.contains("j-1"));
+        assert_eq!(store.load("j-1").expect("loads"), cp);
+        // Overwrites replace the whole file, leaving no tmp sibling.
+        store.save("j-1", &cp).expect("overwrites");
+        let mut tmp = store.path_of("j-1").into_os_string();
+        tmp.push(".tmp");
+        assert!(!Path::new(&tmp).exists());
+
+        store.remove("j-1").expect("removes");
+        assert!(!store.contains("j-1"));
+        store.remove("j-1").expect("idempotent remove");
+        assert!(matches!(store.load("j-1"), Err(CheckpointError::Io(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_files_are_a_parse_error_not_a_panic() {
+        let dir = std::env::temp_dir().join("fixref_ckpt_torn_test");
+        let _ = fs::remove_dir_all(&dir);
+        let store = CheckpointStore::open(&dir).expect("store opens");
+        store.save("torn", &sample()).expect("saves");
+        let path = store.path_of("torn");
+        let text = fs::read_to_string(&path).expect("reads back");
+        fs::write(&path, &text[..text.len() / 3]).expect("tears");
+        assert!(matches!(store.load("torn"), Err(CheckpointError::Parse(_))));
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -251,6 +251,38 @@ impl RunBudget {
     }
 }
 
+/// A shareable cooperative cancellation flag for a running flow.
+///
+/// Cancellation rides the *budget* code path: the flow observes the
+/// token exactly where it checks its [`RunBudget`]s (the top of each
+/// iteration, after at least one has completed), journals the same
+/// [`Event::BudgetExhausted`], and returns best-so-far results with
+/// [`FlowStatus::Partial`] — one code path for "ran out" and "called
+/// off", so cancelled jobs report coverage and annotations with
+/// identical semantics to budget-exhausted ones. Clones share the flag;
+/// cancelling is sticky and thread-safe.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation (sticky; safe from any thread).
+    pub fn cancel(&self) {
+        self.flag.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(std::sync::atomic::Ordering::Acquire)
+    }
+}
+
 /// An automatic annotation the flow inserted.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Intervention {
@@ -802,6 +834,9 @@ pub struct RefinementFlow {
     budget_sims: u64,
     /// Set when a budget ran out: the exhaustion reason.
     budget_hit: Option<String>,
+    /// Cooperative cancellation, observed at the same points the budgets
+    /// are. `None` means the flow cannot be cancelled.
+    cancel: Option<CancelToken>,
 }
 
 impl RefinementFlow {
@@ -856,6 +891,7 @@ impl RefinementFlow {
             budget_clock: None,
             budget_sims: 0,
             budget_hit: None,
+            cancel: None,
         }
     }
 
@@ -1062,6 +1098,14 @@ impl RefinementFlow {
         self.budget_hit.as_deref()
     }
 
+    /// Attaches a cooperative cancellation token. A cancelled flow stops
+    /// at the next budget checkpoint and returns best-so-far results
+    /// with [`FlowStatus::Partial`] — the same path as budget
+    /// exhaustion.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
     /// Checks the budgets at the top of an iteration (after at least one
     /// iteration of the phase has completed overall). On exhaustion,
     /// journals [`Event::BudgetExhausted`], bumps `budget.exhausted`, and
@@ -1072,16 +1116,21 @@ impl RefinementFlow {
             return true;
         }
         let clock = *self.budget_clock.get_or_insert_with(Instant::now);
-        let reason = if let Some(max) = self.budget.max_simulations {
-            (self.budget_sims >= max).then(|| {
-                format!(
-                    "simulation budget of {max} spent ({} run)",
-                    self.budget_sims
-                )
+        let reason = self
+            .cancel
+            .as_ref()
+            .filter(|t| t.is_cancelled())
+            .map(|_| format!("cancelled after {} simulation(s)", self.budget_sims));
+        let reason = reason.or_else(|| {
+            self.budget.max_simulations.and_then(|max| {
+                (self.budget_sims >= max).then(|| {
+                    format!(
+                        "simulation budget of {max} spent ({} run)",
+                        self.budget_sims
+                    )
+                })
             })
-        } else {
-            None
-        };
+        });
         let reason = reason.or_else(|| {
             self.budget.wall.and_then(|limit| {
                 let elapsed = clock.elapsed();
@@ -1205,7 +1254,7 @@ impl RefinementFlow {
         let written = if self.fault_plan.fails_checkpoint_write(sequence) {
             Err("injected checkpoint write failure".to_string())
         } else {
-            std::fs::write(&path, cp.to_json()).map_err(|e| e.to_string())
+            cp.write_atomic(&path).map_err(|e| e.to_string())
         };
         if let Err(cause) = written {
             self.recorder
@@ -1241,8 +1290,7 @@ impl RefinementFlow {
         path: impl AsRef<Path>,
     ) -> Result<Self, CheckpointError> {
         let path = path.as_ref();
-        let text = std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
-        let cp = Checkpoint::from_json(&text)?;
+        let cp = Checkpoint::read(path)?;
         let mut flow = Self::resume_from_checkpoint(design, policy, &cp)?;
         flow.checkpoint = Some(path.to_path_buf());
         Ok(flow)

@@ -1,0 +1,355 @@
+//! Serializable refinement-job specifications.
+//!
+//! A [`JobSpec`] is the complete wire form of one refinement job as
+//! submitted to the job server: which tenant owns it, which design to
+//! build ([`DesignSpec`] resolved through the server's builder
+//! registry), which scenarios to sweep, and how to drive the flow
+//! ([`FlowSpec`]: backend, cache, shard count, budgets, retry
+//! attempts). The spec is plain data — the same spec always
+//! reconstructs the same [`RefinementFlow`] configuration, which is
+//! what makes crash recovery bit-identical: a recovered job re-runs
+//! from its journaled spec, not from in-memory state.
+
+use std::time::Duration;
+
+use fixref_obs::json::escape;
+use fixref_obs::Json;
+use fixref_sim::spec::{scenario_set_from_value, scenario_set_to_json};
+use fixref_sim::{DesignSpec, ScenarioSet, SpecError};
+
+use crate::flow::{RefinementFlow, RunBudget, SimBackend};
+
+/// How to drive the refinement flow for one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSpec {
+    /// Evaluation backend name: `"interpreted"`, `"compiled"` or
+    /// `"batched"`.
+    pub backend: String,
+    /// Whether to enable the cross-iteration evaluation cache.
+    pub cache: bool,
+    /// Shard count for swept runs; `0` runs the sequential flow over
+    /// the first scenario only.
+    pub shards: usize,
+    /// Simulation budget (`None` = unbounded).
+    pub max_simulations: Option<u64>,
+    /// Wall-clock budget in milliseconds (`None` = unbounded).
+    pub wall_ms: Option<u64>,
+    /// Worker attempts per shard before the job's fault policy gives
+    /// up (1 = no retries).
+    pub max_attempts: usize,
+    /// Signals to force onto the saturation path before the flow runs
+    /// (the paper's knowledge-based hints, e.g. the timing loop's
+    /// feedback signals). Unknown names are rejected at job start.
+    pub force_saturate: Vec<String>,
+}
+
+impl Default for FlowSpec {
+    fn default() -> Self {
+        FlowSpec {
+            backend: "interpreted".into(),
+            cache: false,
+            shards: 0,
+            max_simulations: None,
+            wall_ms: None,
+            max_attempts: 1,
+            force_saturate: Vec::new(),
+        }
+    }
+}
+
+impl FlowSpec {
+    /// The parsed [`SimBackend`] this spec names.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] for an unknown backend name.
+    pub fn sim_backend(&self) -> Result<SimBackend, SpecError> {
+        match self.backend.as_str() {
+            "interpreted" => Ok(SimBackend::Interpreted),
+            "compiled" => Ok(SimBackend::Compiled),
+            "batched" => Ok(SimBackend::Batched),
+            other => Err(SpecError::new(format!(
+                "flow spec: unknown backend {other:?} (expected interpreted, compiled or batched)"
+            ))),
+        }
+    }
+
+    /// Applies the spec to a freshly constructed flow: backend and run
+    /// budget. The `cache` flag is left to the caller (sequential runs
+    /// enable it on the flow, swept runs on the sweep driver), as are
+    /// shard count and retry attempts.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] for an unknown backend name.
+    pub fn configure(&self, flow: &mut RefinementFlow) -> Result<(), SpecError> {
+        flow.set_backend(self.sim_backend()?);
+        let mut budget = RunBudget::default();
+        if let Some(max) = self.max_simulations {
+            budget = RunBudget::simulations(max);
+        }
+        if let Some(ms) = self.wall_ms {
+            budget.wall = Some(Duration::from_millis(ms));
+        }
+        if budget.wall.is_some() || budget.max_simulations.is_some() {
+            flow.set_budget(budget);
+        }
+        Ok(())
+    }
+
+    fn to_json(&self) -> String {
+        let max_sims = self
+            .max_simulations
+            .map_or("null".into(), |v| v.to_string());
+        let wall = self.wall_ms.map_or("null".into(), |v| v.to_string());
+        let saturate: Vec<String> = self
+            .force_saturate
+            .iter()
+            .map(|n| format!(r#""{}""#, escape(n)))
+            .collect();
+        format!(
+            r#"{{"backend":"{}","cache":{},"shards":{},"max_simulations":{},"wall_ms":{},"max_attempts":{},"force_saturate":[{}]}}"#,
+            escape(&self.backend),
+            self.cache,
+            self.shards,
+            max_sims,
+            wall,
+            self.max_attempts,
+            saturate.join(",")
+        )
+    }
+
+    fn from_value(v: &Json) -> Result<FlowSpec, SpecError> {
+        let defaults = FlowSpec::default();
+        let backend = match v.get("backend") {
+            None | Some(Json::Null) => defaults.backend,
+            Some(j) => j
+                .as_str()
+                .ok_or_else(|| SpecError::new("flow spec: \"backend\" is not a string"))?
+                .to_string(),
+        };
+        let cache = match v.get("cache") {
+            None | Some(Json::Null) => defaults.cache,
+            Some(j) => j
+                .as_bool()
+                .ok_or_else(|| SpecError::new("flow spec: \"cache\" is not a boolean"))?,
+        };
+        let uint = |name: &str, default: u64| -> Result<u64, SpecError> {
+            match v.get(name) {
+                None | Some(Json::Null) => Ok(default),
+                Some(j) => j
+                    .as_u64()
+                    .ok_or_else(|| SpecError::new(format!("flow spec: {name:?} is not a number"))),
+            }
+        };
+        let opt_uint = |name: &str| -> Result<Option<u64>, SpecError> {
+            match v.get(name) {
+                None | Some(Json::Null) => Ok(None),
+                Some(j) => j
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| SpecError::new(format!("flow spec: {name:?} is not a number"))),
+            }
+        };
+        let force_saturate = match v.get("force_saturate") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(j) => j
+                .as_arr()
+                .ok_or_else(|| SpecError::new("flow spec: \"force_saturate\" is not an array"))?
+                .iter()
+                .map(|n| {
+                    n.as_str().map(str::to_string).ok_or_else(|| {
+                        SpecError::new("flow spec: \"force_saturate\" entries must be strings")
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let spec = FlowSpec {
+            backend,
+            cache,
+            shards: uint("shards", defaults.shards as u64)? as usize,
+            max_simulations: opt_uint("max_simulations")?,
+            wall_ms: opt_uint("wall_ms")?,
+            max_attempts: uint("max_attempts", defaults.max_attempts as u64)?.max(1) as usize,
+            force_saturate,
+        };
+        spec.sim_backend()?; // validate eagerly: reject at admission, not mid-run
+        Ok(spec)
+    }
+}
+
+/// One refinement job, in serializable form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Owning tenant (fair-share scheduling key).
+    pub tenant: String,
+    /// Which design to build.
+    pub design: DesignSpec,
+    /// Scenario set to sweep (or whose first scenario to run
+    /// sequentially when `flow.shards == 0`).
+    pub scenarios: ScenarioSet,
+    /// Flow configuration.
+    pub flow: FlowSpec,
+}
+
+impl JobSpec {
+    /// A job for `tenant` over `design` and `scenarios` with default
+    /// flow settings.
+    pub fn new(tenant: impl Into<String>, design: DesignSpec, scenarios: ScenarioSet) -> Self {
+        JobSpec {
+            tenant: tenant.into(),
+            design,
+            scenarios,
+            flow: FlowSpec::default(),
+        }
+    }
+
+    /// Replaces the flow configuration.
+    pub fn with_flow(mut self, flow: FlowSpec) -> Self {
+        self.flow = flow;
+        self
+    }
+
+    /// Serializes the job as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"tenant":"{}","design":{},"scenarios":{},"flow":{}}}"#,
+            escape(&self.tenant),
+            self.design.to_json(),
+            scenario_set_to_json(&self.scenarios),
+            self.flow.to_json()
+        )
+    }
+
+    /// Decodes a job from an already-parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] naming the missing or mistyped member. Backend
+    /// names are validated here so a bad spec is rejected at admission.
+    pub fn from_value(v: &Json) -> Result<JobSpec, SpecError> {
+        let tenant = v
+            .get("tenant")
+            .and_then(Json::as_str)
+            .ok_or_else(|| SpecError::new("job spec: missing or mistyped \"tenant\""))?
+            .to_string();
+        if tenant.is_empty() {
+            return Err(SpecError::new("job spec: \"tenant\" must be non-empty"));
+        }
+        let design = DesignSpec::from_value(
+            v.get("design")
+                .ok_or_else(|| SpecError::new("job spec: missing \"design\""))?,
+        )?;
+        let scenarios = scenario_set_from_value(
+            v.get("scenarios")
+                .ok_or_else(|| SpecError::new("job spec: missing \"scenarios\""))?,
+        )?;
+        if scenarios.is_empty() {
+            return Err(SpecError::new("job spec: \"scenarios\" must be non-empty"));
+        }
+        let flow = match v.get("flow") {
+            None | Some(Json::Null) => FlowSpec::default(),
+            Some(j) => FlowSpec::from_value(j)?,
+        };
+        Ok(JobSpec {
+            tenant,
+            design,
+            scenarios,
+            flow,
+        })
+    }
+
+    /// Decodes a job from its JSON text form.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] on malformed JSON or missing members.
+    pub fn from_json(text: &str) -> Result<JobSpec, SpecError> {
+        let v = Json::parse(text).map_err(|e| SpecError::new(format!("job spec: {e}")))?;
+        JobSpec::from_value(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JobSpec {
+        JobSpec::new(
+            "acme",
+            DesignSpec::new("lms")
+                .with_input_dtype("<7,5,tc,st,rd>")
+                .with_param("mu", 0.05),
+            ScenarioSet::grid(&[1, 2], &[28.0], &[], &[400]),
+        )
+        .with_flow(FlowSpec {
+            backend: "compiled".into(),
+            cache: true,
+            shards: 2,
+            max_simulations: Some(12),
+            wall_ms: Some(60_000),
+            max_attempts: 3,
+            force_saturate: vec!["terr".into(), "lp".into()],
+        })
+    }
+
+    #[test]
+    fn job_specs_round_trip() {
+        let spec = sample();
+        let back = JobSpec::from_json(&spec.to_json()).expect("parses");
+        assert_eq!(back, spec);
+
+        // Defaults kick in for an absent flow object.
+        let bare = JobSpec::new(
+            "t",
+            DesignSpec::new("timing"),
+            ScenarioSet::single(7, 20.0, 100),
+        );
+        let back = JobSpec::from_json(&bare.to_json()).expect("parses");
+        assert_eq!(back, bare);
+        assert_eq!(back.flow, FlowSpec::default());
+    }
+
+    #[test]
+    fn malformed_job_specs_are_rejected_at_parse_time() {
+        assert!(JobSpec::from_json("[]").is_err());
+        assert!(
+            JobSpec::from_json(r#"{"tenant":"","design":{"kind":"lms"},"scenarios":[]}"#).is_err()
+        );
+        let no_scenarios = r#"{"tenant":"t","design":{"kind":"lms"},"scenarios":[]}"#;
+        assert!(JobSpec::from_json(no_scenarios).is_err());
+        let bad_backend = r#"{"tenant":"t","design":{"kind":"lms"},
+            "scenarios":[{"seed":1,"snr_db":28,"channel_taps":[],"samples":4}],
+            "flow":{"backend":"gpu"}}"#;
+        let err = JobSpec::from_json(bad_backend).expect_err("unknown backend");
+        assert!(err.to_string().contains("backend"), "{err}");
+    }
+
+    #[test]
+    fn flow_spec_configures_a_flow() {
+        use crate::policy::RefinePolicy;
+        use fixref_sim::Design;
+
+        let spec = sample();
+        let d = Design::new();
+        d.sig("x");
+        let mut flow = RefinementFlow::new(d, RefinePolicy::default());
+        spec.flow.configure(&mut flow).expect("valid backend");
+        assert_eq!(flow.backend(), SimBackend::Compiled);
+
+        let bad = FlowSpec {
+            backend: "quantum".into(),
+            ..FlowSpec::default()
+        };
+        assert!(bad.sim_backend().is_err());
+    }
+
+    #[test]
+    fn max_attempts_is_clamped_to_at_least_one() {
+        let text = r#"{"tenant":"t","design":{"kind":"lms"},
+            "scenarios":[{"seed":1,"snr_db":28,"channel_taps":[],"samples":4}],
+            "flow":{"max_attempts":0}}"#;
+        let spec = JobSpec::from_json(text).expect("parses");
+        assert_eq!(spec.flow.max_attempts, 1);
+    }
+}

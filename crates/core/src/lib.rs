@@ -61,6 +61,7 @@ pub mod cache;
 pub mod checkpoint;
 pub mod compare;
 pub mod flow;
+pub mod jobspec;
 pub mod lsb;
 pub mod msb;
 pub mod policy;
@@ -69,11 +70,12 @@ pub mod report;
 pub mod sweep;
 
 pub use cache::{CachePlan, EvalCache};
-pub use checkpoint::{CacheState, Checkpoint, CheckpointError, Cursor};
+pub use checkpoint::{CacheState, Checkpoint, CheckpointError, CheckpointStore, Cursor};
 pub use flow::{
-    FlowError, FlowOutcome, FlowStatus, Intervention, RefinementFlow, RunBudget, SequentialDriver,
-    SimBackend, SimDriver, SimFault, SweepCoverage, VerifyOutcome,
+    CancelToken, FlowError, FlowOutcome, FlowStatus, Intervention, RefinementFlow, RunBudget,
+    SequentialDriver, SimBackend, SimDriver, SimFault, SweepCoverage, VerifyOutcome,
 };
+pub use jobspec::{FlowSpec, JobSpec};
 pub use lsb::{analyze_lsb, LsbAnalysis, LsbStatus};
 pub use msb::{analyze_msb, MsbAnalysis, MsbDecision};
 pub use policy::RefinePolicy;

@@ -363,6 +363,66 @@ pub enum Event {
         /// Why the fallback happened (e.g. `"FXL001"`).
         reason: String,
     },
+    /// The job server admitted a submitted job into its bounded queue
+    /// and journaled it to the write-ahead jobs log.
+    JobAccepted {
+        /// The server-assigned job id (stable across restarts).
+        job: String,
+        /// The submitting tenant.
+        tenant: String,
+        /// Queue depth *after* admission.
+        queue_depth: usize,
+    },
+    /// Admission control refused a submitted job (full queue, oversized
+    /// spec, unknown design kind). The job is never enqueued or journaled
+    /// as accepted; the submitter gets the reason back.
+    JobRejected {
+        /// The submitting tenant.
+        tenant: String,
+        /// Why admission refused the job (`"queue full (cap 64)"`, …).
+        reason: String,
+    },
+    /// A worker picked a queued job and began (or resumed) its flow.
+    JobStarted {
+        /// The job id.
+        job: String,
+        /// The submitting tenant.
+        tenant: String,
+        /// 1-based attempt number (1 = first execution).
+        attempt: usize,
+    },
+    /// A failed job was rescheduled after its deterministic backoff.
+    JobRetried {
+        /// The job id.
+        job: String,
+        /// 1-based attempt number being scheduled next.
+        attempt: usize,
+        /// The jittered backoff delay that preceded the retry, in ms.
+        backoff_ms: u64,
+    },
+    /// A restarted server found the job accepted-but-unfinished in the
+    /// write-ahead log and requeued it, resuming from its last
+    /// checkpoint when one exists.
+    JobRecovered {
+        /// The job id.
+        job: String,
+        /// The submitting tenant.
+        tenant: String,
+        /// Whether a usable checkpoint file was found to resume from
+        /// (`false` means the job restarts from scratch — still
+        /// bit-identical, just without the saved progress).
+        from_checkpoint: bool,
+    },
+    /// A job reached a terminal state: `"complete"`, `"partial"` (budget
+    /// exhausted or cancelled) or `"failed"` (error after all retries).
+    JobCompleted {
+        /// The job id.
+        job: String,
+        /// Terminal status wire tag.
+        status: String,
+        /// Total execution attempts consumed.
+        attempts: usize,
+    },
 }
 
 impl Event {
@@ -400,6 +460,12 @@ impl Event {
             Event::BudgetExhausted { .. } => "budget_exhausted",
             Event::BackendCompiled { .. } => "backend_compiled",
             Event::BackendFallback { .. } => "backend_fallback",
+            Event::JobAccepted { .. } => "job_accepted",
+            Event::JobRejected { .. } => "job_rejected",
+            Event::JobStarted { .. } => "job_started",
+            Event::JobRetried { .. } => "job_retried",
+            Event::JobRecovered { .. } => "job_recovered",
+            Event::JobCompleted { .. } => "job_completed",
         }
     }
 
@@ -628,6 +694,55 @@ impl Event {
                 escape(backend),
                 escape(reason)
             ),
+            Event::JobAccepted {
+                job,
+                tenant,
+                queue_depth,
+            } => format!(
+                r#"{{"event":"{kind}","job":"{}","tenant":"{}","queue_depth":{queue_depth}}}"#,
+                escape(job),
+                escape(tenant)
+            ),
+            Event::JobRejected { tenant, reason } => format!(
+                r#"{{"event":"{kind}","tenant":"{}","reason":"{}"}}"#,
+                escape(tenant),
+                escape(reason)
+            ),
+            Event::JobStarted {
+                job,
+                tenant,
+                attempt,
+            } => format!(
+                r#"{{"event":"{kind}","job":"{}","tenant":"{}","attempt":{attempt}}}"#,
+                escape(job),
+                escape(tenant)
+            ),
+            Event::JobRetried {
+                job,
+                attempt,
+                backoff_ms,
+            } => format!(
+                r#"{{"event":"{kind}","job":"{}","attempt":{attempt},"backoff_ms":{backoff_ms}}}"#,
+                escape(job)
+            ),
+            Event::JobRecovered {
+                job,
+                tenant,
+                from_checkpoint,
+            } => format!(
+                r#"{{"event":"{kind}","job":"{}","tenant":"{}","from_checkpoint":{from_checkpoint}}}"#,
+                escape(job),
+                escape(tenant)
+            ),
+            Event::JobCompleted {
+                job,
+                status,
+                attempts,
+            } => format!(
+                r#"{{"event":"{kind}","job":"{}","status":"{}","attempts":{attempts}}}"#,
+                escape(job),
+                escape(status)
+            ),
         }
     }
 
@@ -831,6 +946,38 @@ impl Event {
                 backend: s("backend")?,
                 reason: s("reason")?,
             }),
+            "job_accepted" => Ok(Event::JobAccepted {
+                job: s("job")?,
+                tenant: s("tenant")?,
+                queue_depth: u("queue_depth")? as usize,
+            }),
+            "job_rejected" => Ok(Event::JobRejected {
+                tenant: s("tenant")?,
+                reason: s("reason")?,
+            }),
+            "job_started" => Ok(Event::JobStarted {
+                job: s("job")?,
+                tenant: s("tenant")?,
+                attempt: u("attempt")? as usize,
+            }),
+            "job_retried" => Ok(Event::JobRetried {
+                job: s("job")?,
+                attempt: u("attempt")? as usize,
+                backoff_ms: u("backoff_ms")?,
+            }),
+            "job_recovered" => Ok(Event::JobRecovered {
+                job: s("job")?,
+                tenant: s("tenant")?,
+                from_checkpoint: v
+                    .get("from_checkpoint")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| field_err("from_checkpoint"))?,
+            }),
+            "job_completed" => Ok(Event::JobCompleted {
+                job: s("job")?,
+                status: s("status")?,
+                attempts: u("attempts")? as usize,
+            }),
             other => Err(JsonError {
                 message: format!("unknown event tag {other:?}"),
                 offset: 0,
@@ -1032,6 +1179,48 @@ impl fmt::Display for Event {
             Event::BackendFallback { backend, reason } => {
                 write!(f, "{backend} backend fell back to interpreted: {reason}")
             }
+            Event::JobAccepted {
+                job,
+                tenant,
+                queue_depth,
+            } => write!(
+                f,
+                "job {job} accepted from {tenant} (queue depth {queue_depth})"
+            ),
+            Event::JobRejected { tenant, reason } => {
+                write!(f, "job from {tenant} rejected: {reason}")
+            }
+            Event::JobStarted {
+                job,
+                tenant,
+                attempt,
+            } => write!(f, "job {job} ({tenant}) started, attempt {attempt}"),
+            Event::JobRetried {
+                job,
+                attempt,
+                backoff_ms,
+            } => write!(
+                f,
+                "job {job} retrying as attempt {attempt} after {backoff_ms} ms backoff"
+            ),
+            Event::JobRecovered {
+                job,
+                tenant,
+                from_checkpoint,
+            } => write!(
+                f,
+                "job {job} ({tenant}) recovered from the jobs log{}",
+                if *from_checkpoint {
+                    ", resuming from checkpoint"
+                } else {
+                    ", restarting from scratch"
+                }
+            ),
+            Event::JobCompleted {
+                job,
+                status,
+                attempts,
+            } => write!(f, "job {job} completed {status} after {attempts} attempt(s)"),
         }
     }
 }
@@ -1193,6 +1382,35 @@ mod tests {
             Event::BackendFallback {
                 backend: "compiled".into(),
                 reason: "FXL001".into(),
+            },
+            Event::JobAccepted {
+                job: "j-0003".into(),
+                tenant: "acme".into(),
+                queue_depth: 5,
+            },
+            Event::JobRejected {
+                tenant: "acme".into(),
+                reason: "queue full (cap 8)".into(),
+            },
+            Event::JobStarted {
+                job: "j-0003".into(),
+                tenant: "acme".into(),
+                attempt: 1,
+            },
+            Event::JobRetried {
+                job: "j-0003".into(),
+                attempt: 2,
+                backoff_ms: 37,
+            },
+            Event::JobRecovered {
+                job: "j-0003".into(),
+                tenant: "acme".into(),
+                from_checkpoint: true,
+            },
+            Event::JobCompleted {
+                job: "j-0003".into(),
+                status: "partial".into(),
+                attempts: 2,
             },
         ]
     }

@@ -81,6 +81,14 @@ impl Json {
         }
     }
 
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The numeric payload; also decodes the writer's non-finite string
     /// spellings.
     pub fn as_f64(&self) -> Option<f64> {

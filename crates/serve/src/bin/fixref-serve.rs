@@ -1,0 +1,142 @@
+//! The `fixref-serve` binary: a refinement job server on a TCP port.
+//!
+//! ```text
+//! fixref-serve --data-dir DIR [--addr HOST:PORT] [--workers N]
+//!              [--queue N] [--tenant-queue N] [--retries N]
+//! ```
+//!
+//! On startup the server replays the jobs log in `DIR` and re-queues
+//! every job that never reached a terminal record, so restarting after
+//! a crash resumes exactly where the log left off. The process exits
+//! cleanly when a client sends `{"cmd":"shutdown"}`: admission stops,
+//! the queue drains, then the listener closes.
+
+#![forbid(unsafe_code)]
+
+use std::net::TcpListener;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use fixref_serve::protocol::serve_listener;
+use fixref_serve::{Server, ServerConfig};
+use fixref_sim::RetryPolicy;
+
+struct Args {
+    data_dir: String,
+    addr: String,
+    workers: usize,
+    queue: usize,
+    tenant_queue: usize,
+    retries: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fixref-serve --data-dir DIR [--addr HOST:PORT] [--workers N] \
+         [--queue N] [--tenant-queue N] [--retries N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        data_dir: String::new(),
+        addr: "127.0.0.1:7878".into(),
+        workers: 2,
+        queue: 64,
+        tenant_queue: 64,
+        retries: 2,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--data-dir" => args.data_dir = value("--data-dir"),
+            "--addr" => args.addr = value("--addr"),
+            "--workers" => args.workers = parse_num(&value("--workers"), "--workers"),
+            "--queue" => args.queue = parse_num(&value("--queue"), "--queue"),
+            "--tenant-queue" => {
+                args.tenant_queue = parse_num(&value("--tenant-queue"), "--tenant-queue")
+            }
+            "--retries" => args.retries = parse_num(&value("--retries"), "--retries"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    if args.data_dir.is_empty() {
+        eprintln!("--data-dir is required");
+        usage();
+    }
+    args
+}
+
+fn parse_num(text: &str, flag: &str) -> usize {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("bad value {text:?} for {flag}");
+        usage()
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let mut config = ServerConfig::new(&args.data_dir);
+    config.queue_capacity = args.queue;
+    config.tenant_queue_capacity = args.tenant_queue;
+    config.retry = RetryPolicy {
+        max_attempts: args.retries.max(1),
+        ..RetryPolicy::default()
+    }
+    .with_backoff(25, 400, 0x5EED);
+    let server = match Server::open(config) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("fixref-serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    let recovered = server.queue_depth();
+    if recovered > 0 {
+        eprintln!("fixref-serve: recovered {recovered} in-flight job(s) from the jobs log");
+    }
+
+    let listener = match TcpListener::bind(&args.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("fixref-serve: bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    let addr = listener
+        .local_addr()
+        .map_or_else(|_| args.addr.clone(), |a| a.to_string());
+    eprintln!(
+        "fixref-serve: listening on {addr}, data dir {}",
+        args.data_dir
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..args.workers.max(1))
+        .map(|_| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.worker_loop())
+        })
+        .collect();
+
+    if let Err(e) = serve_listener(&server, &listener, &stop) {
+        eprintln!("fixref-serve: listener: {e}");
+    }
+    eprintln!("fixref-serve: draining...");
+    server.drain();
+    for w in workers {
+        let _ = w.join();
+    }
+    eprintln!("fixref-serve: done");
+}

@@ -1,0 +1,278 @@
+//! Job lifecycle types: states, status snapshots and persisted results.
+
+use fixref_obs::json::{escape, fmt_f64};
+use fixref_obs::{Event, Json};
+use fixref_sim::{SignalAnnotation, SpecError};
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted and waiting for a worker.
+    Queued,
+    /// A worker is running it.
+    Running,
+    /// Terminal: the flow finished (see the result's `status` for
+    /// complete vs. partial vs. failed).
+    Finished,
+    /// Terminal: cancelled before a worker picked it up.
+    Cancelled,
+}
+
+impl JobState {
+    /// Lower-case wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Finished => "finished",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the job can never run again.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Finished | JobState::Cancelled)
+    }
+}
+
+/// A point-in-time status snapshot for the status API.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    /// Job id.
+    pub job: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Attempts started so far (0 while queued).
+    pub attempts: usize,
+    /// Terminal flow status (`"complete"` / `"partial"` / `"failed"`),
+    /// once finished.
+    pub status: Option<String>,
+    /// Partial/failure reason, if any.
+    pub reason: Option<String>,
+}
+
+impl JobStatus {
+    /// Renders the snapshot as one JSON object.
+    pub fn to_json(&self) -> String {
+        let opt = |v: &Option<String>| match v {
+            Some(s) => format!(r#""{}""#, escape(s)),
+            None => "null".into(),
+        };
+        format!(
+            r#"{{"job":"{}","tenant":"{}","state":"{}","attempts":{},"status":{},"reason":{}}}"#,
+            escape(&self.job),
+            escape(&self.tenant),
+            self.state.name(),
+            self.attempts,
+            opt(&self.status),
+            opt(&self.reason)
+        )
+    }
+}
+
+/// Deterministic one-line rendering of a final signal annotation, used
+/// for bit-identity comparison of served vs. direct runs.
+pub fn render_annotation(a: &SignalAnnotation) -> String {
+    let dtype = a
+        .dtype
+        .as_ref()
+        .map_or("-".to_string(), std::string::ToString::to_string);
+    let range = a.range.map_or("-".to_string(), |r| {
+        format!("[{},{}]", fmt_f64(r.lo), fmt_f64(r.hi))
+    });
+    let sigma = a.error_sigma.map_or("-".to_string(), fmt_f64);
+    format!("{} dtype={dtype} range={range} sigma={sigma}", a.name)
+}
+
+/// The persisted outcome of one finished job (`results/<job>.json`).
+///
+/// Carries everything the bit-identity contract is judged by: the
+/// decided types, the design's final annotations and the flow's full
+/// event journal — so a job finished before a crash is comparable
+/// after restart without re-running.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Job id.
+    pub job: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// `"complete"`, `"partial"` or `"failed"`.
+    pub status: String,
+    /// Partial/failure reason, if any.
+    pub reason: Option<String>,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: usize,
+    /// MSB iterations of the final (successful) attempt.
+    pub msb_iterations: usize,
+    /// LSB iterations of the final attempt.
+    pub lsb_iterations: usize,
+    /// Sweep coverage summary, for swept jobs.
+    pub coverage: Option<String>,
+    /// Decided types by signal name, sorted by name.
+    pub types: Vec<(String, String)>,
+    /// Final design annotations, rendered via [`render_annotation`].
+    pub annotations: Vec<String>,
+    /// The flow's event journal.
+    pub journal: Vec<Event>,
+}
+
+impl JobResult {
+    /// Serializes the result as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            r#"{{"job":"{}","tenant":"{}","status":"{}""#,
+            escape(&self.job),
+            escape(&self.tenant),
+            escape(&self.status)
+        ));
+        match &self.reason {
+            Some(r) => out.push_str(&format!(r#","reason":"{}""#, escape(r))),
+            None => out.push_str(r#","reason":null"#),
+        }
+        out.push_str(&format!(
+            r#","attempts":{},"msb_iterations":{},"lsb_iterations":{}"#,
+            self.attempts, self.msb_iterations, self.lsb_iterations
+        ));
+        match &self.coverage {
+            Some(c) => out.push_str(&format!(r#","coverage":"{}""#, escape(c))),
+            None => out.push_str(r#","coverage":null"#),
+        }
+        let types: Vec<String> = self
+            .types
+            .iter()
+            .map(|(n, t)| format!(r#"["{}","{}"]"#, escape(n), escape(t)))
+            .collect();
+        out.push_str(&format!(r#","types":[{}]"#, types.join(",")));
+        let annotations: Vec<String> = self
+            .annotations
+            .iter()
+            .map(|a| format!(r#""{}""#, escape(a)))
+            .collect();
+        out.push_str(&format!(r#","annotations":[{}]"#, annotations.join(",")));
+        let journal: Vec<String> = self.journal.iter().map(Event::to_json).collect();
+        out.push_str(&format!(r#","journal":[{}]}}"#, journal.join(",")));
+        out
+    }
+
+    /// Decodes a result from its JSON text form.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] on malformed JSON or a malformed member.
+    pub fn from_json(text: &str) -> Result<JobResult, SpecError> {
+        let v = Json::parse(text).map_err(|e| SpecError::new(format!("job result: {e}")))?;
+        let field = |name: &str| -> Result<String, SpecError> {
+            v.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| SpecError::new(format!("job result: missing {name:?}")))
+        };
+        let opt = |name: &str| -> Result<Option<String>, SpecError> {
+            match v.get(name) {
+                None | Some(Json::Null) => Ok(None),
+                Some(j) => j
+                    .as_str()
+                    .map(|s| Some(s.to_string()))
+                    .ok_or_else(|| SpecError::new(format!("job result: mistyped {name:?}"))),
+            }
+        };
+        let uint = |name: &str| -> Result<usize, SpecError> {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .map(|n| n as usize)
+                .ok_or_else(|| SpecError::new(format!("job result: missing {name:?}")))
+        };
+        let arr = |name: &str| -> Result<&[Json], SpecError> {
+            v.get(name)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| SpecError::new(format!("job result: missing {name:?}")))
+        };
+        let types = arr("types")?
+            .iter()
+            .map(|pair| {
+                let items = pair
+                    .as_arr()
+                    .filter(|a| a.len() == 2)
+                    .ok_or_else(|| SpecError::new("job result: malformed type pair"))?;
+                match (items[0].as_str(), items[1].as_str()) {
+                    (Some(n), Some(t)) => Ok((n.to_string(), t.to_string())),
+                    _ => Err(SpecError::new("job result: malformed type pair")),
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let annotations = arr("annotations")?
+            .iter()
+            .map(|a| {
+                a.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| SpecError::new("job result: malformed annotation"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let journal = arr("journal")?
+            .iter()
+            .map(|e| {
+                Event::from_value(e)
+                    .map_err(|err| SpecError::new(format!("job result: journal event: {err}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(JobResult {
+            job: field("job")?,
+            tenant: field("tenant")?,
+            status: field("status")?,
+            reason: opt("reason")?,
+            attempts: uint("attempts")?,
+            msb_iterations: uint("msb_iterations")?,
+            lsb_iterations: uint("lsb_iterations")?,
+            coverage: opt("coverage")?,
+            types,
+            annotations,
+            journal,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixref_obs::Phase;
+
+    #[test]
+    fn job_results_round_trip() {
+        let result = JobResult {
+            job: "j-3".into(),
+            tenant: "acme".into(),
+            status: "partial".into(),
+            reason: Some("cancelled after 1 simulation(s)".into()),
+            attempts: 2,
+            msb_iterations: 1,
+            lsb_iterations: 0,
+            coverage: Some("7 of 8 scenarios".into()),
+            types: vec![("x".into(), "<7,5,tc,st,rd>".into())],
+            annotations: vec!["x dtype=<7,5,tc,st,rd> range=[-1.5,1.5] sigma=-".into()],
+            journal: vec![
+                Event::IterationStarted {
+                    phase: Phase::Msb,
+                    iteration: 1,
+                },
+                Event::BudgetExhausted {
+                    phase: Phase::Msb,
+                    simulations: 1,
+                    reason: "cancelled after 1 simulation(s)".into(),
+                },
+            ],
+        };
+        let back = JobResult::from_json(&result.to_json()).expect("parses");
+        assert_eq!(back, result);
+    }
+
+    #[test]
+    fn state_names_and_terminality() {
+        assert_eq!(JobState::Queued.name(), "queued");
+        assert!(!JobState::Running.is_terminal());
+        assert!(JobState::Finished.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+    }
+}

@@ -21,6 +21,7 @@ pub struct FaultPlan {
     nan_bursts: Vec<(usize, usize)>,
     checkpoint_write_failures: Vec<usize>,
     abort_after_checkpoint: Option<usize>,
+    server_crash_after_n_checkpoints: Option<usize>,
 }
 
 impl FaultPlan {
@@ -45,6 +46,7 @@ impl FaultPlan {
             && self.nan_bursts.is_empty()
             && self.checkpoint_write_failures.is_empty()
             && self.abort_after_checkpoint.is_none()
+            && self.server_crash_after_n_checkpoints.is_none()
     }
 
     /// Injects a worker panic when shard `shard` runs attempt `attempt`
@@ -78,6 +80,23 @@ impl FaultPlan {
     pub fn abort_after_checkpoint(mut self, sequence: usize) -> Self {
         self.abort_after_checkpoint = Some(sequence);
         self
+    }
+
+    /// Crashes the whole job *server* — not just one flow — once `n`
+    /// checkpoints have been written across all jobs since the server
+    /// started. A deterministic stand-in for `kill -9` mid-job: the
+    /// server stops abruptly (no drain, no terminal journal records),
+    /// leaving recovery entirely to the write-ahead jobs log and the
+    /// per-job checkpoint files. Used by the serve crash-recovery tests.
+    pub fn server_crash_after_n_checkpoints(mut self, n: usize) -> Self {
+        self.server_crash_after_n_checkpoints = Some(n);
+        self
+    }
+
+    /// The server-wide checkpoint count after which the server should
+    /// crash, if any.
+    pub fn server_crash_checkpoints(&self) -> Option<usize> {
+        self.server_crash_after_n_checkpoints
     }
 
     /// Whether shard `shard` should panic on attempt `attempt`.
@@ -143,8 +162,14 @@ mod tests {
             .panic_on(1, 1)
             .nan_burst(2, 5)
             .fail_checkpoint_write(3)
-            .abort_after_checkpoint(4);
+            .abort_after_checkpoint(4)
+            .server_crash_after_n_checkpoints(6);
         assert!(!p.is_empty());
+        assert_eq!(p.server_crash_checkpoints(), Some(6));
+        assert!(FaultPlan::seeded(7)
+            .server_crash_after_n_checkpoints(0)
+            .server_crash_checkpoints()
+            .is_some());
         assert!(p.should_panic(1, 0));
         assert!(p.should_panic(1, 1));
         assert!(!p.should_panic(1, 2));

@@ -74,6 +74,7 @@ pub mod graph;
 pub mod pool;
 pub mod report;
 pub mod scenario;
+pub mod spec;
 pub mod tape;
 pub mod trace;
 pub mod value;
@@ -95,6 +96,9 @@ pub use pool::{
 };
 pub use report::SignalReport;
 pub use scenario::{Scenario, ScenarioSet};
+pub use spec::{
+    scenario_set_from_json, scenario_set_from_value, scenario_set_to_json, DesignSpec, SpecError,
+};
 pub use tape::{
     BoundTrace, CompiledProgram, CycleKind, ExecTrace, InputSample, Instr, Segment, TraceStep,
 };

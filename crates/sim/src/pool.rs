@@ -23,26 +23,94 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// How often a failed shard is re-attempted.
+/// How often — and after what delay — a failed shard is re-attempted.
+///
+/// The backoff schedule is *deterministic*: exponential doubling from
+/// `base_backoff_ms`, capped at `max_backoff_ms`, with SplitMix64-seeded
+/// jitter over `(backoff_seed, attempt)` so concurrent retries spread
+/// out instead of retrying in lockstep, yet the same seed always
+/// reproduces the same schedule. The default policy retries never and
+/// sleeps never, so existing callers are unaffected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts per shard (first try included). Clamped to ≥ 1.
     pub max_attempts: usize,
+    /// Backoff before the first retry, in ms. 0 disables backoff.
+    pub base_backoff_ms: u64,
+    /// Ceiling on any single backoff delay, in ms.
+    pub max_backoff_ms: u64,
+    /// Seed the jitter stream is derived from.
+    pub backoff_seed: u64,
 }
 
 impl Default for RetryPolicy {
-    /// One attempt: no retries.
+    /// One attempt: no retries, no backoff.
     fn default() -> Self {
-        RetryPolicy { max_attempts: 1 }
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_ms: 0,
+            max_backoff_ms: 0,
+            backoff_seed: 0,
+        }
     }
 }
 
 impl RetryPolicy {
-    /// A policy allowing `max_attempts` total attempts (min 1).
+    /// A policy allowing `max_attempts` total attempts (min 1), with no
+    /// backoff between them.
     pub fn attempts(max_attempts: usize) -> Self {
         RetryPolicy {
             max_attempts: max_attempts.max(1),
+            ..RetryPolicy::default()
         }
+    }
+
+    /// Adds a seeded jittered exponential backoff between attempts:
+    /// the delay before retry *n* doubles from `base_ms`, is capped at
+    /// `max_ms`, and lands deterministically in the upper half of that
+    /// window (`[cap/2, cap]`) per the jitter stream of `seed`.
+    pub fn with_backoff(mut self, base_ms: u64, max_ms: u64, seed: u64) -> Self {
+        self.base_backoff_ms = base_ms;
+        self.max_backoff_ms = max_ms.max(base_ms);
+        self.backoff_seed = seed;
+        self
+    }
+
+    /// The delay in ms before 1-based retry `attempt` (attempt 0 — the
+    /// first try — never waits). Deterministic in `(backoff_seed,
+    /// attempt)`.
+    pub fn backoff_ms(&self, attempt: usize) -> u64 {
+        if attempt == 0 || self.base_backoff_ms == 0 {
+            return 0;
+        }
+        // Exponential window, saturating well before u64 overflow.
+        let doublings = (attempt - 1).min(32) as u32;
+        let cap = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << doublings)
+            .min(self.max_backoff_ms);
+        if cap <= 1 {
+            return cap;
+        }
+        // SplitMix64 avalanche over (seed, attempt) — same construction
+        // as FaultPlan::retry_seed — picking a point in [cap/2, cap].
+        let mut z = self
+            .backoff_seed
+            .rotate_left(23)
+            .wrapping_add((attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let half = cap / 2;
+        half + z % (cap - half + 1)
+    }
+
+    /// The full backoff schedule: delays before retries `1..max_attempts`
+    /// (empty when the policy never retries or never waits).
+    pub fn backoff_schedule(&self) -> Vec<u64> {
+        (1..self.max_attempts.max(1))
+            .map(|a| self.backoff_ms(a))
+            .collect()
     }
 }
 
@@ -142,6 +210,10 @@ where
     let max_attempts = retry.max_attempts.max(1);
     let mut last_cause = String::new();
     for attempt in 0..max_attempts {
+        let backoff = retry.backoff_ms(attempt);
+        if backoff > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(backoff));
+        }
         match catch_unwind(AssertUnwindSafe(|| job(scenario, attempt))) {
             Ok(value) => {
                 return ShardOutcome::Completed {
@@ -329,6 +401,48 @@ mod tests {
     fn empty_scenario_set_yields_empty_results() {
         let got: Vec<usize> = run_shards(&[], 4, |s| s.index);
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn backoff_schedule_is_reproducible_from_the_seed() {
+        // Property: over a spread of seeds and shapes, the schedule is a
+        // pure function of (seed, base, max, attempts); each delay lands
+        // in the jitter window [cap/2, cap] of its exponential cap; and
+        // distinct seeds actually de-synchronize somewhere.
+        let mut diverged = false;
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX] {
+            for (base, max) in [(1u64, 8u64), (25, 400), (100, 100), (7, 1_000_000)] {
+                let p = RetryPolicy::attempts(6).with_backoff(base, max, seed);
+                let a = p.backoff_schedule();
+                let b = p.backoff_schedule();
+                assert_eq!(a, b, "seed {seed} base {base}: schedule not stable");
+                assert_eq!(a.len(), 5);
+                for (i, &delay) in a.iter().enumerate() {
+                    let cap = base.saturating_mul(1 << i).min(max.max(base));
+                    assert!(
+                        delay >= cap / 2 && delay <= cap,
+                        "seed {seed} base {base} retry {}: {delay} outside [{}, {cap}]",
+                        i + 1,
+                        cap / 2
+                    );
+                }
+                let other = RetryPolicy::attempts(6).with_backoff(base, max, seed ^ 0x5555);
+                if other.backoff_schedule() != a {
+                    diverged = true;
+                }
+            }
+        }
+        assert!(diverged, "different seeds never changed the jitter");
+    }
+
+    #[test]
+    fn default_policy_never_waits_and_attempt_zero_is_free() {
+        let p = RetryPolicy::attempts(4);
+        assert_eq!(p.backoff_ms(0), 0);
+        assert_eq!(p.backoff_schedule(), vec![0, 0, 0]);
+        let seeded = p.with_backoff(10, 80, 9);
+        assert_eq!(seeded.backoff_ms(0), 0, "the first try never waits");
+        assert!(seeded.backoff_ms(1) >= 5 && seeded.backoff_ms(1) <= 10);
     }
 
     #[test]

@@ -132,6 +132,16 @@ impl ScenarioSet {
         Self { scenarios }
     }
 
+    /// Builds a set from explicit scenarios, reassigning `index` in
+    /// vector order so the fold order is always well-formed regardless
+    /// of what the caller put there (e.g. a deserialized spec).
+    pub fn from_scenarios(mut scenarios: Vec<Scenario>) -> Self {
+        for (i, s) in scenarios.iter_mut().enumerate() {
+            s.index = i;
+        }
+        Self { scenarios }
+    }
+
     /// Number of scenarios in the set.
     pub fn len(&self) -> usize {
         self.scenarios.len()

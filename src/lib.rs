@@ -17,6 +17,9 @@
 //! * [`verify`] — formal verification of lint findings: bounded model
 //!   checking of overflow, wrap and limit-cycle hazards, with proofs
 //!   that discharge warnings and counterexamples that replay;
+//! * [`serve`] — refinement-as-a-service: a crash-safe multi-tenant job
+//!   server with admission control, write-ahead logging and restart
+//!   recovery over the refinement flow;
 //! * [`codegen`] — the VHDL back-end;
 //! * [`obs`] — observability: recorders, the structured event journal and
 //!   metrics reports every layer above feeds.
@@ -44,6 +47,7 @@ pub use fixref_dsp as dsp;
 pub use fixref_fixed as fixed;
 pub use fixref_lint as lint;
 pub use fixref_obs as obs;
+pub use fixref_serve as serve;
 pub use fixref_sim as sim;
 pub use fixref_verify as verify;
 

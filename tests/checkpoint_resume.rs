@@ -369,6 +369,72 @@ fn crash_during_checkpoint_write_resumes_from_previous_good_file() {
 }
 
 #[test]
+fn torn_checkpoint_write_surfaces_a_structured_parse_error() {
+    // A truncated checkpoint file — the artifact a non-atomic writer
+    // leaves after a crash mid-write — must produce a structured
+    // CheckpointError from resume_from, not a panic and not a silent
+    // cold start.
+    let set = lms_paper_scenario(LMS_SAMPLES);
+    let path = tmp("torn_write");
+    let shard = lms_shard_builder(lms_config())(&set.as_slice()[0]);
+    let design = shard.design;
+    let mut stimulus = shard.stimulus;
+    let mut flow = RefinementFlow::new(design.clone(), RefinePolicy::default());
+    flow.checkpoint_to(path.to_path_buf());
+    flow.set_fault_plan(FaultPlan::seeded(1).abort_after_checkpoint(0));
+    let _ = flow.run(move |d: &Design, i: usize| stimulus(d, i));
+    drop(flow);
+
+    // Tear the file in half.
+    let text = std::fs::read_to_string(&path).expect("checkpoint written");
+    assert!(text.len() > 64, "checkpoint is non-trivial");
+    std::fs::write(&path, &text[..text.len() / 2]).expect("truncate");
+
+    let shard = lms_shard_builder(lms_config())(&set.as_slice()[0]);
+    let err = RefinementFlow::resume_from(shard.design, RefinePolicy::default(), &path)
+        .expect_err("torn checkpoint must be rejected");
+    assert!(
+        matches!(err, fixref::refine::CheckpointError::Parse(_)),
+        "got {err:?}"
+    );
+
+    // A missing file is an Io error, equally structured.
+    let _ = std::fs::remove_file(&path);
+    let shard = lms_shard_builder(lms_config())(&set.as_slice()[0]);
+    let err = RefinementFlow::resume_from(shard.design, RefinePolicy::default(), &path)
+        .expect_err("missing checkpoint must be rejected");
+    assert!(
+        matches!(err, fixref::refine::CheckpointError::Io(_)),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn atomic_checkpoint_writes_leave_no_tmp_and_replace_whole_files() {
+    // The flow's checkpoint writes go through the tmp+fsync+rename
+    // path: after a successful run the destination parses and no *.tmp
+    // sibling is left behind.
+    let set = lms_paper_scenario(LMS_SAMPLES);
+    let path = tmp("atomic_write");
+    let shard = lms_shard_builder(lms_config())(&set.as_slice()[0]);
+    let design = shard.design;
+    let mut stimulus = shard.stimulus;
+    let mut flow = RefinementFlow::new(design, RefinePolicy::default());
+    flow.checkpoint_to(path.to_path_buf());
+    flow.run(move |d: &Design, i: usize| stimulus(d, i))
+        .expect("flow converges");
+
+    let text = std::fs::read_to_string(&path).expect("checkpoint on disk");
+    Checkpoint::from_json(&text).expect("final checkpoint parses whole");
+    let mut tmp_sibling = path.as_os_str().to_owned();
+    tmp_sibling.push(".tmp");
+    assert!(
+        !std::path::Path::new(&tmp_sibling).exists(),
+        "temporary write file must be renamed away"
+    );
+}
+
+#[test]
 fn resume_against_a_mismatched_design_is_rejected() {
     let set = lms_paper_scenario(LMS_SAMPLES);
     let path = tmp("mismatch");

@@ -233,6 +233,56 @@ fn simulation_budget_returns_best_effort_partial() {
 }
 
 #[test]
+fn cancellation_rides_the_budget_path_and_returns_partial() {
+    // A pre-cancelled token stops the flow at the first budget
+    // checkpoint — exactly like a one-simulation budget: the same
+    // BudgetExhausted journal event, the same `budget.exhausted`
+    // counter, the same best-so-far Partial outcome. One code path for
+    // "ran out" and "called off".
+    let set = lms_paper_scenario(SAMPLES);
+    let shard = lms_shard_builder(lms_config())(&set.as_slice()[0]);
+    let design = shard.design;
+    let mut stimulus = shard.stimulus;
+    let mut flow = RefinementFlow::new(design.clone(), RefinePolicy::default());
+    let token = fixref::refine::CancelToken::new();
+    flow.set_cancel_token(token.clone());
+    token.cancel();
+
+    let outcome = flow
+        .run(move |d, i| stimulus(d, i))
+        .expect("cancellation is not an error");
+
+    assert_eq!(outcome.msb_iterations, 1, "one iteration always completes");
+    assert_eq!(outcome.lsb_iterations, 0);
+    match &outcome.status {
+        FlowStatus::Partial { reason } => {
+            assert!(reason.contains("cancelled"), "reason: {reason}")
+        }
+        FlowStatus::Complete => panic!("expected a partial outcome"),
+    }
+    assert!(!outcome.types.is_empty(), "best-effort types applied");
+    assert!(flow
+        .journal()
+        .iter()
+        .any(|e| matches!(e, Event::BudgetExhausted { .. })));
+    assert_eq!(flow.recorder().counter("budget.exhausted"), 1);
+}
+
+#[test]
+fn uncancelled_token_changes_nothing() {
+    let set = lms_paper_scenario(SAMPLES);
+    let shard = lms_shard_builder(lms_config())(&set.as_slice()[0]);
+    let design = shard.design;
+    let mut stimulus = shard.stimulus;
+    let mut flow = RefinementFlow::new(design.clone(), RefinePolicy::default());
+    flow.set_cancel_token(fixref::refine::CancelToken::new());
+    let outcome = flow
+        .run(move |d, i| stimulus(d, i))
+        .expect("flow converges");
+    assert!(matches!(outcome.status, FlowStatus::Complete));
+}
+
+#[test]
 fn zero_wall_budget_still_runs_one_simulation_then_goes_partial() {
     let set = lms_paper_scenario(SAMPLES);
     let shard = lms_shard_builder(lms_config())(&set.as_slice()[0]);
